@@ -1,0 +1,116 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each table flips one design decision and shows the predicted consequence:
+
+* probe interval ↔ error rate (detection latency dominates staleness);
+* strongest-first multicast targets ↔ audience coverage;
+* controller hysteresis width ↔ level flapping;
+* threshold floor ↔ deepest populated level.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablation import (
+    ablate_hysteresis,
+    ablate_probe_interval,
+    ablate_target_policy,
+    ablate_threshold_floor,
+)
+from repro.experiments.report import print_table
+from repro.experiments.scalable import ScalableParams
+
+FAST = ScalableParams(n_target=4000, duration_s=400.0, warmup_s=150.0, seed=5)
+
+
+def test_bench_ablation_probe_interval(benchmark):
+    rows = run_once(benchmark, ablate_probe_interval, [5.0, 15.0, 30.0, 60.0, 120.0], FAST)
+    print_table(
+        "ablation — probe interval vs mean error rate",
+        ["probe interval (s)", "mean error rate"],
+        rows,
+    )
+    errs = [e for _, e in rows]
+    assert errs[-1] > errs[0], "slower probing must raise staleness"
+
+
+def test_bench_ablation_target_policy(benchmark):
+    def sweep():
+        return [
+            {**ablate_target_policy(n_members=1024, id_bits=24, seed=s), "seed": s}
+            for s in range(5)
+        ]
+
+    rows = run_once(benchmark, sweep)
+    print_table(
+        "ablation — multicast target choice vs audience coverage",
+        ["seed", "strongest-first", "random"],
+        [[r["seed"], r["strongest_coverage"], r["random_coverage"]] for r in rows],
+    )
+    assert all(r["strongest_coverage"] == 1.0 for r in rows)
+    assert min(r["random_coverage"] for r in rows) < 1.0
+
+
+def test_bench_ablation_hysteresis(benchmark):
+    rows = run_once(benchmark, ablate_hysteresis, [0.3, 0.5, 0.7, 0.9, 0.98])
+    print_table(
+        "ablation — raise fraction (dead-zone width) vs level flaps",
+        ["raise fraction", "level changes in 500 noisy ticks"],
+        rows,
+    )
+    by_frac = dict(rows)
+    assert by_frac[0.98] > by_frac[0.5] >= by_frac[0.3]
+
+
+def test_bench_ablation_warmup(benchmark):
+    from repro.experiments.ablation import ablate_warmup
+
+    rows = run_once(benchmark, ablate_warmup, [0, 1, 2, 3])
+    print_table(
+        "ablation — §4.3 warm-up: start fast vs reach the full list",
+        ["extra levels", "join done (s)", "full list (s)", "initial download (ptrs)"],
+        rows,
+    )
+    full_times = [t for _, _, t, _ in rows]
+    assert full_times[-1] > full_times[0]  # warm-up delays the full list
+    downloads = [d for _, _, _, d in rows]
+    assert downloads[-1] < downloads[0]  # ...but shrinks the initial download
+
+
+def test_bench_ablation_bandwidth_digitization(benchmark):
+    from repro.experiments.ablation import ablate_bandwidth_digitization
+
+    rows = run_once(benchmark, ablate_bandwidth_digitization, [-0.1, -0.05, 0.0, 0.05, 0.1])
+    print_table(
+        "ablation — bandwidth-CDF digitization shift vs level-0 share "
+        "(robustness of figure 5)",
+        ["weight shift (cable -> fast)", "fraction at level 0"],
+        rows,
+    )
+    fracs = [f for _, f in rows]
+    assert fracs == sorted(fracs)  # monotone in the shift
+    assert fracs[0] > 0.45  # the claim survives the pessimistic end
+
+
+def test_bench_ablation_lifetime_shape(benchmark):
+    from repro.experiments.ablation import ablate_lifetime_shape
+
+    rows = run_once(benchmark, ablate_lifetime_shape, FAST)
+    print_table(
+        "ablation — lifetime distribution shape at fixed mean (135 min)",
+        ["distribution", "mean error rate", "populated levels"],
+        rows,
+    )
+    levels = [n for _, _, n in rows]
+    assert max(levels) - min(levels) <= 1
+
+
+def test_bench_ablation_threshold_floor(benchmark):
+    rows = run_once(
+        benchmark, ablate_threshold_floor, [2000.0, 500.0, 125.0], FAST
+    )
+    print_table(
+        "ablation — threshold floor vs deepest populated level",
+        ["floor (bps)", "deepest level"],
+        rows,
+    )
+    depths = [d for _, d in rows]
+    assert depths[-1] >= depths[0]

@@ -1,0 +1,43 @@
+"""§2 analytic table: pointers collectable per bandwidth budget.
+
+Regenerates the paper's worked example — *"a very weak node (e.g., a
+modem-linked node) would spend only 10% of its bandwidth, about 5kbps, on
+PeerWindow.  Then, it can collect about p = 6000 pointers"* — and the
+abstract's headline (*"the cost of collecting 1,000 pointers being less
+than 1kbps"*), across a sweep of budgets.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.analytic import CostModel
+from repro.experiments.report import print_table
+
+
+def compute_table():
+    model = CostModel(
+        mean_lifetime_s=3600.0, changes_per_lifetime=3.0, redundancy=1.0, message_bits=1000.0
+    )
+    budgets = [500.0, 1000.0, 5000.0, 10_000.0, 100_000.0]
+    rows = [
+        [f"{w:,.0f} bps", model.pointers_for_bandwidth(w)]
+        for w in budgets
+    ]
+    return model, rows
+
+
+def test_bench_analytic_table(benchmark):
+    model, rows = run_once(benchmark, compute_table)
+    print_table(
+        "§2 analytic model (L=3600s, m=3, r=1, i=1000b)",
+        ["budget", "pointers"],
+        rows,
+    )
+    print_table(
+        "headline numbers",
+        ["quantity", "value"],
+        [
+            ["bps per 1000 pointers", model.bandwidth_per_1000_pointers()],
+            ["pointers at 5 kbps (paper: ~6000)", model.pointers_for_bandwidth(5000.0)],
+        ],
+    )
+    assert model.pointers_for_bandwidth(5000.0) == 6000.0
+    assert model.bandwidth_per_1000_pointers() < 1000.0

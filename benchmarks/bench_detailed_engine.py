@@ -1,0 +1,80 @@
+"""Detailed-engine throughput and underlay profile benches.
+
+Not a paper figure — the performance gates a maintainer watches:
+
+* how many wire-protocol events per wall-second the detailed engine
+  sustains on a churny deployment (regressions here make every test and
+  example slower);
+* the transit-stub latency profile (its mean feeds the §5 delay model
+  and the closed-form predictor, which assumes ≈0.78 s — asserted here).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import PeerWindowNetwork
+from repro.experiments.report import print_table
+from repro.net.transit_stub import TransitStubParams, TransitStubTopology
+
+
+def churny_run():
+    config = ProtocolConfig(
+        id_bits=16,
+        probe_interval=5.0,
+        probe_timeout=1.0,
+        multicast_ack_timeout=1.0,
+        report_timeout=2.0,
+        level_check_interval=20.0,
+        multicast_processing_delay=0.1,
+    )
+    net = PeerWindowNetwork(config=config, master_seed=1)
+    keys = net.seed_nodes([1e9] * 100)
+    net.run(until=30.0)
+    rng = net.streams.get("bench-churn")
+    for i in range(20):
+        live = [k for k in net.nodes if net.nodes[k].alive]
+        net.crash(live[int(rng.integers(0, len(live)))])
+        net.add_node(1e9, bootstrap=live[0])
+        net.run(until=net.sim.now + 10.0)
+    net.run(until=net.sim.now + 30.0)  # settle in-flight joins/detections
+    return net
+
+
+def test_bench_detailed_engine_throughput(benchmark):
+    net = run_once(benchmark, churny_run)
+    stats = net.stats_summary()
+    print_table(
+        "detailed engine: 100 nodes, 20 crash+join cycles, 230 sim-seconds",
+        ["metric", "value"],
+        [
+            ["sim events executed", net.sim.events_executed],
+            ["messages sent", stats["transport_sent"]],
+            ["failures detected", stats["failures_detected"]],
+            ["live nodes at end", stats["live_nodes"]],
+            ["mean error rate", round(stats["mean_error_rate"], 5)],
+        ],
+    )
+    # A join whose bootstrap crashed in the same cycle may have failed;
+    # population must stay within one of the target.
+    assert 99 <= stats["live_nodes"] <= 101
+    assert stats["mean_error_rate"] < 0.02
+
+
+def test_bench_underlay_latency_profile(benchmark):
+    topo = TransitStubTopology(TransitStubParams(), seed=0)
+    lats = run_once(benchmark, topo.latency_sample, 100_000)
+    print_table(
+        "GT-ITM transit-stub pairwise latency profile (100k pairs)",
+        ["stat", "seconds"],
+        [
+            ["mean", float(np.mean(lats))],
+            ["p10", float(np.percentile(lats, 10))],
+            ["p50", float(np.percentile(lats, 50))],
+            ["p90", float(np.percentile(lats, 90))],
+            ["max", float(np.max(lats))],
+        ],
+    )
+    # The predictor assumes the mean sits near 0.78 s for the paper's
+    # parameters; keep it pinned.
+    assert 0.5 < float(np.mean(lats)) < 1.1

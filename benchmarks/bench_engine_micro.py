@@ -1,0 +1,81 @@
+"""Micro-benchmarks of the substrate hot paths.
+
+These are conventional timing benches (many rounds) rather than one-shot
+simulation runs: the event queue, the peer-list container, and the
+vectorized dissemination are the three structures everything else's
+runtime hangs off.
+"""
+
+import numpy as np
+
+from repro.core.nodeid import NodeId
+from repro.core.peerlist import PeerList
+from repro.core.pointer import Pointer
+from repro.experiments.scalable import binomial_broadcast
+from repro.sim.engine import Simulator
+
+
+def test_bench_event_queue_heap(benchmark):
+    rng = np.random.default_rng(0)
+    delays = rng.exponential(1.0, size=5000)
+
+    def run():
+        sim = Simulator(queue="heap")
+        for d in delays:
+            sim.schedule(float(d), lambda: None)
+        sim.run()
+        return sim.events_executed
+
+    assert benchmark(run) == 5000
+
+
+def test_bench_event_queue_calendar(benchmark):
+    rng = np.random.default_rng(0)
+    delays = rng.exponential(1.0, size=5000)
+
+    def run():
+        sim = Simulator(queue="calendar")
+        for d in delays:
+            sim.schedule(float(d), lambda: None)
+        sim.run()
+        return sim.events_executed
+
+    assert benchmark(run) == 5000
+
+
+def test_bench_peerlist_churn(benchmark):
+    """Insert/remove cycles on a 2000-entry peer list."""
+    rng = np.random.default_rng(1)
+    owner = NodeId(0, 32)
+    values = rng.choice(1 << 32, size=2000, replace=False)
+    pointers = [Pointer(NodeId(int(v), 32), int(v), 0) for v in values]
+
+    def run():
+        pl = PeerList(owner, 0)
+        for p in pointers:
+            pl.add(p)
+        for p in pointers[::2]:
+            pl.remove(p.node_id)
+        return len(pl)
+
+    assert benchmark(run) == 1000
+
+
+def test_bench_ring_successor(benchmark):
+    owner = NodeId(123, 32)
+    pl = PeerList(owner, 0)
+    rng = np.random.default_rng(2)
+    for v in rng.choice(1 << 32, size=2000, replace=False):
+        pl.add(Pointer(NodeId(int(v), 32), int(v), 0))
+
+    result = benchmark(pl.ring_successor, owner)
+    assert result is not None
+
+
+def test_bench_binomial_broadcast_10k(benchmark):
+    rng = np.random.default_rng(3)
+    ids = np.unique(rng.integers(0, 1 << 40, size=10_000, dtype=np.uint64))
+    levels = np.zeros(ids.size, dtype=np.int32)
+
+    depths, _ = benchmark(binomial_broadcast, ids, levels, 0, 40)
+    assert (depths >= 0).all()

@@ -1,0 +1,25 @@
+"""Figure 5: node distribution across levels in the common PeerWindow.
+
+Paper claim: *"somewhat surprisingly, there are more than half of the
+nodes running at level 0"* — consistent with the Gnutella bandwidth
+measurement where only 20% of nodes are below 1 Mbps.
+
+Run with ``REPRO_FULL=1`` for the 100,000-node original; the default is a
+CI-scale run with the same workload shape.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import fig5_node_distribution
+from repro.experiments.report import print_table
+from repro.experiments.scenario import common_params
+
+
+def test_bench_fig05(benchmark):
+    rows = run_once(benchmark, fig5_node_distribution, common_params())
+    print_table(
+        "Figure 5 — node distribution by level (common PeerWindow)",
+        ["level", "nodes", "fraction"],
+        rows,
+    )
+    frac0 = next(f for lvl, _, f in rows if lvl == 0)
+    assert frac0 > 0.5, "paper: more than half of the nodes at level 0"

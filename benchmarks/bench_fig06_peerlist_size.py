@@ -1,0 +1,26 @@
+"""Figure 6: peer-list size per level.
+
+Paper claims: sizes follow ``N / 2^l``; within a level the maximum and
+minimum are *"hard to be distinguished"* (uniform ids).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import fig6_peer_list_sizes
+from repro.experiments.report import print_table
+from repro.experiments.scenario import common_params
+
+
+def test_bench_fig06(benchmark):
+    rows = run_once(benchmark, fig6_peer_list_sizes, common_params())
+    print_table(
+        "Figure 6 — peer-list size by level",
+        ["level", "mean", "min", "max"],
+        rows,
+    )
+    by_level = {lvl: mean for lvl, mean, _, _ in rows}
+    levels = sorted(by_level)
+    for a, b in zip(levels, levels[1:]):
+        if b == a + 1:
+            assert by_level[a] / max(by_level[b], 1) == pytest.approx(2.0, rel=0.4)

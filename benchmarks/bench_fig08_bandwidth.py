@@ -1,0 +1,32 @@
+"""Figure 8: input/output bandwidth for peer-list maintenance, by level.
+
+Paper claims: input bandwidth is proportional to peer-list size (about
+500 bps per 1000 pointers); output bandwidth is concentrated at levels
+0-1 (strong nodes do nearly all the multicast forwarding) but stays light.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import fig6_peer_list_sizes, fig8_bandwidth
+from repro.experiments.report import print_table
+from repro.experiments.scenario import common_params
+
+
+def test_bench_fig08(benchmark):
+    params = common_params()
+    rows = run_once(benchmark, fig8_bandwidth, params)
+    sizes = {lvl: mean for lvl, mean, _, _ in fig6_peer_list_sizes(params)}
+    table = [
+        [lvl, inb, outb, inb / max(sizes.get(lvl, 1), 1) * 1000.0]
+        for lvl, inb, outb in rows
+    ]
+    print_table(
+        "Figure 8 — maintenance bandwidth by level",
+        ["level", "in bps", "out bps", "in bps per 1000 ptrs"],
+        table,
+    )
+    out_by_level = {lvl: o for lvl, _, o in rows}
+    assert out_by_level[min(out_by_level)] == max(out_by_level.values()), (
+        "output bandwidth must be concentrated at the strongest level"
+    )
+    lvl0_per_1000 = table[0][3]
+    assert 150.0 < lvl0_per_1000 < 1200.0, "paper band: ~500 bps per 1000 pointers"

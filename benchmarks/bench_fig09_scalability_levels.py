@@ -1,0 +1,33 @@
+"""Figure 9: node distribution vs system scale (§5.2).
+
+Paper claims: in a 5,000-node PeerWindow, (essentially) all nodes run at
+level 0; as the system grows, more levels appear and more nodes work at
+lower levels, because weak nodes cannot afford high levels in a large
+system.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import fig9_scalability_levels
+from repro.experiments.report import print_table
+from repro.experiments.scenario import common_params, scale_sweep
+
+
+def test_bench_fig09(benchmark):
+    points = run_once(
+        benchmark, fig9_scalability_levels, scale_sweep(), common_params()
+    )
+    table = []
+    for p in points:
+        fr = dict(p.level_fractions)
+        table.append(
+            [int(p.x), p.n_levels]
+            + [round(fr.get(l, 0.0), 3) for l in range(8)]
+        )
+    print_table(
+        "Figure 9 — level fractions vs system scale",
+        ["N", "levels"] + [f"L{l}" for l in range(8)],
+        table,
+    )
+    frac0 = [dict(p.level_fractions).get(0, 0.0) for p in points]
+    assert frac0[0] > frac0[-1], "level-0 share shrinks with scale"
+    assert points[-1].n_levels >= points[0].n_levels, "levels multiply with scale"

@@ -1,0 +1,25 @@
+"""Figure 10: average peer-list error rate vs system scale (§5.2).
+
+Paper claims: the error rate rises with scale (longer multicasts revise
+errors less timely) *"but the change is very slight"* — the multicast
+depth grows only as log2 N.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import fig10_scalability_error
+from repro.experiments.report import print_table
+from repro.experiments.scenario import common_params, scale_sweep
+
+
+def test_bench_fig10(benchmark):
+    rows = run_once(
+        benchmark, fig10_scalability_error, scale_sweep(), common_params()
+    )
+    print_table(
+        "Figure 10 — mean peer-list error rate vs scale",
+        ["N", "mean error rate"],
+        [[int(n), e] for n, e in rows],
+    )
+    errs = [e for _, e in rows]
+    assert errs[-1] < 5 * max(errs[0], 1e-5), "the change must be slight"
+    assert all(e < 0.02 for e in errs)

@@ -1,0 +1,34 @@
+"""Figure 11: node distribution vs Lifetime_Rate (§5.3).
+
+Paper claims: at Lifetime_Rate = 0.1 (13.5-minute average lifetimes)
+about 10 levels appear and only ~15% of nodes hold level 0; as lifetimes
+stretch, the population collapses back toward level 0 (peer lists
+"automatically expand when the system turns stable").
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import fig11_adaptivity_levels
+from repro.experiments.report import print_table
+from repro.experiments.scenario import common_params, lifetime_rates
+
+
+def test_bench_fig11(benchmark):
+    points = run_once(
+        benchmark, fig11_adaptivity_levels, lifetime_rates(), common_params()
+    )
+    table = []
+    for p in points:
+        fr = dict(p.level_fractions)
+        table.append(
+            [p.x, p.n_levels] + [round(fr.get(l, 0.0), 3) for l in range(10)]
+        )
+    print_table(
+        "Figure 11 — level fractions vs Lifetime_Rate",
+        ["rate", "levels"] + [f"L{l}" for l in range(10)],
+        table,
+    )
+    frac0 = {p.x: dict(p.level_fractions).get(0, 0.0) for p in points}
+    rates = sorted(frac0)
+    assert frac0[rates[0]] < frac0[rates[-1]], "short lifetimes push nodes deeper"
+    n_levels = {p.x: p.n_levels for p in points}
+    assert n_levels[rates[0]] > n_levels[rates[-1]]

@@ -1,0 +1,26 @@
+"""Figure 12: average peer-list error rate vs Lifetime_Rate (§5.3).
+
+Paper claims (log-scale y): ``error_rate ≈ multicast_delay / lifetime``,
+so error is roughly inversely proportional to the lifetime rate — about
+10x higher at rate 0.1 than in the common case.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import fig12_adaptivity_error
+from repro.experiments.report import print_table
+from repro.experiments.scenario import common_params, lifetime_rates
+
+
+def test_bench_fig12(benchmark):
+    rows = run_once(
+        benchmark, fig12_adaptivity_error, lifetime_rates(), common_params()
+    )
+    print_table(
+        "Figure 12 — mean error rate vs Lifetime_Rate (inverse law)",
+        ["rate", "mean error rate", "rate x error (≈const)"],
+        [[r, e, r * e] for r, e in rows],
+    )
+    by_rate = dict(rows)
+    if 0.1 in by_rate and 1.0 in by_rate:
+        ratio = by_rate[0.1] / by_rate[1.0]
+        assert 3.0 < ratio < 30.0, "paper: ~10x error at rate 0.1"

@@ -1,0 +1,48 @@
+"""§4.2 multicast properties: depth ≈ log2 N, root out-degree ≈ log2 N.
+
+Regenerates the paper's protocol-level claims (figure 4's properties 2-3
+and the §5.1 delay estimate of ``log2 100000 ≈ 16.6`` steps), measured on
+exact disseminations over growing audiences.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.report import print_table
+from repro.experiments.scalable import binomial_broadcast
+
+
+def measure(sizes, bits=40, seed=0):
+    rng = np.random.default_rng(seed)
+    rows = []
+    for n in sizes:
+        ids = np.unique(rng.integers(0, 1 << bits, size=n, dtype=np.uint64))
+        levels = rng.integers(0, 4, size=ids.size).astype(np.int32)
+        root = int(np.lexsort((ids, levels))[0])
+        levels[root] = 0
+        depths, senders = binomial_broadcast(ids, levels, root, bits)
+        rows.append(
+            [
+                int(ids.size),
+                float(np.log2(ids.size)),
+                int(depths.max()),
+                float(depths.mean()),
+                int(senders[root]),
+            ]
+        )
+    return rows
+
+
+def test_bench_multicast_tree(benchmark):
+    sizes = [1000, 10_000, 100_000]
+    rows = run_once(benchmark, measure, sizes)
+    print_table(
+        "§4.2 multicast tree — steps and out-degree vs audience size",
+        ["audience", "log2 N", "max depth", "mean depth", "root out-degree"],
+        rows,
+    )
+    for n, log2n, max_depth, _, out_deg in rows:
+        assert max_depth <= 2.0 * log2n, "reaches audience in ~log2 N steps"
+        assert 0.4 * log2n <= out_deg <= 2.0 * log2n, "root out-degree ~log2 N"
+    # §5.1: at the 100,000 scale, ~16.6 steps.
+    assert abs(rows[-1][1] - 16.6) < 0.1

@@ -1,0 +1,36 @@
+"""Replicated common-run metrics with confidence intervals.
+
+Single-run figures carry workload noise; this bench replicates the
+common scenario across seeds and reports each headline metric with a
+95% Student-t interval — the form a production evaluation would publish.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.report import print_table
+from repro.experiments.scalable import ScalableParams
+from repro.experiments.scenario import full_scale
+from repro.experiments.stats import replicate
+
+
+def test_bench_replicated_common(benchmark):
+    if full_scale():
+        params = ScalableParams(n_target=100_000, duration_s=1200.0, warmup_s=400.0)
+        seeds = [1, 2, 3]
+    else:
+        params = ScalableParams(n_target=5_000, duration_s=400.0, warmup_s=150.0)
+        seeds = [1, 2, 3, 4]
+
+    summaries = run_once(benchmark, replicate, params, seeds)
+    print_table(
+        f"replicated common run (N={params.n_target:,}, {len(seeds)} seeds, 95% CI)",
+        ["metric", "mean", "std", "ci low", "ci high"],
+        [
+            [s.name, s.mean, s.std, s.ci_low, s.ci_high]
+            for s in summaries.values()
+        ],
+    )
+    err = summaries["mean_error_rate"]
+    assert err.ci_low > 0.0
+    assert err.ci_high < 0.02
+    frac0 = summaries["frac_level0"]
+    assert frac0.ci_low > 0.5  # figure 5's claim holds across seeds

@@ -1,0 +1,19 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench regenerates one of the paper's tables/figures and prints the
+rows alongside pytest-benchmark's timing.  Simulation benches run once
+(``rounds=1``) — we are measuring the *system under simulation*, not
+timing jitter — while micro-benches use normal benchmark repetition.
+
+Set ``REPRO_FULL=1`` to run the figure benches at the paper's scale
+(100,000 nodes; minutes per figure instead of seconds).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""A/B-testing a protocol knob the production way.
+
+Question (straight from §4.1's design space): how much accuracy does the
+30-second probe interval cost compared to 10 seconds, and is the effect
+real or workload noise?
+
+Method: paired replication under common random numbers — both
+configurations run against the *same* churn (same seeds), so the
+per-seed differences isolate the knob.  The paired Student-t interval
+and p-value come from `repro.experiments.stats.compare`.
+
+Run:  python examples/ab_comparison.py
+"""
+
+from dataclasses import replace
+
+from repro.experiments.report import print_table
+from repro.experiments.scalable import ScalableParams
+from repro.experiments.stats import compare, replicate
+
+
+def main() -> None:
+    base = ScalableParams(n_target=5000, duration_s=500.0, warmup_s=150.0)
+    fast = replace(base, probe_interval_s=10.0)
+    slow = replace(base, probe_interval_s=30.0)
+    seeds = [1, 2, 3, 4]
+
+    print("replicating both configurations over seeds", seeds, "...")
+    for name, params in (("10 s probes", fast), ("30 s probes", slow)):
+        out = replicate(params, seeds)
+        err = out["mean_error_rate"]
+        print(f"  {name}: error {err.mean:.5f} "
+              f"[{err.ci_low:.5f}, {err.ci_high:.5f}] (95% CI)")
+
+    summary, p_value = compare(
+        fast, slow, seeds, metric=lambda r: r.mean_error_rate
+    )
+    print_table(
+        "paired difference (30 s minus 10 s probes)",
+        ["metric", "value"],
+        [
+            ["mean Δ error rate", round(summary.mean, 6)],
+            ["95% CI low", round(summary.ci_low, 6)],
+            ["95% CI high", round(summary.ci_high, 6)],
+            ["paired t-test p", f"{p_value:.2g}"],
+        ],
+    )
+    if summary.ci_low > 0:
+        print("\nThe slower probe interval significantly increases the "
+              "peer-list error rate\n(the CI excludes zero) — failure-"
+              "detection latency dominates leave staleness,\nexactly as "
+              "the §5.1 error budget predicts.")
+    else:
+        print("\nNo significant effect detected at these settings.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Backup partner selection from attached info (§3, Pastiche/Lillibridge).
+
+Every node attaches its operating system to its pointers; a node then
+answers, purely from its peer list:
+
+* Pastiche's question — peers with the *same* OS (dedup-friendly), and
+* Lillibridge et al.'s — a maximally *diverse* partner set (no correlated
+  OS failure takes out all replicas).
+
+Run:  python examples/backup_partners.py
+"""
+
+import numpy as np
+
+from repro import PeerWindowNetwork, ProtocolConfig
+from repro.apps.backup import BackupMatcher
+from repro.experiments.report import print_table
+from repro.workloads.attached_info import backup_attached_info
+
+
+def main() -> None:
+    n = 100
+    net = PeerWindowNetwork(
+        config=ProtocolConfig(id_bits=32, multicast_processing_delay=0.2),
+        master_seed=9,
+    )
+    rng = np.random.default_rng(1)
+    infos = backup_attached_info(rng, n)
+    keys = net.seed_nodes(
+        [{"threshold_bps": 1e9, "attached_info": infos[i]} for i in range(n)]
+    )
+    net.run(until=20.0)
+
+    node = net.node(keys[0])
+    matcher = BackupMatcher(node)
+    print(f"local node runs {matcher.own_os!r}")
+    print_table(
+        "OS census visible in the peer list",
+        ["os", "nodes"],
+        list(matcher.os_census().items()),
+    )
+
+    same = matcher.partners(4, similar=True)
+    print_table(
+        "Pastiche-style partners (same OS)",
+        ["node id", "os"],
+        [[hex(p.node_id.value), p.attached_info["os"]] for p in same],
+    )
+
+    diverse = matcher.diversity_set(5)
+    print_table(
+        "Lillibridge-style partners (max OS diversity)",
+        ["node id", "os"],
+        [[hex(p.node_id.value), p.attached_info["os"]] for p in diverse],
+    )
+    oses = [p.attached_info["os"] for p in diverse]
+    assert len(set(oses)) == len(oses)
+    print("\nBoth questions answered locally — no probing, no directory.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""GUESS over PeerWindow (§3): local hit rate vs collected pointers.
+
+The paper's motivating application: GUESS answers queries by probing
+locally-known peers, so its hit rate grows with the number of pointers
+collected.  Here every node attaches its shared-file count to its
+pointers; one node runs queries against progressively larger slices of
+its peer list, regenerating the motivation curve.
+
+Run:  python examples/guess_search.py
+"""
+
+import numpy as np
+
+from repro import PeerWindowNetwork, ProtocolConfig
+from repro.apps.guess import GuessSearch
+from repro.experiments.report import print_table
+from repro.workloads.attached_info import guess_attached_info
+
+
+def main() -> None:
+    n = 120
+    config = ProtocolConfig(id_bits=32, multicast_processing_delay=0.2)
+    net = PeerWindowNetwork(config=config, master_seed=12)
+    rng = np.random.default_rng(0)
+    infos = guess_attached_info(rng, n)
+    keys = net.seed_nodes(
+        [{"threshold_bps": 1e9, "attached_info": infos[i]} for i in range(n)]
+    )
+    net.run(until=20.0)
+
+    node = net.node(keys[0])
+    search = GuessSearch(node, universe=20_000)
+    sharers = len(search.candidates())
+    print(f"{n} nodes seeded; node 0 sees {sharers} peers sharing files "
+          f"({n - 1 - sharers} free riders filtered out)")
+
+    curve = search.hit_rate_vs_list_size(
+        content_keys=range(300),
+        list_sizes=[2, 5, 10, 25, 50, sharers],
+        probe_budget=60,
+    )
+    print_table(
+        "GUESS local hit rate vs pointers available",
+        ["pointers used", "hit rate"],
+        [[size, round(rate, 3)] for size, rate in curve],
+    )
+    rates = [r for _, r in curve]
+    assert rates[-1] >= rates[0]
+    print("\nThe full collected list answers locally what a small routing "
+          "table cannot —\nexactly the paper's pitch for node collection.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+# Legacy shim for offline environments whose pip lacks the `wheel`
+# package (PEP 660 editable installs need it): `python setup.py develop`
+# installs the package without network access.
+from setuptools import setup
+
+setup()

@@ -1,0 +1,89 @@
+"""Backup partner selection from attached-info OS tags (§3, [4][10]).
+
+Two opposite policies, both from the paper's citations:
+
+* **Pastiche** [4] wants partners with *similar* systems (shared files
+  dedupe across identical OS installs) — ``similar=True``;
+* **Lillibridge et al.** [10] want partners with *different* systems
+  (guard against a virus taking out all replicas at once) —
+  ``similar=False``.
+
+Either way the node answers the question locally, from its peer list —
+no probing, no directory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.node import PeerWindowNode
+from repro.core.pointer import Pointer
+
+
+class BackupMatcher:
+    """Find backup partners by OS attached info."""
+
+    def __init__(self, node: PeerWindowNode):
+        self.node = node
+
+    def _os_of(self, pointer: Pointer) -> Optional[str]:
+        info = pointer.attached_info
+        if isinstance(info, dict):
+            value = info.get("os")
+            return str(value) if value is not None else None
+        return None
+
+    @property
+    def own_os(self) -> Optional[str]:
+        info = self.node.attached_info
+        if isinstance(info, dict):
+            return info.get("os")
+        return None
+
+    def partners(self, k: int, similar: bool = True) -> List[Pointer]:
+        """Up to ``k`` partners with the same (``similar=True``) or a
+        different OS.  Deterministic order (id) for reproducibility."""
+        if k < 0:
+            raise ValueError("k must be >= 0")
+        own = self.own_os
+        if own is None:
+            raise ValueError("local node has no 'os' attached info")
+        out = []
+        for p in self.node.peer_list:
+            if p.node_id.value == self.node.node_id.value:
+                continue
+            other = self._os_of(p)
+            if other is None:
+                continue
+            if (other == own) == similar:
+                out.append(p)
+        out.sort(key=lambda p: p.node_id.value)
+        return out[:k]
+
+    def diversity_set(self, k: int) -> List[Pointer]:
+        """Up to ``k`` partners maximizing OS diversity: at most one
+        partner per distinct OS, most-distinct-first ([10]'s policy)."""
+        if k < 0:
+            raise ValueError("k must be >= 0")
+        by_os: Dict[str, Pointer] = {}
+        for p in sorted(self.node.peer_list, key=lambda q: q.node_id.value):
+            if p.node_id.value == self.node.node_id.value:
+                continue
+            os_name = self._os_of(p)
+            if os_name is not None and os_name not in by_os:
+                by_os[os_name] = p
+        own = self.own_os
+        ordered = sorted(
+            by_os.items(), key=lambda kv: (kv[0] == own, kv[0])
+        )  # different-OS entries first
+        return [p for _, p in ordered[:k]]
+
+    def os_census(self) -> Dict[str, int]:
+        """OS population visible in the peer list (query-optimization-style
+        summary, cf. the range-query usage in §3)."""
+        census: Dict[str, int] = {}
+        for p in self.node.peer_list:
+            os_name = self._os_of(p)
+            if os_name is not None:
+                census[os_name] = census.get(os_name, 0) + 1
+        return dict(sorted(census.items()))

@@ -1,0 +1,79 @@
+"""Storage-bidding partner selection (§3, [5]).
+
+Cooper & Garcia-Molina's data-preservation trading needs *"adequate
+bargainers in terms of capacity, availability, physical location,
+bidding price"*.  Nodes advertise a :class:`~repro.workloads.attached_info.BidInfo`
+in their pointers; a buyer scores every visible bid locally and takes
+the best offers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.node import PeerWindowNode
+from repro.core.pointer import Pointer
+from repro.workloads.attached_info import BidInfo
+
+
+def score_bid(
+    bid: BidInfo,
+    need_gb: float,
+    max_price: float,
+    availability_weight: float = 2.0,
+) -> float:
+    """Utility of one bid for a buyer needing ``need_gb`` under
+    ``max_price`` per GB.  Non-viable bids score ``-inf``.
+
+    Viable bids are scored by price headroom plus weighted availability —
+    monotone in both, so tests can verify dominance ordering.
+    """
+    if need_gb <= 0 or max_price <= 0:
+        raise ValueError("need_gb and max_price must be positive")
+    if bid.storage_gb < need_gb or bid.price_per_gb > max_price:
+        return float("-inf")
+    price_headroom = (max_price - bid.price_per_gb) / max_price
+    return price_headroom + availability_weight * bid.availability
+
+
+class BidMatcher:
+    """Score and select storage offers from a node's peer list."""
+
+    def __init__(self, node: PeerWindowNode):
+        self.node = node
+
+    def visible_bids(self) -> List[Tuple[Pointer, BidInfo]]:
+        out = []
+        for p in self.node.peer_list:
+            if p.node_id.value == self.node.node_id.value:
+                continue
+            info = p.attached_info
+            bid: Optional[BidInfo] = None
+            if isinstance(info, dict):
+                candidate = info.get("bid")
+                if isinstance(candidate, BidInfo):
+                    bid = candidate
+            elif isinstance(info, BidInfo):
+                bid = info
+            if bid is not None:
+                out.append((p, bid))
+        return out
+
+    def best_offers(
+        self, need_gb: float, max_price: float, k: int = 3
+    ) -> List[Tuple[Pointer, BidInfo, float]]:
+        """The top ``k`` viable offers, best first (deterministic ties)."""
+        if k < 0:
+            raise ValueError("k must be >= 0")
+        scored = [
+            (p, bid, score_bid(bid, need_gb, max_price))
+            for p, bid in self.visible_bids()
+        ]
+        viable = [row for row in scored if row[2] != float("-inf")]
+        viable.sort(key=lambda row: (-row[2], row[0].node_id.value))
+        return viable[:k]
+
+    def market_depth(self, need_gb: float, max_price: float) -> int:
+        """How many viable counterparties the local list offers — the
+        quantity that grows with peer-list size (PeerWindow's pitch)."""
+        return len(self.best_offers(need_gb, max_price, k=len(self.node.peer_list)))

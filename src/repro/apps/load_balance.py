@@ -1,0 +1,108 @@
+"""Load balancing via peer-list load tags (§3, [6]).
+
+Godfrey et al.'s dynamic load balancing needs heavily-loaded nodes to
+find lightly-loaded ones to shed work onto.  With PeerWindow the
+overloaded node simply scans its peer list's ``load`` attached info —
+the matching is local and immediate.
+
+:class:`LoadBalancer` plans transfers greedily: largest overload pairs
+with the emptiest target first, never pushing a target above the high
+watermark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.node import PeerWindowNode
+from repro.core.pointer import Pointer
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One planned load movement."""
+
+    src_id: int
+    dst_id: int
+    amount: float
+
+    def __post_init__(self) -> None:
+        if self.amount <= 0:
+            raise ValueError("transfer amount must be positive")
+
+
+def _load_of(pointer: Pointer) -> float:
+    info = pointer.attached_info
+    if isinstance(info, dict) and "load" in info:
+        return float(info["load"])
+    return float("nan")
+
+
+class LoadBalancer:
+    """Plan transfers from the view of one node's peer list."""
+
+    def __init__(self, node: PeerWindowNode, high: float = 1.0, low: float = 0.5):
+        if not 0 <= low < high:
+            raise ValueError("need 0 <= low < high")
+        self.node = node
+        self.high = high
+        self.low = low
+
+    def visible_loads(self) -> Dict[int, float]:
+        """(id value -> load) for every peer advertising a load."""
+        out = {}
+        for p in self.node.peer_list:
+            load = _load_of(p)
+            if load == load:  # not NaN
+                out[p.node_id.value] = load
+        return out
+
+    def overloaded(self) -> List[int]:
+        return sorted(
+            (v for v, load in self.visible_loads().items() if load > self.high),
+            key=lambda v: -self.visible_loads()[v],
+        )
+
+    def underloaded(self) -> List[int]:
+        return sorted(
+            (v for v, load in self.visible_loads().items() if load < self.low),
+            key=lambda v: self.visible_loads()[v],
+        )
+
+    def plan(self) -> List[Transfer]:
+        """Greedy matching: move each node's excess above ``high`` into the
+        emptiest targets without raising any target past ``high``."""
+        loads = self.visible_loads()
+        heavy = [(v, loads[v]) for v in loads if loads[v] > self.high]
+        light = [(v, loads[v]) for v in loads if loads[v] < self.low]
+        heavy.sort(key=lambda kv: -kv[1])
+        light.sort(key=lambda kv: kv[1])
+        transfers: List[Transfer] = []
+        li = 0
+        for src, load in heavy:
+            excess = load - self.high
+            while excess > 1e-12 and li < len(light):
+                dst, dst_load = light[li]
+                room = self.high - dst_load
+                if room <= 1e-12:
+                    li += 1
+                    continue
+                amount = min(excess, room)
+                transfers.append(Transfer(src, dst, amount))
+                excess -= amount
+                dst_load += amount
+                light[li] = (dst, dst_load)
+                if self.high - dst_load <= 1e-12:
+                    li += 1
+        return transfers
+
+    def imbalance_before_after(self) -> Dict[str, float]:
+        """Max load before and after applying the plan (a test oracle)."""
+        loads = dict(self.visible_loads())
+        before = max(loads.values(), default=0.0)
+        for t in self.plan():
+            loads[t.src_id] -= t.amount
+            loads[t.dst_id] += t.amount
+        after = max(loads.values(), default=0.0)
+        return {"before": before, "after": after}

@@ -1,0 +1,160 @@
+"""Range-query optimization from attached summaries (§3, Mercury [1]).
+
+Mercury gathers *"load distribution, node-count distribution, and query
+selectivity"* from other nodes to optimize multi-attribute range queries.
+With PeerWindow the same summaries ride in pointers: every node attaches
+a compact per-attribute histogram of the data it stores; a query planner
+then estimates, purely from its peer list,
+
+* the **selectivity** of a range predicate (what fraction of tuples
+  match), and
+* the **node-count** a range query must visit (how many peers hold
+  matching data),
+
+and orders multi-attribute query plans cheapest-first — the §3 promise
+("query optimization") made concrete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.node import PeerWindowNode
+from repro.core.pointer import Pointer
+
+
+@dataclass(frozen=True)
+class AttributeSummary:
+    """A compact equi-width histogram of one attribute's values.
+
+    ``counts[i]`` tuples fall in ``[lo + i*w, lo + (i+1)*w)`` with
+    ``w = (hi - lo) / len(counts)``.  Wire size: one 16-bit count per
+    bucket plus two floats — small enough to ride in a pointer (§3's
+    compression requirement).
+    """
+
+    lo: float
+    hi: float
+    counts: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            raise ValueError("need at least one bucket")
+        if not self.hi > self.lo:
+            raise ValueError("hi must exceed lo")
+        if any(c < 0 for c in self.counts):
+            raise ValueError("counts must be non-negative")
+
+    @classmethod
+    def from_values(
+        cls, values: Sequence[float], lo: float, hi: float, buckets: int = 16
+    ) -> "AttributeSummary":
+        counts, _ = np.histogram(
+            np.asarray(list(values), dtype=float), bins=buckets, range=(lo, hi)
+        )
+        return cls(lo, hi, tuple(int(c) for c in counts))
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+    def estimate_in_range(self, a: float, b: float) -> float:
+        """Expected tuples in ``[a, b)``, with linear interpolation inside
+        partially-covered buckets."""
+        if b <= a:
+            return 0.0
+        width = (self.hi - self.lo) / len(self.counts)
+        out = 0.0
+        for i, count in enumerate(self.counts):
+            blo = self.lo + i * width
+            bhi = blo + width
+            overlap = max(0.0, min(b, bhi) - max(a, blo))
+            if overlap > 0:
+                out += count * overlap / width
+        return out
+
+    def size_bits(self) -> int:
+        return 16 * len(self.counts) + 2 * 32
+
+
+@dataclass(frozen=True)
+class RangePredicate:
+    """``attribute in [lo, hi)``."""
+
+    attribute: str
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if not self.hi > self.lo:
+            raise ValueError("hi must exceed lo")
+
+
+class RangeQueryPlanner:
+    """Selectivity / node-count estimation over a node's peer list."""
+
+    def __init__(self, node: PeerWindowNode):
+        self.node = node
+
+    @staticmethod
+    def make_attached_info(
+        data: Dict[str, Sequence[float]],
+        domains: Dict[str, Tuple[float, float]],
+        buckets: int = 16,
+    ) -> dict:
+        """Summaries for a node's data: ``{"summaries": {attr: hist}}``."""
+        return {
+            "summaries": {
+                attr: AttributeSummary.from_values(
+                    values, domains[attr][0], domains[attr][1], buckets
+                )
+                for attr, values in data.items()
+            }
+        }
+
+    def _summaries(self) -> List[Tuple[Pointer, Dict[str, AttributeSummary]]]:
+        out = []
+        for p in self.node.peer_list:
+            if p.node_id.value == self.node.node_id.value:
+                continue
+            info = p.attached_info
+            if isinstance(info, dict) and isinstance(info.get("summaries"), dict):
+                out.append((p, info["summaries"]))
+        return out
+
+    def selectivity(self, pred: RangePredicate) -> float:
+        """Estimated fraction of all visible tuples matching ``pred``."""
+        matching = 0.0
+        total = 0.0
+        for _, summaries in self._summaries():
+            hist = summaries.get(pred.attribute)
+            if hist is None:
+                continue
+            matching += hist.estimate_in_range(pred.lo, pred.hi)
+            total += hist.total
+        return matching / total if total > 0 else 0.0
+
+    def node_count(self, pred: RangePredicate, min_expected: float = 0.5) -> int:
+        """How many peers are expected to hold matching tuples."""
+        count = 0
+        for _, summaries in self._summaries():
+            hist = summaries.get(pred.attribute)
+            if hist is not None and hist.estimate_in_range(pred.lo, pred.hi) >= min_expected:
+                count += 1
+        return count
+
+    def holders(self, pred: RangePredicate, min_expected: float = 0.5) -> List[Pointer]:
+        out = []
+        for p, summaries in self._summaries():
+            hist = summaries.get(pred.attribute)
+            if hist is not None and hist.estimate_in_range(pred.lo, pred.hi) >= min_expected:
+                out.append(p)
+        return out
+
+    def plan(self, predicates: Sequence[RangePredicate]) -> List[RangePredicate]:
+        """Order a conjunctive multi-attribute query most-selective-first
+        (the classic optimization Mercury's statistics feed)."""
+        return sorted(predicates, key=lambda p: (self.selectivity(p), p.attribute))

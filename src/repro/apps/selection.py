@@ -1,0 +1,46 @@
+"""Powerful-peer selection by level (§3's simplest usage).
+
+*"A simple and direct way is finding powerful nodes by looking at the
+level value in the pointers.  Practical experience shows that nodes with
+higher bandwidth (at high levels in PeerWindow) also tend to stay longer
+and contribute more resources."*  (Remember the footnote: "higher level"
+means *smaller* level value — 0 is the highest.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.node import PeerWindowNode
+from repro.core.pointer import Pointer
+
+
+def powerful_peers(node: PeerWindowNode, k: int) -> List[Pointer]:
+    """The ``k`` most powerful peers visible: smallest level value first,
+    ties broken by id for determinism.  Excludes the node itself."""
+    if k < 0:
+        raise ValueError("k must be >= 0")
+    peers = [
+        p for p in node.peer_list if p.node_id.value != node.node_id.value
+    ]
+    peers.sort(key=lambda p: (p.level, p.node_id.value))
+    return peers[:k]
+
+
+def peers_at_level(node: PeerWindowNode, level: int) -> List[Pointer]:
+    """All visible peers running at exactly ``level``."""
+    if level < 0:
+        raise ValueError("level must be >= 0")
+    return [
+        p
+        for p in node.peer_list
+        if p.level == level and p.node_id.value != node.node_id.value
+    ]
+
+
+def level_census(node: PeerWindowNode) -> Dict[int, int]:
+    """Visible population per level — a node's local view of figure 5."""
+    census: Dict[int, int] = {}
+    for p in node.peer_list:
+        census[p.level] = census.get(p.level, 0) + 1
+    return dict(sorted(census.items()))

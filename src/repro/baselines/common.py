@@ -1,0 +1,71 @@
+"""Common interface for node-collection schemes.
+
+Every scheme answers the two questions the paper's comparison turns on:
+
+* ``pointers_for_bandwidth(W)`` — how many pointers can a node maintain
+  when spending ``W`` bps on collection?
+* ``bandwidth_for_pointers(p)`` — what does maintaining ``p`` pointers
+  cost?
+
+plus a ``useful_message_fraction`` diagnostic (what share of maintenance
+traffic actually updates pointer state — PeerWindow's multicast scores
+~1.0, periodic probing ~0.004 in the intro's example).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class SchemeReport:
+    """One row of the baseline-comparison table."""
+
+    name: str
+    bandwidth_bps: float
+    pointers: float
+    useful_fraction: float
+    heterogeneous: bool
+    autonomic: bool
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "scheme": self.name,
+            "bandwidth_bps": round(self.bandwidth_bps, 1),
+            "pointers": round(self.pointers, 1),
+            "useful_fraction": round(self.useful_fraction, 4),
+            "heterogeneous": self.heterogeneous,
+            "autonomic": self.autonomic,
+        }
+
+
+class CollectionScheme(abc.ABC):
+    """A node-collection/maintenance strategy's analytic cost model."""
+
+    name: str = "abstract"
+    heterogeneous: bool = False
+    autonomic: bool = False
+
+    @abc.abstractmethod
+    def bandwidth_for_pointers(self, pointers: float) -> float:
+        """bps needed to maintain ``pointers`` pointers."""
+
+    @abc.abstractmethod
+    def pointers_for_bandwidth(self, bandwidth_bps: float) -> float:
+        """Pointers maintainable at ``bandwidth_bps``."""
+
+    @abc.abstractmethod
+    def useful_message_fraction(self) -> float:
+        """Fraction of maintenance messages that change pointer state."""
+
+    def report(self, bandwidth_bps: float) -> SchemeReport:
+        return SchemeReport(
+            name=self.name,
+            bandwidth_bps=bandwidth_bps,
+            pointers=self.pointers_for_bandwidth(bandwidth_bps),
+            useful_fraction=self.useful_message_fraction(),
+            heterogeneous=self.heterogeneous,
+            autonomic=self.autonomic,
+        )

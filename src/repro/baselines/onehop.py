@@ -1,0 +1,67 @@
+"""One-hop DHT baseline [7] (Gupta, Liskov, Rodrigues — HotOS IX).
+
+Every node keeps the complete membership (the level-0 PeerWindow state,
+for everyone).  §6's critique, which the model captures: *"one-hop DHT
+treats almost all the nodes as homogeneous peers and costs too much for
+weak nodes when the system is very large and dynamic."*
+
+The maintenance cost per node is the full event stream of the system:
+``N * m / L`` events per second at ``i`` bits each — independent of the
+node's capacity, so a modem node drowns once ``N`` passes a few tens of
+thousands (the bench sweeps exactly that crossover against PeerWindow).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import CollectionScheme
+
+
+class OneHopDHTScheme(CollectionScheme):
+    """Full-membership maintenance, homogeneous across nodes."""
+
+    name = "one-hop-dht"
+    heterogeneous = False
+    autonomic = False
+
+    def __init__(
+        self,
+        n_nodes: float,
+        mean_lifetime_s: float = 3600.0,
+        changes_per_lifetime: float = 3.0,
+        message_bits: float = 1000.0,
+        dissemination_overhead: float = 1.0,
+    ):
+        """``dissemination_overhead`` models the one-hop hierarchy's
+        slice/unit-leader forwarding duplication (>= 1)."""
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if min(mean_lifetime_s, changes_per_lifetime, message_bits) <= 0:
+            raise ValueError("parameters must be positive")
+        if dissemination_overhead < 1:
+            raise ValueError("dissemination_overhead must be >= 1")
+        self.n_nodes = float(n_nodes)
+        self.mean_lifetime_s = mean_lifetime_s
+        self.changes_per_lifetime = changes_per_lifetime
+        self.message_bits = message_bits
+        self.dissemination_overhead = dissemination_overhead
+
+    def per_node_cost_bps(self) -> float:
+        """Every node pays for the full event stream, capacity regardless."""
+        events_per_s = self.n_nodes * self.changes_per_lifetime / self.mean_lifetime_s
+        return events_per_s * self.message_bits * self.dissemination_overhead
+
+    def bandwidth_for_pointers(self, pointers: float) -> float:
+        """The scheme cannot scale its list down: any participation costs
+        the full-membership rate (that *is* the §6 critique)."""
+        if pointers <= 0:
+            return 0.0
+        return self.per_node_cost_bps()
+
+    def pointers_for_bandwidth(self, bandwidth_bps: float) -> float:
+        """All of N if the node can afford the stream; nothing otherwise."""
+        if bandwidth_bps >= self.per_node_cost_bps():
+            return self.n_nodes
+        return 0.0
+
+    def useful_message_fraction(self) -> float:
+        return 1.0 / self.dissemination_overhead

@@ -1,0 +1,241 @@
+"""Command-line interface: regenerate any paper figure from the shell.
+
+::
+
+    python -m repro fig5                    # common-run level distribution
+    python -m repro fig9 --scales 5000 20000 100000
+    python -m repro fig12 --rates 0.1 1 10
+    python -m repro common -n 100000        # figures 5-8 in one run
+    python -m repro predict -n 100000       # closed-form predictions
+    python -m repro baselines               # the intro comparison table
+
+Every command prints the same table the corresponding benchmark prints
+and optionally writes it as CSV (``--csv out.csv``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from dataclasses import replace
+from typing import Iterable, List, Optional, Sequence
+
+from repro.experiments.report import format_table
+from repro.experiments.scalable import ScalableParams, ScalableSim
+from repro.experiments.scenario import COMMON_FULL
+from repro.workloads.lifetime import GnutellaLifetimeDistribution
+
+
+def _emit(args, title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    rows = [list(r) for r in rows]
+    print(f"\n== {title} ==")
+    print(format_table(headers, rows))
+    if args.csv:
+        with open(args.csv, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(headers)
+            writer.writerows(rows)
+        print(f"[wrote {args.csv}]")
+
+
+def _params(args, **overrides) -> ScalableParams:
+    base = replace(
+        COMMON_FULL,
+        n_target=args.nodes,
+        duration_s=args.duration,
+        warmup_s=args.warmup,
+        seed=args.seed,
+    )
+    return replace(base, **overrides) if overrides else base
+
+
+def _run(params: ScalableParams):
+    sim = ScalableSim(
+        params,
+        lifetime_dist=GnutellaLifetimeDistribution(lifetime_rate=params.lifetime_rate),
+    )
+    return sim.run()
+
+
+def cmd_common(args) -> None:
+    result = _run(_params(args))
+    _emit(
+        args,
+        f"common PeerWindow, N={args.nodes:,} (figures 5-8)",
+        ["level", "nodes", "fraction", "mean_list", "min", "max",
+         "error_rate", "in_bps", "out_bps"],
+        [
+            [r.level, r.population, round(r.fraction, 4),
+             round(r.mean_list_size, 1), r.min_list_size, r.max_list_size,
+             round(r.error_rate, 6), round(r.in_bps, 1), round(r.out_bps, 1)]
+            for r in result.rows if r.population > 0
+        ],
+    )
+    print(f"mean error rate: {result.mean_error_rate:.5f}; "
+          f"tree depth mean {result.mean_tree_depth:.1f} max {result.max_tree_depth}; "
+          f"root out-degree {result.mean_root_out_degree:.1f}")
+
+
+def cmd_fig(args) -> None:
+    result = _run(_params(args))
+    fig = args.command
+    if fig == "fig5":
+        _emit(args, "figure 5 — node distribution", ["level", "nodes", "fraction"],
+              [[r.level, r.population, round(r.fraction, 4)]
+               for r in result.rows if r.population > 0])
+        if args.chart:
+            from repro.experiments.plot import level_distribution_chart
+
+            print()
+            print(level_distribution_chart(
+                [(r.level, r.fraction) for r in result.rows if r.population > 0]
+            ))
+    elif fig == "fig6":
+        _emit(args, "figure 6 — peer-list sizes", ["level", "mean", "min", "max"],
+              [[r.level, round(r.mean_list_size, 1), r.min_list_size, r.max_list_size]
+               for r in result.rows if r.population > 0])
+    elif fig == "fig7":
+        _emit(args, "figure 7 — error rates", ["level", "error_rate"],
+              [[r.level, round(r.error_rate, 6)]
+               for r in result.rows if r.population > 0])
+    elif fig == "fig8":
+        _emit(args, "figure 8 — bandwidth", ["level", "in_bps", "out_bps"],
+              [[r.level, round(r.in_bps, 1), round(r.out_bps, 1)]
+               for r in result.rows if r.population > 0])
+
+
+def cmd_fig9_10(args) -> None:
+    rows = []
+    for n in args.scales:
+        result = _run(_params(args, n_target=int(n)))
+        fr = {r.level: r.fraction for r in result.rows if r.population > 0}
+        rows.append([int(n), len(fr), round(fr.get(0, 0.0), 4),
+                     round(result.mean_error_rate, 6)])
+    _emit(args, "figures 9/10 — scale sweep",
+          ["N", "levels", "frac_L0", "mean_error"], rows)
+    if args.chart:
+        from repro.experiments.plot import line_chart
+
+        print()
+        print(line_chart([(r[0], r[3]) for r in rows], title="mean error vs N"))
+
+
+def cmd_fig11_12(args) -> None:
+    rows = []
+    for rate in args.rates:
+        result = _run(_params(args, lifetime_rate=float(rate)))
+        fr = {r.level: r.fraction for r in result.rows if r.population > 0}
+        rows.append([rate, len(fr), round(fr.get(0, 0.0), 4),
+                     round(result.mean_error_rate, 6)])
+    _emit(args, "figures 11/12 — Lifetime_Rate sweep",
+          ["rate", "levels", "frac_L0", "mean_error"], rows)
+    if args.chart:
+        from repro.experiments.plot import line_chart
+
+        print()
+        print(line_chart(
+            [(r[0], r[3]) for r in rows],
+            title="mean error vs Lifetime_Rate (log y — figure 12)",
+            log_y=True,
+        ))
+
+
+def cmd_predict(args) -> None:
+    from repro.experiments.predict import (
+        predict_bps_per_1000_pointers,
+        predict_error_rate,
+        predict_level_distribution,
+        predict_n_levels,
+    )
+
+    dist = predict_level_distribution(args.nodes)
+    _emit(args, f"closed-form level distribution, N={args.nodes:,}",
+          ["level", "fraction"],
+          [[l, round(f, 4)] for l, f in sorted(dist.items())])
+    print(f"predicted levels: {predict_n_levels(args.nodes)}")
+    print(f"predicted mean error rate: {predict_error_rate(args.nodes):.5f}")
+    print(f"input bps per 1000 pointers: {predict_bps_per_1000_pointers():.0f}")
+
+
+def cmd_baselines(args) -> None:
+    from repro.baselines.explicit_probe import ExplicitProbeScheme
+    from repro.baselines.gossip import GossipMulticastScheme
+    from repro.baselines.onehop import OneHopDHTScheme
+    from repro.baselines.random_walk import RandomWalkScheme
+    from repro.core.analytic import CostModel
+
+    pw = CostModel(mean_lifetime_s=3600.0)
+    schemes = [
+        ExplicitProbeScheme(mean_lifetime_s=3600.0),
+        GossipMulticastScheme(redundancy=4.0),
+        OneHopDHTScheme(n_nodes=args.nodes, mean_lifetime_s=3600.0),
+        RandomWalkScheme(mean_lifetime_s=3600.0),
+    ]
+    budgets = [500.0, 5_000.0, 50_000.0]
+    rows = []
+    for w in budgets:
+        rows.append([f"{w:,.0f}", round(pw.pointers_for_bandwidth(w), 1)]
+                    + [round(s.pointers_for_bandwidth(w), 1) for s in schemes])
+    _emit(args, f"pointers per budget (N={args.nodes:,}, L=1h)",
+          ["budget_bps", "peerwindow"] + [s.name for s in schemes], rows)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PeerWindow (ICPP 2005) reproduction — regenerate any paper figure.",
+    )
+    common_opts = argparse.ArgumentParser(add_help=False)
+    common_opts.add_argument("--csv", help="also write the table as CSV")
+    common_opts.add_argument("--chart", action="store_true",
+                             help="also draw a terminal chart")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_sim_args(p):
+        p.add_argument("-n", "--nodes", type=int, default=20_000,
+                       help="system scale (paper: 100000)")
+        p.add_argument("--duration", type=float, default=1200.0,
+                       help="measured seconds after warm-up")
+        p.add_argument("--warmup", type=float, default=400.0)
+        p.add_argument("--seed", type=int, default=1)
+
+    for name, fn in (
+        ("common", cmd_common),
+        ("fig5", cmd_fig), ("fig6", cmd_fig), ("fig7", cmd_fig), ("fig8", cmd_fig),
+    ):
+        p = sub.add_parser(name, parents=[common_opts])
+        add_sim_args(p)
+        p.set_defaults(func=fn)
+
+    p9 = sub.add_parser("fig9", parents=[common_opts], help="scale sweep (also fig10 error column)")
+    add_sim_args(p9)
+    p9.add_argument("--scales", nargs="+", type=int,
+                    default=[5_000, 20_000, 100_000])
+    p9.set_defaults(func=cmd_fig9_10)
+
+    p11 = sub.add_parser("fig11", parents=[common_opts], help="Lifetime_Rate sweep (also fig12 error column)")
+    add_sim_args(p11)
+    p11.add_argument("--rates", nargs="+", type=float,
+                     default=[0.1, 0.5, 1.0, 2.0, 10.0])
+    p11.set_defaults(func=cmd_fig11_12)
+
+    pp = sub.add_parser("predict", parents=[common_opts], help="closed-form predictions (no simulation)")
+    pp.add_argument("-n", "--nodes", type=int, default=100_000)
+    pp.set_defaults(func=cmd_predict)
+
+    pb = sub.add_parser("baselines", parents=[common_opts], help="the intro comparison table")
+    pb.add_argument("-n", "--nodes", type=int, default=100_000)
+    pb.set_defaults(func=cmd_baselines)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

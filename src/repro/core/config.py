@@ -1,0 +1,136 @@
+"""Protocol configuration.
+
+All tunables the paper specifies (and the knobs our ablations sweep) live
+in one frozen dataclass so that an experiment's parameterization is a
+single value that can be logged and compared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict
+
+from repro.core.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """PeerWindow parameters.
+
+    Attributes
+    ----------
+    id_bits:
+        NodeId width.  The paper uses 128; unit tests use small widths so
+        worked examples (figure 1 uses 4-bit ids) stay legible.
+    top_list_size:
+        ``t``, the top-node list length.  Paper: *"Commonly we set t = 8."*
+    probe_interval:
+        Seconds between successor heartbeats in the failure-detection ring
+        (§4.1).  The introduction's cost discussion assumes 30 s probes.
+    probe_timeout:
+        Seconds to wait for a probe ack before counting a miss.
+    probe_misses_to_fail:
+        Consecutive probe misses that declare the successor dead.
+    event_message_bits / heartbeat_bits / ack_bits / pointer_bits:
+        Wire sizes; §5.1 sets event messages to 1,000 bits, the intro uses
+        500-bit heartbeats.
+    multicast_processing_delay:
+        §5.1: *"every medium node delays the message for 1 second that is
+        spent on receiving, calculating and sending."*
+    multicast_attempts:
+        §4.2: *"When a message gets no response after three continuous
+        attempts, the corresponding pointer will be removed ..."*
+    multicast_redundancy:
+        The §2 cost model's ``r``: how many targets each relay contacts
+        per bit position.  1 = the §4.2 tree (each audience member
+        receives once); higher values trade bandwidth for robustness to
+        relay failures mid-dissemination (the "various multicast
+        protocols ... with different efficiency, reliability, and
+        redundancy" knob).
+    multicast_ack_timeout:
+        Seconds to wait for each multicast ack attempt.
+    refresh_multiple / expiry_multiple:
+        §4.6: refresh own state every ``2*LT_l``; expire an m-level pointer
+        after ``3*LT_m`` without refresh.
+    level_check_interval:
+        Autonomic controller cadence (seconds).
+    raise_fraction:
+        Raise the level (grow the list, l -> l-1) when measured cost drops
+        below ``raise_fraction * threshold`` (§2's worked example uses 1/2).
+    report_timeout:
+        Seconds to wait for a report ack before trying another top node.
+    warmup_extra_levels:
+        §4.3 warm-up: join this many levels weaker than the estimate, then
+        raise after the background download.  0 disables warm-up.
+    """
+
+    id_bits: int = 128
+    top_list_size: int = 8
+    probe_interval: float = 30.0
+    probe_timeout: float = 5.0
+    probe_misses_to_fail: int = 1
+    event_message_bits: int = 1000
+    heartbeat_bits: int = 500
+    ack_bits: int = 100
+    pointer_bits: int = 500
+    multicast_processing_delay: float = 1.0
+    multicast_attempts: int = 3
+    multicast_ack_timeout: float = 5.0
+    multicast_redundancy: int = 1
+    refresh_multiple: float = 2.0
+    expiry_multiple: float = 3.0
+    level_check_interval: float = 60.0
+    raise_fraction: float = 0.5
+    report_timeout: float = 10.0
+    warmup_extra_levels: int = 0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.id_bits <= 256:
+            raise ConfigError("id_bits must be in [1, 256]")
+        if self.top_list_size < 1:
+            raise ConfigError("top_list_size must be >= 1")
+        if self.probe_interval <= 0 or self.probe_timeout <= 0:
+            raise ConfigError("probe intervals must be positive")
+        if self.probe_misses_to_fail < 1:
+            raise ConfigError("probe_misses_to_fail must be >= 1")
+        if min(
+            self.event_message_bits,
+            self.heartbeat_bits,
+            self.ack_bits,
+            self.pointer_bits,
+        ) < 1:
+            raise ConfigError("message sizes must be >= 1 bit")
+        if self.multicast_processing_delay < 0:
+            raise ConfigError("multicast_processing_delay must be >= 0")
+        if self.multicast_attempts < 1:
+            raise ConfigError("multicast_attempts must be >= 1")
+        if self.multicast_redundancy < 1:
+            raise ConfigError("multicast_redundancy must be >= 1")
+        if self.multicast_ack_timeout <= 0 or self.report_timeout <= 0:
+            raise ConfigError("timeouts must be positive")
+        if self.refresh_multiple <= 0 or self.expiry_multiple <= 0:
+            raise ConfigError("refresh/expiry multiples must be positive")
+        if self.expiry_multiple <= self.refresh_multiple:
+            raise ConfigError(
+                "expiry_multiple must exceed refresh_multiple or live "
+                "pointers would expire between refreshes"
+            )
+        if self.level_check_interval <= 0:
+            raise ConfigError("level_check_interval must be positive")
+        if not 0.0 < self.raise_fraction < 1.0:
+            raise ConfigError("raise_fraction must be in (0, 1)")
+        if self.warmup_extra_levels < 0:
+            raise ConfigError("warmup_extra_levels must be >= 0")
+
+    def with_(self, **kwargs: Any) -> "ProtocolConfig":
+        """A modified copy (convenience wrapper over dataclasses.replace)."""
+        return replace(self, **kwargs)
+
+    def describe(self) -> Dict[str, Any]:
+        from dataclasses import asdict
+
+        return asdict(self)
+
+
+#: The configuration used by the paper's common experiment (§5.1).
+PAPER_COMMON_CONFIG = ProtocolConfig()

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the PeerWindow core."""
+
+from __future__ import annotations
+
+
+class PeerWindowError(Exception):
+    """Base class for all PeerWindow protocol errors."""
+
+
+class ConfigError(PeerWindowError, ValueError):
+    """Invalid protocol configuration."""
+
+
+class NodeIdError(PeerWindowError, ValueError):
+    """Malformed node identifier or bit index."""
+
+
+class MembershipError(PeerWindowError):
+    """Peer-list/pointer bookkeeping violation (duplicate add, missing
+    remove target, prefix mismatch)."""
+
+
+class JoinError(PeerWindowError):
+    """The joining handshake could not complete (no bootstrap, no
+    reachable top node, download failure)."""
+
+
+class NotAliveError(PeerWindowError):
+    """Operation on a node that has left or crashed."""

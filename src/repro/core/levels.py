@@ -1,0 +1,82 @@
+"""Autonomic level control (§2, §4.3).
+
+Each node has a user-set upper bandwidth threshold ``W`` and measures its
+actual maintenance cost ``w`` (EWMA of input bandwidth).  The controller:
+
+* **lowers** the level (l -> l+1, peer list halves) when ``w > W`` —
+  the node can no longer afford its level;
+* **raises** the level (l -> l-1, peer list doubles) when
+  ``w < raise_fraction * W`` (the paper's worked example uses 1/2: a
+  modem node at 5 kbps raises when cost drops below 2.5 kbps) — the
+  environment turned stable and the node can collect more.
+
+Raising requires first downloading the newly-covered pointers from a
+*stronger* node (§4.3); lowering just evicts out-of-prefix pointers.
+Either way the node reports the level-change event to a top node, which
+multicasts it around the audience set.
+
+The controller also enforces a hold-down (one shift per check interval,
+and never immediately reversing) so that measurement noise does not make
+levels flap — the hysteresis between ``raise_fraction * W`` and ``W``
+provides the static margin.
+"""
+
+from __future__ import annotations
+
+import enum
+from repro.core.config import ProtocolConfig
+
+
+class LevelDecision(enum.Enum):
+    HOLD = "hold"
+    RAISE = "raise"  # l -> l-1, bigger peer list (higher level)
+    LOWER = "lower"  # l -> l+1, smaller peer list (lower level)
+
+
+class LevelController:
+    """Pure decision logic; the node executes the shifts."""
+
+    def __init__(self, config: ProtocolConfig, threshold_bps: float):
+        if threshold_bps <= 0:
+            raise ValueError("threshold must be positive")
+        self.config = config
+        self.threshold_bps = float(threshold_bps)
+        self._last_decision = LevelDecision.HOLD
+        self.raises = 0
+        self.lowers = 0
+
+    def decide(self, level: int, measured_bps: float) -> LevelDecision:
+        """One control step.  ``measured_bps`` is the EWMA input cost."""
+        if measured_bps < 0:
+            raise ValueError("measured_bps must be >= 0")
+        decision = LevelDecision.HOLD
+        if measured_bps > self.threshold_bps:
+            if level < 10_000:  # no practical upper bound; guard overflow
+                decision = LevelDecision.LOWER
+        elif measured_bps < self.config.raise_fraction * self.threshold_bps:
+            if level > 0:
+                decision = LevelDecision.RAISE
+        # Anti-flap: never immediately reverse the previous shift.
+        if (
+            decision is LevelDecision.RAISE
+            and self._last_decision is LevelDecision.LOWER
+        ) or (
+            decision is LevelDecision.LOWER
+            and self._last_decision is LevelDecision.RAISE
+        ):
+            self._last_decision = LevelDecision.HOLD
+            return LevelDecision.HOLD
+        self._last_decision = decision
+        if decision is LevelDecision.RAISE:
+            self.raises += 1
+        elif decision is LevelDecision.LOWER:
+            self.lowers += 1
+        return decision
+
+    def set_threshold(self, threshold_bps: float) -> None:
+        """The user re-tunes the knob at runtime (§4.3: level adjustment
+        can be *"due to ... the upper bandwidth threshold set by the
+        user"*)."""
+        if threshold_bps <= 0:
+            raise ValueError("threshold must be positive")
+        self.threshold_bps = float(threshold_bps)

@@ -1,0 +1,170 @@
+"""The peer list: a node's collection of pointers.
+
+Backing structure: a dict (id value -> :class:`~repro.core.pointer.Pointer`)
+for O(1) lookup plus a bisect-maintained sorted id array for the two
+order-dependent queries the protocol makes:
+
+* the failure-detection ring successor — *"the node whose nodeId is just
+  larger"* within the owner's eigenstring group (§4.1, figure 3);
+* deterministic iteration for multicast candidate scans.
+
+Inserts/deletes are O(n) array moves; peer lists in the detailed engine
+are at most a few thousand entries and churn events are comparatively
+rare, so this beats tree structures in practice (see the engine benchmark
+``bench_peerlist_ops``).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import Iterator, List, Optional
+
+from repro.core.audience import in_peer_list
+from repro.core.errors import MembershipError
+from repro.core.nodeid import NodeId
+from repro.core.pointer import Pointer
+
+
+class PeerList:
+    """Pointer container owned by one node.
+
+    The owner's own pointer is stored too (a node trivially "collects"
+    itself; keeping it uniform simplifies ring arithmetic).
+    """
+
+    def __init__(self, owner_id: NodeId, owner_level: int):
+        self.owner_id = owner_id
+        self.owner_level = owner_level
+        self._by_id: dict[int, Pointer] = {}
+        self._sorted_ids: List[int] = []
+
+    # -- basic container ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __contains__(self, node_id: NodeId) -> bool:
+        return node_id.value in self._by_id
+
+    def __iter__(self) -> Iterator[Pointer]:
+        """Pointers in ascending id order (deterministic)."""
+        by_id = self._by_id
+        return (by_id[v] for v in self._sorted_ids)
+
+    def get(self, node_id: NodeId) -> Optional[Pointer]:
+        return self._by_id.get(node_id.value)
+
+    def ids(self) -> List[int]:
+        """Sorted id values (snapshot copy)."""
+        return list(self._sorted_ids)
+
+    def add(self, pointer: Pointer, strict: bool = True) -> bool:
+        """Insert or update a pointer.
+
+        With ``strict`` (default) the pointer must belong in this peer list
+        — share the owner's first ``owner_level`` bits — otherwise
+        :class:`MembershipError` is raised; the protocol never legitimately
+        stores out-of-prefix pointers.  Returns True if the entry is new.
+        """
+        if strict and not in_peer_list(self.owner_id, self.owner_level, pointer.node_id):
+            raise MembershipError(
+                f"pointer {pointer.node_id!r} outside owner prefix "
+                f"(owner level {self.owner_level})"
+            )
+        value = pointer.node_id.value
+        is_new = value not in self._by_id
+        self._by_id[value] = pointer
+        if is_new:
+            insort(self._sorted_ids, value)
+        return is_new
+
+    def remove(self, node_id: NodeId) -> Optional[Pointer]:
+        """Remove and return the pointer, or None if absent."""
+        pointer = self._by_id.pop(node_id.value, None)
+        if pointer is not None:
+            idx = bisect_left(self._sorted_ids, node_id.value)
+            # idx is exact: the value was present.
+            self._sorted_ids.pop(idx)
+        return pointer
+
+    def clear(self) -> None:
+        self._by_id.clear()
+        self._sorted_ids.clear()
+
+    # -- level changes ----------------------------------------------------------
+
+    def retarget(self, new_level: int) -> List[Pointer]:
+        """Change the owner's level, evicting pointers that fall outside the
+        new (longer) prefix.  Returns the evicted pointers.  Lowering the
+        level value (raising the level) never evicts; the caller is
+        responsible for downloading the newly-covered pointers (§4.3).
+        """
+        if new_level < 0 or new_level > self.owner_id.bits:
+            raise MembershipError(f"invalid level {new_level}")
+        self.owner_level = new_level
+        evicted = [
+            p
+            for p in self._by_id.values()
+            if not in_peer_list(self.owner_id, new_level, p.node_id)
+        ]
+        for p in evicted:
+            self.remove(p.node_id)
+        return evicted
+
+    # -- ring / group queries ------------------------------------------------
+
+    def group_members(self, level: Optional[int] = None) -> List[Pointer]:
+        """Pointers in the owner's eigenstring group: same level as the
+        owner (all peer-list entries already share the prefix)."""
+        lvl = self.owner_level if level is None else level
+        return [p for p in self if p.level == lvl]
+
+    def ring_successor(self, of_id: NodeId) -> Optional[Pointer]:
+        """The failure-detection target: the group member whose id is
+        *just larger* than ``of_id``, wrapping around (§4.1).  Returns None
+        when the group has no other member."""
+        group = self.group_members()
+        candidates = [p for p in group if p.node_id.value != of_id.value]
+        if not candidates:
+            return None
+        larger = [p for p in candidates if p.node_id.value > of_id.value]
+        pool = larger if larger else candidates
+        return min(pool, key=lambda p: p.node_id.value)
+
+    # -- multicast candidate scan ---------------------------------------------
+
+    def multicast_candidates(
+        self,
+        local_id: NodeId,
+        subject_id: NodeId,
+        bit: int,
+    ) -> List[Pointer]:
+        """Candidates for multicast step ``bit`` (§4.2, figure 4):
+        audience members of ``subject_id`` in this peer list whose ids share
+        the local node's first ``bit`` bits and differ at bit ``bit``.
+
+        The subject itself and the local node are excluded.
+        """
+        out: List[Pointer] = []
+        local_value = local_id.value
+        subject_value = subject_id.value
+        for p in self._by_id.values():
+            pid = p.node_id
+            if pid.value == local_value or pid.value == subject_value:
+                continue
+            if not pid.shares_prefix(local_id, bit):
+                continue
+            if pid.bit(bit) == local_id.bit(bit):
+                continue
+            # Audience membership: p's eigenstring is a prefix of subject.
+            if not pid.shares_prefix(subject_id, p.level):
+                continue
+            out.append(p)
+        return out
+
+    def strongest(self, pointers: List[Pointer]) -> Optional[Pointer]:
+        """Highest-level (minimum level value) pointer; ties broken by the
+        smaller id for determinism.  None for an empty list."""
+        if not pointers:
+            return None
+        return min(pointers, key=lambda p: (p.level, p.node_id.value))

@@ -1,0 +1,61 @@
+"""Pointers: what one node knows about another.
+
+§2: *"A pointer consists of the corresponding node's IP address, nodeId,
+level, and a piece of attached info that can be specified by upper
+applications."*
+
+We additionally carry two timestamps used by the accuracy machinery
+(§4.6): when the pointer's node was first seen joining (for lifetime
+measurement) and when the pointer was last refreshed (for expiry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Hashable, Optional
+
+from repro.core.errors import NodeIdError
+from repro.core.nodeid import NodeId, eigenstring
+
+
+@dataclass
+class Pointer:
+    """A peer-list entry.
+
+    ``address`` stands in for the IP address — it is the transport key of
+    the node (any hashable).  ``attached_info`` is application data (§3).
+    """
+
+    node_id: NodeId
+    address: Hashable
+    level: int
+    attached_info: Any = None
+    #: Simulated time the node was observed joining (None if unknown, e.g.
+    #: the pointer arrived via a bulk download rather than a join event).
+    seen_join_time: Optional[float] = None
+    #: Last time a state multicast about this node was received (§4.6).
+    last_refresh: float = 0.0
+    #: Monotone per-subject sequence number of the last applied event,
+    #: guarding against out-of-order multicast application.
+    last_event_seq: int = -1
+
+    def __post_init__(self) -> None:
+        if self.level < 0:
+            raise NodeIdError("pointer level must be >= 0")
+        if self.level > self.node_id.bits:
+            raise NodeIdError(
+                f"pointer level {self.level} exceeds id width {self.node_id.bits}"
+            )
+
+    @property
+    def eigenstring(self) -> str:
+        return eigenstring(self.node_id, self.level)
+
+    def copy(self, **overrides: Any) -> "Pointer":
+        return replace(self, **overrides)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Pointer(id={self.node_id.bitstring() if self.node_id.bits <= 16 else hex(self.node_id.value)},"
+            f" level={self.level}, addr={self.address!r})"
+        )

@@ -1,0 +1,374 @@
+"""The detailed-engine harness: a whole PeerWindow system in one object.
+
+:class:`PeerWindowNetwork` owns the simulator, the topology, the transport
+and every :class:`~repro.core.node.PeerWindowNode`; it provides:
+
+* **seeding** — install an initial population with consistent peer lists,
+  top-node lists, parts and levels (the paper likewise first *creates* its
+  100,000 nodes, then churns them);
+* **protocol joins/leaves/crashes** at runtime;
+* **ground-truth measurement** — per-level peer-list error rates (stale +
+  absent entries vs. the oracle list), level histograms, peer-list sizes
+  and bandwidth by level: the quantities of figures 5-8 at detailed-engine
+  scale.
+
+The harness is the integration surface the examples and most integration
+tests use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.analytic import CostModel
+from repro.core.config import ProtocolConfig
+from repro.core.errors import JoinError
+from repro.core.node import PeerWindowNode
+from repro.core.nodeid import NodeId, eigenstring
+from repro.net.latency import UniformLatencyModel
+from repro.net.topology import Topology
+from repro.net.transport import Transport
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+
+#: A seed spec: a bare threshold, or (threshold, node_id), or a full dict.
+SeedSpec = Union[float, Tuple[float, NodeId], Dict[str, Any]]
+
+
+@dataclass
+class LevelReport:
+    """Per-level aggregate of a network snapshot."""
+
+    level: int
+    count: int = 0
+    peer_list_sizes: List[int] = field(default_factory=list)
+    error_rates: List[float] = field(default_factory=list)
+    in_bps: List[float] = field(default_factory=list)
+    out_bps: List[float] = field(default_factory=list)
+
+    def mean_error(self) -> float:
+        return float(np.mean(self.error_rates)) if self.error_rates else 0.0
+
+    def mean_size(self) -> float:
+        return float(np.mean(self.peer_list_sizes)) if self.peer_list_sizes else 0.0
+
+
+class PeerWindowNetwork:
+    """A simulated PeerWindow deployment."""
+
+    def __init__(
+        self,
+        config: Optional[ProtocolConfig] = None,
+        topology: Optional[Topology] = None,
+        master_seed: int = 0,
+        loss_rate: float = 0.0,
+        sim: Optional[Simulator] = None,
+    ):
+        """``sim`` lets a caller embed the network in an externally-owned
+        simulator — e.g. one logical process of the ONSP-style
+        :class:`~repro.sim.parallel.ParallelSimulator` (split PeerWindow
+        parts are mutually independent, so one part per LP is the natural
+        partition; see ``examples/onsp_parallel.py``)."""
+        self.config = config if config is not None else ProtocolConfig()
+        self.streams = RandomStreams(master_seed)
+        self.sim = sim if sim is not None else Simulator()
+        self.topology = (
+            topology
+            if topology is not None
+            else UniformLatencyModel(latency=0.05, rng=self.streams.get("topology"))
+        )
+        self.transport = Transport(
+            self.sim,
+            self.topology,
+            loss_rate=loss_rate,
+            rng=self.streams.get("transport"),
+        )
+        self.nodes: Dict[Hashable, PeerWindowNode] = {}
+        self._next_key = 0
+        self._id_rng = self.streams.get("nodeids")
+
+    # ------------------------------------------------------------------
+    # population management
+    # ------------------------------------------------------------------
+
+    def _alloc(self, node_id: Optional[NodeId]) -> Tuple[int, NodeId]:
+        key = self._next_key
+        self._next_key += 1
+        if node_id is None:
+            node_id = NodeId.random(self._id_rng, self.config.id_bits)
+            while any(
+                n.node_id.value == node_id.value for n in self.nodes.values()
+            ):  # pragma: no cover - astronomically rare at 128 bits
+                node_id = NodeId.random(self._id_rng, self.config.id_bits)
+        return key, node_id
+
+    def _make_node(
+        self,
+        node_id: Optional[NodeId],
+        threshold_bps: float,
+        attached_info: Any = None,
+    ) -> PeerWindowNode:
+        key, nid = self._alloc(node_id)
+        node = PeerWindowNode(
+            sim=self.sim,
+            transport=self.transport,
+            config=self.config,
+            node_id=nid,
+            address=key,
+            threshold_bps=threshold_bps,
+            rng=self.streams.spawn("node", key),
+            attached_info=attached_info,
+            on_left=self._node_left,
+        )
+        self.nodes[key] = node
+        return node
+
+    def _node_left(self, node: PeerWindowNode) -> None:
+        self.nodes.pop(node.address, None)
+
+    def live_nodes(self) -> List[PeerWindowNode]:
+        return [n for n in self.nodes.values() if n.alive]
+
+    def node(self, key: Hashable) -> PeerWindowNode:
+        return self.nodes[key]
+
+    # -- seeding -----------------------------------------------------------
+
+    def seed_nodes(
+        self,
+        specs: Sequence[SeedSpec],
+        mean_lifetime_s: float = 3600.0,
+        changes_per_lifetime: float = 3.0,
+        forced_level: Optional[int] = None,
+    ) -> List[Hashable]:
+        """Install an initial population.
+
+        Levels are assigned with the §2 cost model (the stationary point of
+        the autonomic controller), peer lists are built from ground truth,
+        and top-node lists point at ``t`` random top nodes of each node's
+        part.  Returns the node keys in spec order.
+        """
+        if self.nodes:
+            raise JoinError("seed_nodes requires an empty network")
+        model = CostModel(
+            mean_lifetime_s=mean_lifetime_s,
+            changes_per_lifetime=changes_per_lifetime,
+            message_bits=self.config.event_message_bits,
+        )
+        normalized: List[Dict[str, Any]] = []
+        for spec in specs:
+            if isinstance(spec, dict):
+                normalized.append(dict(spec))
+            elif isinstance(spec, tuple):
+                normalized.append({"threshold_bps": spec[0], "node_id": spec[1]})
+            else:
+                normalized.append({"threshold_bps": float(spec)})
+        n = len(normalized)
+        created: List[PeerWindowNode] = []
+        for spec in normalized:
+            node = self._make_node(
+                spec.get("node_id"),
+                spec["threshold_bps"],
+                attached_info=spec.get("attached_info"),
+            )
+            if forced_level is not None:
+                node.level = forced_level
+            elif "level" in spec:
+                node.level = int(spec["level"])
+            else:
+                node.level = min(
+                    model.min_affordable_level(n, spec["threshold_bps"]),
+                    self.config.id_bits,
+                )
+            created.append(node)
+
+        # Part structure: the shortest existing eigenstring that prefixes
+        # each node's id.
+        eigen = sorted({eigenstring(nd.node_id, nd.level) for nd in created}, key=len)
+        part_of: Dict[int, str] = {}
+        for nd in created:
+            bitstr = nd.node_id.bitstring()
+            for e in eigen:
+                if bitstr.startswith(e):
+                    part_of[nd.node_id.value] = e
+                    break
+        parts: Dict[str, List[PeerWindowNode]] = {}
+        for nd in created:
+            parts.setdefault(part_of[nd.node_id.value], []).append(nd)
+        tops_by_part = {
+            prefix: [nd for nd in members if nd.level == len(prefix)]
+            for prefix, members in parts.items()
+        }
+
+        rng = self.streams.get("seeding")
+        pointer_of = {nd.node_id.value: nd.self_pointer() for nd in created}
+        for nd in created:
+            peers = [
+                pointer_of[other.node_id.value]
+                for other in created
+                if other.node_id.shares_prefix(nd.node_id, nd.level)
+                and other.node_id.value != nd.node_id.value
+            ]
+            part_prefix = part_of[nd.node_id.value]
+            tops = tops_by_part[part_prefix]
+            pool = [pointer_of[t.node_id.value] for t in tops]
+            chosen = (
+                list(pool)
+                if len(pool) <= self.config.top_list_size
+                else [pool[i] for i in rng.choice(len(pool), self.config.top_list_size, replace=False)]
+            )
+            is_top = nd.level == len(part_prefix)
+            nd.install(nd.level, peers, chosen, is_top)
+            if is_top:
+                for other_prefix, other_tops in tops_by_part.items():
+                    if other_prefix == part_prefix or not other_tops:
+                        continue
+                    other_pool = [pointer_of[t.node_id.value] for t in other_tops]
+                    take = min(len(other_pool), self.config.top_list_size)
+                    idx = rng.choice(len(other_pool), take, replace=False)
+                    nd.cross_parts.merge(other_prefix, [other_pool[i] for i in idx])
+        return [nd.address for nd in created]
+
+    # -- runtime population changes ---------------------------------------------
+
+    def add_first_node(
+        self, threshold_bps: float, node_id: Optional[NodeId] = None, level: int = 0
+    ) -> Hashable:
+        node = self._make_node(node_id, threshold_bps)
+        node.bootstrap_first(level)
+        return node.address
+
+    def add_node(
+        self,
+        threshold_bps: float,
+        bootstrap: Hashable,
+        node_id: Optional[NodeId] = None,
+        attached_info: Any = None,
+        on_done: Optional[Callable[[bool], None]] = None,
+    ) -> Hashable:
+        """Protocol join through ``bootstrap``; returns the new key
+        immediately (the handshake completes asynchronously)."""
+        node = self._make_node(node_id, threshold_bps, attached_info)
+        node.join_via(bootstrap, on_done=on_done)
+        return node.address
+
+    def leave(self, key: Hashable) -> None:
+        self.nodes[key].leave()
+
+    def crash(self, key: Hashable) -> None:
+        self.nodes[key].crash()
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        return self.sim.run(until=until, max_events=max_events)
+
+    # ------------------------------------------------------------------
+    # ground-truth measurement
+    # ------------------------------------------------------------------
+
+    def oracle_peer_ids(self, node: PeerWindowNode) -> set:
+        """The correct peer list of ``node``: ids of all live nodes sharing
+        its first ``level`` bits (including itself)."""
+        return {
+            other.node_id.value
+            for other in self.live_nodes()
+            if other.node_id.shares_prefix(node.node_id, node.level)
+        }
+
+    def node_error_rate(self, node: PeerWindowNode) -> float:
+        """(stale + absent) / correct for one node's peer list."""
+        correct = self.oracle_peer_ids(node)
+        actual = set(node.peer_list.ids())
+        stale = len(actual - correct)
+        absent = len(correct - actual)
+        if not correct:
+            return 0.0
+        return (stale + absent) / len(correct)
+
+    def level_reports(self) -> Dict[int, LevelReport]:
+        """Figures 5-8 at detailed-engine scale: per-level population,
+        peer-list size, error rate, and in/out bandwidth."""
+        now = self.sim.now
+        reports: Dict[int, LevelReport] = {}
+        for node in self.live_nodes():
+            rep = reports.setdefault(node.level, LevelReport(node.level))
+            rep.count += 1
+            rep.peer_list_sizes.append(len(node.peer_list))
+            rep.error_rates.append(self.node_error_rate(node))
+            rep.in_bps.append(node.endpoint.bw_in.lifetime_rate(now))
+            rep.out_bps.append(node.endpoint.bw_out.lifetime_rate(now))
+        return dict(sorted(reports.items()))
+
+    def level_histogram(self) -> Dict[int, int]:
+        hist: Dict[int, int] = {}
+        for node in self.live_nodes():
+            hist[node.level] = hist.get(node.level, 0) + 1
+        return dict(sorted(hist.items()))
+
+    def mean_error_rate(self) -> float:
+        live = self.live_nodes()
+        if not live:
+            return 0.0
+        return float(np.mean([self.node_error_rate(n) for n in live]))
+
+    def stats_summary(self) -> Dict[str, float]:
+        """Network-wide protocol counters summed over live nodes, plus
+        transport totals — the one-call health dump."""
+        from dataclasses import asdict
+
+        totals: Dict[str, float] = {}
+        for node in self.live_nodes():
+            for key, value in asdict(node.stats).items():
+                totals[key] = totals.get(key, 0) + value
+        totals["live_nodes"] = len(self.live_nodes())
+        totals["mean_error_rate"] = self.mean_error_rate()
+        for key, value in self.transport.stats().items():
+            if isinstance(value, (int, float)):
+                totals[f"transport_{key}"] = value
+        return totals
+
+    # -- live monitoring --------------------------------------------------
+
+    def enable_monitoring(self, interval: float = 30.0) -> Dict[str, Any]:
+        """Record population / error-rate / level-count time series every
+        ``interval`` simulated seconds.  Returns the dict of
+        :class:`~repro.sim.monitor.TimeSeries` (live — it fills as the
+        simulation runs); calling again replaces the previous monitor.
+        """
+        from repro.sim.monitor import TimeSeries
+
+        series = {
+            "population": TimeSeries("population"),
+            "mean_error_rate": TimeSeries("mean_error_rate"),
+            "n_levels": TimeSeries("n_levels"),
+        }
+
+        def sample() -> None:
+            now = self.sim.now
+            live = self.live_nodes()
+            series["population"].record(now, float(len(live)))
+            series["mean_error_rate"].record(now, self.mean_error_rate())
+            series["n_levels"].record(now, float(len(self.level_histogram())))
+
+        if getattr(self, "_monitor_task", None) is not None:
+            self._monitor_task.cancel()
+        self._monitor_task = self.sim.every(interval, sample, start_delay=0.0)
+        self.monitor_series = series
+        return series
+
+    def parts(self) -> Dict[str, int]:
+        """Current part structure (prefix -> population), from the oracle
+        part rule of DESIGN.md §6."""
+        live = self.live_nodes()
+        eigen = sorted({n.eigenstring for n in live}, key=len)
+        out: Dict[str, int] = {}
+        for n in live:
+            bitstr = n.node_id.bitstring()
+            for e in eigen:
+                if bitstr.startswith(e):
+                    out[e] = out.get(e, 0) + 1
+                    break
+        return dict(sorted(out.items()))

@@ -1,0 +1,91 @@
+"""Experiment harness: the §5 evaluation, reproduced.
+
+* :mod:`~repro.experiments.scalable` — the 100,000-node engine built on
+  the paper's own centralized-bookkeeping trick.
+* :mod:`~repro.experiments.figures` — one entry point per paper figure
+  (5-12), returning the rows the figure plots.
+* :mod:`~repro.experiments.scenario` — named parameter presets
+  (``REPRO_FULL=1`` switches benches to paper scale).
+* :mod:`~repro.experiments.ablation` — design-choice ablations.
+* :mod:`~repro.experiments.report` — ASCII table rendering for benches.
+"""
+
+from repro.experiments.figures import (
+    SweepPoint,
+    clear_cache,
+    fig5_node_distribution,
+    fig6_peer_list_sizes,
+    fig7_error_rates,
+    fig8_bandwidth,
+    fig9_scalability_levels,
+    fig10_scalability_error,
+    fig11_adaptivity_levels,
+    fig12_adaptivity_error,
+    run_scenario,
+)
+from repro.experiments.predict import (
+    predict_error_rate,
+    predict_level_distribution,
+    predict_n_levels,
+)
+from repro.experiments.plot import (
+    bar_chart,
+    level_distribution_chart,
+    line_chart,
+    sparkline,
+)
+from repro.experiments.report import format_table, print_table
+from repro.experiments.stats import MetricSummary, compare, replicate, summarize_metric
+from repro.experiments.scalable import (
+    LevelRow,
+    ScalableParams,
+    ScalableResult,
+    ScalableSim,
+    binomial_broadcast,
+)
+from repro.experiments.scenario import (
+    COMMON_FAST,
+    COMMON_FULL,
+    common_params,
+    full_scale,
+    lifetime_rates,
+    scale_sweep,
+)
+
+__all__ = [
+    "COMMON_FAST",
+    "COMMON_FULL",
+    "LevelRow",
+    "ScalableParams",
+    "ScalableResult",
+    "ScalableSim",
+    "SweepPoint",
+    "binomial_broadcast",
+    "clear_cache",
+    "common_params",
+    "fig10_scalability_error",
+    "fig11_adaptivity_levels",
+    "fig12_adaptivity_error",
+    "fig5_node_distribution",
+    "fig6_peer_list_sizes",
+    "fig7_error_rates",
+    "fig8_bandwidth",
+    "fig9_scalability_levels",
+    "MetricSummary",
+    "bar_chart",
+    "compare",
+    "level_distribution_chart",
+    "line_chart",
+    "sparkline",
+    "format_table",
+    "full_scale",
+    "predict_error_rate",
+    "predict_level_distribution",
+    "predict_n_levels",
+    "replicate",
+    "summarize_metric",
+    "lifetime_rates",
+    "print_table",
+    "run_scenario",
+    "scale_sweep",
+]

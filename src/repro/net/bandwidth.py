@@ -1,0 +1,97 @@
+"""Bandwidth metering.
+
+Two meters are provided:
+
+* :class:`BandwidthMeter` — cumulative bits with windowed rate queries;
+  cheap enough to attach one (in + out) to every simulated node.
+* :class:`EwmaRateMeter` — exponentially-weighted moving average of the
+  bit rate; this is what the autonomic level controller (§2, §4.3) reads:
+  *"its current bandwidth cost ... that is dynamically measured"*.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Tuple
+
+
+class BandwidthMeter:
+    """Cumulative + sliding-window bit accounting.
+
+    ``record(now, bits)`` on every send/receive; ``rate(now)`` returns the
+    average bit rate over the trailing ``window`` seconds (events older
+    than the window are evicted lazily).
+    """
+
+    __slots__ = ("window", "total_bits", "t0", "_events")
+
+    def __init__(self, window: float = 60.0, t0: float = 0.0):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = float(window)
+        self.total_bits = 0.0
+        self.t0 = t0
+        self._events: Deque[Tuple[float, float]] = deque()
+
+    def record(self, now: float, bits: float) -> None:
+        if bits < 0:
+            raise ValueError("bits must be non-negative")
+        self.total_bits += bits
+        self._events.append((now, bits))
+        self._evict(now)
+
+    def _evict(self, now: float) -> None:
+        cutoff = now - self.window
+        events = self._events
+        while events and events[0][0] < cutoff:
+            events.popleft()
+
+    def rate(self, now: float) -> float:
+        """Bits per second over the trailing window."""
+        self._evict(now)
+        if not self._events:
+            return 0.0
+        return sum(b for _, b in self._events) / self.window
+
+    def lifetime_rate(self, now: float) -> float:
+        """Bits per second averaged since construction."""
+        elapsed = now - self.t0
+        if elapsed <= 0:
+            return 0.0
+        return self.total_bits / elapsed
+
+
+class EwmaRateMeter:
+    """EWMA bit-rate estimate with continuous-time decay.
+
+    The estimate decays as ``exp(-dt / tau)`` between samples; a burst of
+    ``bits`` contributes ``bits / tau`` to the instantaneous rate.  With
+    ``tau`` around tens of seconds this tracks "current bandwidth cost"
+    the way a node would measure it online.
+    """
+
+    __slots__ = ("tau", "_rate", "_last_t")
+
+    def __init__(self, tau: float = 60.0, t0: float = 0.0):
+        if tau <= 0:
+            raise ValueError("tau must be positive")
+        self.tau = float(tau)
+        self._rate = 0.0
+        self._last_t = t0
+
+    def record(self, now: float, bits: float) -> None:
+        if bits < 0:
+            raise ValueError("bits must be non-negative")
+        self._decay(now)
+        self._rate += bits / self.tau
+
+    def _decay(self, now: float) -> None:
+        dt = now - self._last_t
+        if dt > 0:
+            self._rate *= math.exp(-dt / self.tau)
+            self._last_t = now
+
+    def rate(self, now: float) -> float:
+        self._decay(now)
+        return self._rate

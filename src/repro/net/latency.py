@@ -1,0 +1,65 @@
+"""Simple latency models for tests and baselines.
+
+The headline experiments use the transit-stub model
+(:mod:`repro.net.transit_stub`); these lightweight alternatives keep unit
+tests fast and give baselines a topology-independent footing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+import numpy as np
+
+from repro.net.topology import Topology
+
+
+class UniformLatencyModel(Topology):
+    """Every pair of distinct nodes is ``latency`` seconds apart.
+
+    Optionally jittered: with ``jitter > 0`` each *pair* gets a stable
+    multiplicative factor drawn from ``U[1-jitter, 1+jitter]`` — stable so
+    that repeated queries for the same pair agree (triangle inequality is
+    not guaranteed, matching real internet measurements).
+    """
+
+    def __init__(
+        self,
+        latency: float = 0.05,
+        loopback: float = 0.0,
+        jitter: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if latency < 0 or loopback < 0:
+            raise ValueError("latencies must be non-negative")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        self.base = float(latency)
+        self.loopback = float(loopback)
+        self.jitter = float(jitter)
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._attached: Dict[Hashable, None] = {}
+        self._pair_factor: Dict[tuple, float] = {}
+
+    def attach(self, key: Hashable) -> None:
+        self._attached[key] = None
+
+    def detach(self, key: Hashable) -> None:
+        self._attached.pop(key, None)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._attached
+
+    def latency(self, a: Hashable, b: Hashable) -> float:
+        if a not in self._attached or b not in self._attached:
+            raise KeyError(f"latency query for unattached key: {a!r} or {b!r}")
+        if a == b:
+            return self.loopback
+        if self.jitter == 0.0:
+            return self.base
+        pair = (a, b) if repr(a) <= repr(b) else (b, a)
+        factor = self._pair_factor.get(pair)
+        if factor is None:
+            factor = float(self._rng.uniform(1.0 - self.jitter, 1.0 + self.jitter))
+            self._pair_factor[pair] = factor
+        return self.base * factor

@@ -1,0 +1,38 @@
+"""Latency-oracle interface for overlay simulations.
+
+An overlay simulator needs exactly one thing from the underlying network
+model: the one-way latency between two attachment points.  ``Topology``
+defines that contract; concrete models (transit-stub, uniform, star) attach
+overlay nodes to underlay positions and answer latency queries.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Hashable
+
+
+class Topology(abc.ABC):
+    """Abstract latency oracle.
+
+    Overlay nodes are identified by arbitrary hashable keys; the topology
+    assigns each key an attachment point when :meth:`attach` is called and
+    answers pairwise latency queries thereafter.
+    """
+
+    @abc.abstractmethod
+    def attach(self, key: Hashable) -> None:
+        """Assign ``key`` an attachment point.  Idempotent."""
+
+    @abc.abstractmethod
+    def detach(self, key: Hashable) -> None:
+        """Release ``key``'s attachment point (a departed overlay node)."""
+
+    @abc.abstractmethod
+    def latency(self, a: Hashable, b: Hashable) -> float:
+        """One-way latency in seconds between the attachment points of two
+        attached keys.  ``latency(a, a)`` must be >= 0 (loopback cost)."""
+
+    @abc.abstractmethod
+    def __contains__(self, key: Hashable) -> bool:
+        """Whether ``key`` is currently attached."""

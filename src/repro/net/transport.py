@@ -1,0 +1,216 @@
+"""Simulated message transport.
+
+Delivers :class:`~repro.net.message.Message` objects between registered
+endpoints over a :class:`~repro.sim.engine.Simulator`, with:
+
+* per-pair latency from a :class:`~repro.net.topology.Topology`;
+* optional independent message loss (for failure-injection tests —
+  PeerWindow's ack/redirect machinery must survive it);
+* per-endpoint in/out :class:`~repro.net.bandwidth.BandwidthMeter` and
+  EWMA meters (the autonomic controller's sensor);
+* request/response correlation with timeout callbacks (used by the
+  multicast acks, the report path, and the join downloads).
+
+Messages to endpoints that are unregistered *at delivery time* vanish
+silently — exactly how a crashed peer looks from the outside.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, Optional
+
+import numpy as np
+
+from repro.net.bandwidth import BandwidthMeter, EwmaRateMeter
+from repro.net.message import Message
+from repro.net.topology import Topology
+from repro.sim.engine import EventHandle, Simulator
+
+Handler = Callable[[Message], None]
+
+
+class Endpoint:
+    """A registered transport endpoint with its bandwidth meters."""
+
+    __slots__ = ("key", "handler", "bw_in", "bw_out", "ewma_in", "ewma_out")
+
+    def __init__(self, key: Hashable, handler: Handler, now: float, ewma_tau: float):
+        self.key = key
+        self.handler = handler
+        self.bw_in = BandwidthMeter(t0=now)
+        self.bw_out = BandwidthMeter(t0=now)
+        self.ewma_in = EwmaRateMeter(tau=ewma_tau, t0=now)
+        self.ewma_out = EwmaRateMeter(tau=ewma_tau, t0=now)
+
+
+class _PendingRequest:
+    __slots__ = ("on_reply", "timeout_handle")
+
+    def __init__(self, on_reply: Callable[[Message], None], timeout_handle: EventHandle):
+        self.on_reply = on_reply
+        self.timeout_handle = timeout_handle
+
+
+class Transport:
+    """Latency/loss message fabric over a simulator."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        loss_rate: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+        ewma_tau: float = 120.0,
+    ):
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self.sim = sim
+        self.topology = topology
+        self.loss_rate = float(loss_rate)
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self.ewma_tau = ewma_tau
+        self._endpoints: Dict[Hashable, Endpoint] = {}
+        self._pending: Dict[int, _PendingRequest] = {}
+        # Partition injection: endpoint key -> partition group id.  Keys
+        # not in the map are in the implicit group None; messages between
+        # different groups are dropped while a partition is active.
+        self._partition: Dict[Hashable, int] = {}
+        # Statistics
+        self.sent = 0
+        self.delivered = 0
+        self.lost = 0
+        self.dropped_dead = 0
+        self.dropped_partition = 0
+        self.by_kind: Dict[str, int] = {}
+
+    # -- registration -------------------------------------------------------
+
+    def register(self, key: Hashable, handler: Handler) -> Endpoint:
+        if key in self._endpoints:
+            raise ValueError(f"endpoint {key!r} already registered")
+        self.topology.attach(key)
+        ep = Endpoint(key, handler, self.sim.now, self.ewma_tau)
+        self._endpoints[key] = ep
+        return ep
+
+    def unregister(self, key: Hashable) -> None:
+        self._endpoints.pop(key, None)
+        self.topology.detach(key)
+
+    def endpoint(self, key: Hashable) -> Endpoint:
+        return self._endpoints[key]
+
+    def is_alive(self, key: Hashable) -> bool:
+        return key in self._endpoints
+
+    def __len__(self) -> int:
+        return len(self._endpoints)
+
+    # -- failure injection -----------------------------------------------------
+
+    def partition(self, *groups: "list") -> None:
+        """Install a network partition: messages between different groups
+        are silently dropped (both directions) until :meth:`heal`.
+
+        Endpoints not named in any group form one extra implicit side.
+        Message loss is applied at delivery time, so packets already in
+        flight when the partition starts are also cut.
+        """
+        self._partition.clear()
+        for gid, members in enumerate(groups):
+            for key in members:
+                self._partition[key] = gid
+
+    def heal(self) -> None:
+        """Remove the partition; traffic flows normally again."""
+        self._partition.clear()
+
+    @property
+    def partitioned(self) -> bool:
+        return bool(self._partition)
+
+    def _same_side(self, a: Hashable, b: Hashable) -> bool:
+        if not self._partition:
+            return True
+        return self._partition.get(a) == self._partition.get(b)
+
+    # -- plain sends ----------------------------------------------------------
+
+    def send(self, msg: Message) -> None:
+        """Fire-and-forget send.  Bills the sender now; delivery (and the
+        receiver's bill) happens after the topology latency, unless the
+        message is lost or the destination has died."""
+        sender = self._endpoints.get(msg.src)
+        now = self.sim.now
+        if sender is not None:
+            sender.bw_out.record(now, msg.size_bits)
+            sender.ewma_out.record(now, msg.size_bits)
+        self.sent += 1
+        self.by_kind[msg.kind] = self.by_kind.get(msg.kind, 0) + 1
+        if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
+            self.lost += 1
+            return
+        try:
+            delay = self.topology.latency(msg.src, msg.dst)
+        except KeyError:
+            # Destination (or source) not attached: already gone.
+            self.dropped_dead += 1
+            return
+        self.sim.schedule(delay, self._deliver, msg)
+
+    def _deliver(self, msg: Message) -> None:
+        ep = self._endpoints.get(msg.dst)
+        if ep is None:
+            self.dropped_dead += 1
+            return
+        if not self._same_side(msg.src, msg.dst):
+            self.dropped_partition += 1
+            return
+        now = self.sim.now
+        ep.bw_in.record(now, msg.size_bits)
+        ep.ewma_in.record(now, msg.size_bits)
+        self.delivered += 1
+        if msg.reply_to is not None:
+            pending = self._pending.pop(msg.reply_to, None)
+            if pending is not None:
+                pending.timeout_handle.cancel()
+                pending.on_reply(msg)
+                return
+            # Late reply after timeout: fall through to the endpoint handler
+            # so protocols can still use the information (stale-ack path).
+        ep.handler(msg)
+
+    # -- request/response -------------------------------------------------------
+
+    def request(
+        self,
+        msg: Message,
+        timeout: float,
+        on_reply: Callable[[Message], None],
+        on_timeout: Callable[[], None],
+    ) -> None:
+        """Send ``msg`` expecting a reply correlated by ``msg.msg_id``.
+
+        Exactly one of ``on_reply(reply)`` / ``on_timeout()`` fires.
+        """
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        handle = self.sim.schedule(timeout, self._on_timeout, msg.msg_id, on_timeout)
+        self._pending[msg.msg_id] = _PendingRequest(on_reply, handle)
+        self.send(msg)
+
+    def _on_timeout(self, msg_id: int, on_timeout: Callable[[], None]) -> None:
+        if self._pending.pop(msg_id, None) is not None:
+            on_timeout()
+
+    # -- introspection -----------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "lost": self.lost,
+            "dropped_dead": self.dropped_dead,
+            "pending_requests": len(self._pending),
+            "by_kind": dict(self.by_kind),
+        }

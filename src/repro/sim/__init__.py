@@ -1,0 +1,45 @@
+"""Discrete-event simulation substrate (the ONSP [17] substitute).
+
+The paper ran its experiments on ONSP, a parallel discrete-event overlay
+simulation platform written in C++/MPI.  This package provides the same
+execution model in pure Python:
+
+* :class:`~repro.sim.engine.Simulator` — a sequential discrete-event core
+  with a binary-heap scheduler, cancellable events, and generator-based
+  processes.
+* :class:`~repro.sim.parallel.ParallelSimulator` — a conservative
+  (lookahead-synchronized) logical-process engine mirroring ONSP's
+  parallel-DES design, runnable deterministically on a single host.
+* :mod:`~repro.sim.rng` — named, reproducible random streams derived from a
+  single master seed (one stream per model component, so adding a component
+  never perturbs another component's draws).
+* :mod:`~repro.sim.monitor` — time-weighted statistics, counters and
+  histograms for instrumentation.
+* :mod:`~repro.sim.queues` — an alternative calendar-queue scheduler with
+  the same interface as the heap scheduler.
+"""
+
+from repro.sim.engine import Event, EventHandle, Simulator, SimulationError
+from repro.sim.monitor import Counter, Histogram, TimeSeries, TimeWeightedStat
+from repro.sim.parallel import LogicalProcess, ParallelSimulator
+from repro.sim.queues import CalendarQueue, HeapQueue
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import SimTracer, TraceRecord
+
+__all__ = [
+    "CalendarQueue",
+    "Counter",
+    "Event",
+    "EventHandle",
+    "HeapQueue",
+    "Histogram",
+    "LogicalProcess",
+    "ParallelSimulator",
+    "RandomStreams",
+    "SimTracer",
+    "SimulationError",
+    "Simulator",
+    "TraceRecord",
+    "TimeSeries",
+    "TimeWeightedStat",
+]

@@ -1,0 +1,215 @@
+"""Instrumentation primitives for simulation measurements.
+
+Everything PeerWindow's evaluation reports is a time-aggregate: bandwidth
+(bits transferred / window length), error rate (erroneous entry-seconds /
+entry-seconds), level populations (time-weighted counts).  These helpers
+make those aggregates cheap and uniform:
+
+* :class:`Counter` — monotone event counts with rate queries.
+* :class:`TimeWeightedStat` — integrates a piecewise-constant signal over
+  time (the right way to average "peer list size" or "population at
+  level l" over a run).
+* :class:`TimeSeries` — raw (t, value) samples, with NumPy export.
+* :class:`Histogram` — fixed-bin histogram with summary statistics.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class Counter:
+    """A monotone counter with a creation timestamp for rate queries."""
+
+    __slots__ = ("name", "value", "t0")
+
+    def __init__(self, name: str = "", t0: float = 0.0):
+        self.name = name
+        self.value = 0.0
+        self.t0 = t0
+
+    def add(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("Counter.add requires amount >= 0")
+        self.value += amount
+
+    def rate(self, now: float) -> float:
+        """Average accumulation rate per second since ``t0``."""
+        elapsed = now - self.t0
+        if elapsed <= 0:
+            return 0.0
+        return self.value / elapsed
+
+    def reset(self, now: float) -> None:
+        self.value = 0.0
+        self.t0 = now
+
+
+class TimeWeightedStat:
+    """Time-weighted mean of a piecewise-constant signal.
+
+    Call :meth:`update` whenever the signal changes; the integral of the
+    signal between updates is accumulated.  :meth:`mean` divides by total
+    observed time.
+    """
+
+    __slots__ = ("_last_t", "_last_v", "_area", "_t_total", "_min", "_max")
+
+    def __init__(self, t0: float = 0.0, v0: float = 0.0):
+        self._last_t = t0
+        self._last_v = v0
+        self._area = 0.0
+        self._t_total = 0.0
+        self._min = v0
+        self._max = v0
+
+    @property
+    def current(self) -> float:
+        return self._last_v
+
+    def update(self, now: float, value: float) -> None:
+        if now < self._last_t:
+            raise ValueError(f"time went backwards: {now} < {self._last_t}")
+        dt = now - self._last_t
+        self._area += self._last_v * dt
+        self._t_total += dt
+        self._last_t = now
+        self._last_v = value
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    def advance(self, now: float) -> None:
+        """Account elapsed time without changing the value."""
+        self.update(now, self._last_v)
+
+    def mean(self, now: Optional[float] = None) -> float:
+        area, total = self._area, self._t_total
+        if now is not None and now > self._last_t:
+            area += self._last_v * (now - self._last_t)
+            total += now - self._last_t
+        if total <= 0:
+            return self._last_v
+        return area / total
+
+    @property
+    def min(self) -> float:
+        return self._min
+
+    @property
+    def max(self) -> float:
+        return self._max
+
+
+class TimeSeries:
+    """Raw (time, value) samples with NumPy export."""
+
+    __slots__ = ("name", "times", "values")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def record(self, t: float, value: float) -> None:
+        if self.times and t < self.times[-1]:
+            raise ValueError("TimeSeries timestamps must be non-decreasing")
+        self.times.append(t)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        return np.asarray(self.times), np.asarray(self.values)
+
+    def mean(self) -> float:
+        if not self.values:
+            return math.nan
+        return float(np.mean(self.values))
+
+    def last(self) -> float:
+        if not self.values:
+            raise IndexError("empty TimeSeries")
+        return self.values[-1]
+
+
+class Histogram:
+    """Fixed-bin histogram over ``[lo, hi)`` with overflow/underflow bins."""
+
+    def __init__(self, lo: float, hi: float, nbins: int):
+        if not (hi > lo):
+            raise ValueError("hi must be > lo")
+        if nbins < 1:
+            raise ValueError("nbins must be >= 1")
+        self.lo = lo
+        self.hi = hi
+        self.nbins = nbins
+        self.counts = np.zeros(nbins + 2, dtype=np.int64)  # [under, bins..., over]
+        self._sum = 0.0
+        self._sumsq = 0.0
+        self._n = 0
+
+    def add(self, value: float, count: int = 1) -> None:
+        if value < self.lo:
+            idx = 0
+        elif value >= self.hi:
+            idx = self.nbins + 1
+        else:
+            idx = 1 + int((value - self.lo) / (self.hi - self.lo) * self.nbins)
+        self.counts[idx] += count
+        self._sum += value * count
+        self._sumsq += value * value * count
+        self._n += count
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def mean(self) -> float:
+        return self._sum / self._n if self._n else math.nan
+
+    def std(self) -> float:
+        if self._n < 2:
+            return 0.0
+        var = self._sumsq / self._n - self.mean() ** 2
+        return math.sqrt(max(var, 0.0))
+
+    def bin_edges(self) -> np.ndarray:
+        return np.linspace(self.lo, self.hi, self.nbins + 1)
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from bin midpoints (under/overflow clamp to
+        the range edges)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self._n == 0:
+            return math.nan
+        target = q * self._n
+        cum = 0
+        edges = self.bin_edges()
+        for idx, c in enumerate(self.counts):
+            cum += c
+            if cum >= target:
+                if idx == 0:
+                    return self.lo
+                if idx == self.nbins + 1:
+                    return self.hi
+                return float(0.5 * (edges[idx - 1] + edges[idx]))
+        return self.hi
+
+
+def summarize(values: Sequence[float]) -> dict:
+    """Five-number-ish summary used by the benchmark report tables."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return {"n": 0, "mean": math.nan, "min": math.nan, "max": math.nan, "p50": math.nan}
+    return {
+        "n": int(arr.size),
+        "mean": float(arr.mean()),
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+        "p50": float(np.median(arr)),
+    }

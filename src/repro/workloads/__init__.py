@@ -1,0 +1,46 @@
+"""Workload substrate: Gnutella-measurement distributions and churn.
+
+The paper drives its common experiment with the Saroiu et al. MMCN'02
+Gnutella measurements [13]:
+
+* node **lifetimes** follow figure 6 of [13] with a mean of ~135 minutes;
+* node **available bandwidth** follows figure 3 of [13], of which the
+  paper quotes the anchor *"only 20% nodes' available bandwidth is less
+  than 1 Mbps"*;
+* nodes **join in a Poisson process** whose rate balances the departure
+  rate so the population hovers at the target scale.
+
+We do not have the raw traces (they were never released), so
+:mod:`~repro.workloads.lifetime` and :mod:`~repro.workloads.bandwidth_dist`
+implement digitised empirical models anchored at the values the paper
+quotes; the anchors are enforced by tests.  See DESIGN.md §2 for the
+substitution rationale.
+"""
+
+from repro.workloads.bandwidth_dist import (
+    BandwidthCategory,
+    GnutellaBandwidthDistribution,
+)
+from repro.workloads.churn import ChurnProcess, Session, generate_sessions
+from repro.workloads.trace import TraceReplayer, load_trace, save_trace
+from repro.workloads.lifetime import (
+    ExponentialLifetime,
+    GnutellaLifetimeDistribution,
+    LifetimeDistribution,
+    WeibullLifetime,
+)
+
+__all__ = [
+    "BandwidthCategory",
+    "ChurnProcess",
+    "ExponentialLifetime",
+    "GnutellaBandwidthDistribution",
+    "GnutellaLifetimeDistribution",
+    "LifetimeDistribution",
+    "Session",
+    "TraceReplayer",
+    "WeibullLifetime",
+    "generate_sessions",
+    "load_trace",
+    "save_trace",
+]

@@ -1,0 +1,162 @@
+"""Churn generation: Poisson joins, lifetime-driven leaves.
+
+§5.1: *"Nodes join the system in a Poisson process, with the expectation of
+the time interval of two successive node joining events is 100,000/135
+minutes"* — i.e. the arrival rate is ``N_target / mean_lifetime``, which by
+Little's law holds the stationary population at ``N_target``.
+
+Two forms are provided:
+
+* :func:`generate_sessions` — a vectorized trace generator producing
+  ``Session`` records (join time, lifetime, bandwidth, threshold) for the
+  scalable engine; O(n) NumPy, no Python loop.
+* :class:`ChurnProcess` — an online driver for the detailed engine: it
+  schedules one join at a time on a :class:`~repro.sim.engine.Simulator`
+  and invokes callbacks, so protocol joins/leaves happen in event order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.sim.engine import Simulator
+from repro.workloads.bandwidth_dist import (
+    GnutellaBandwidthDistribution,
+    threshold_from_bandwidth,
+)
+from repro.workloads.lifetime import GnutellaLifetimeDistribution, LifetimeDistribution
+
+
+@dataclass(frozen=True)
+class Session:
+    """One node session in a churn trace."""
+
+    join_time: float
+    lifetime: float
+    bandwidth_bps: float
+    threshold_bps: float
+
+    @property
+    def leave_time(self) -> float:
+        return self.join_time + self.lifetime
+
+
+def generate_sessions(
+    rng: np.random.Generator,
+    n_target: int,
+    duration: float,
+    lifetime_dist: Optional[LifetimeDistribution] = None,
+    bandwidth_dist: Optional[GnutellaBandwidthDistribution] = None,
+    warm_population: bool = True,
+) -> List[Session]:
+    """Generate a churn trace holding the population near ``n_target``.
+
+    When ``warm_population`` is true, ``n_target`` initial nodes exist at
+    t=0 with *residual* lifetimes (sampled from the full distribution —
+    an approximation of the stationary residual; the scalable engine
+    discards a warm-up prefix before measuring, so the residual bias does
+    not reach the figures).  Poisson arrivals at rate
+    ``n_target / mean_lifetime`` then run for ``duration`` seconds.
+    """
+    if n_target < 1:
+        raise ValueError("n_target must be >= 1")
+    if duration < 0:
+        raise ValueError("duration must be >= 0")
+    lifetime_dist = lifetime_dist or GnutellaLifetimeDistribution()
+    bandwidth_dist = bandwidth_dist or GnutellaBandwidthDistribution()
+
+    join_times: List[np.ndarray] = []
+    if warm_population:
+        join_times.append(np.zeros(n_target))
+    rate = n_target / lifetime_dist.mean
+    n_arrivals = rng.poisson(rate * duration) if duration > 0 else 0
+    if n_arrivals > 0:
+        arrivals = np.sort(rng.uniform(0.0, duration, size=n_arrivals))
+        join_times.append(arrivals)
+    joins = np.concatenate(join_times) if join_times else np.empty(0)
+    n = joins.size
+    lifetimes = lifetime_dist.sample(rng, n)
+    bandwidths = np.asarray(bandwidth_dist.sample(rng, n))
+    thresholds = threshold_from_bandwidth(bandwidths)
+    return [
+        Session(float(j), float(lt), float(bw), float(th))
+        for j, lt, bw, th in zip(joins, lifetimes, bandwidths, thresholds)
+    ]
+
+
+class ChurnProcess:
+    """Online churn driver for the detailed engine.
+
+    ``on_join(session) -> key`` is called at each arrival and must return a
+    key identifying the joined node; ``on_leave(key)`` is called when its
+    lifetime expires.  The driver stops scheduling new arrivals after
+    ``stop()`` (already-scheduled leaves still fire).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: np.random.Generator,
+        n_target: int,
+        on_join: Callable[[Session], object],
+        on_leave: Callable[[object], None],
+        lifetime_dist: Optional[LifetimeDistribution] = None,
+        bandwidth_dist: Optional[GnutellaBandwidthDistribution] = None,
+    ):
+        if n_target < 1:
+            raise ValueError("n_target must be >= 1")
+        self.sim = sim
+        self.rng = rng
+        self.n_target = n_target
+        self.on_join = on_join
+        self.on_leave = on_leave
+        self.lifetime_dist = lifetime_dist or GnutellaLifetimeDistribution()
+        self.bandwidth_dist = bandwidth_dist or GnutellaBandwidthDistribution()
+        self._stopped = False
+        self.joins = 0
+        self.leaves = 0
+
+    @property
+    def arrival_rate(self) -> float:
+        return self.n_target / self.lifetime_dist.mean
+
+    def start(self) -> None:
+        """Begin Poisson arrivals (first arrival after one exponential gap)."""
+        self._schedule_next_join()
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _schedule_next_join(self) -> None:
+        if self._stopped:
+            return
+        gap = float(self.rng.exponential(1.0 / self.arrival_rate))
+        self.sim.schedule(gap, self._do_join)
+
+    def _do_join(self) -> None:
+        if self._stopped:
+            return
+        session = Session(
+            join_time=self.sim.now,
+            lifetime=float(self.lifetime_dist.sample(self.rng)),
+            bandwidth_bps=float(self.bandwidth_dist.sample(self.rng)),
+            threshold_bps=0.0,  # filled below for dataclass immutability
+        )
+        session = Session(
+            session.join_time,
+            session.lifetime,
+            session.bandwidth_bps,
+            float(threshold_from_bandwidth(session.bandwidth_bps)),
+        )
+        key = self.on_join(session)
+        self.joins += 1
+        if key is not None:
+            self.sim.schedule(session.lifetime, self._do_leave, key)
+        self._schedule_next_join()
+
+    def _do_leave(self, key: object) -> None:
+        self.leaves += 1
+        self.on_leave(key)

@@ -1,0 +1,151 @@
+"""Backup, load-balancing and bidding application tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.backup import BackupMatcher
+from repro.apps.bidding import BidMatcher, score_bid
+from repro.apps.load_balance import LoadBalancer, Transfer
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import PeerWindowNetwork
+from repro.workloads.attached_info import (
+    BidInfo,
+    backup_attached_info,
+    bid_attached_info,
+    load_attached_info,
+)
+
+
+@pytest.fixture(scope="module")
+def app_net():
+    rng = np.random.default_rng(21)
+    n = 50
+    os_infos = backup_attached_info(rng, n)
+    load_infos = load_attached_info(rng, n)
+    bid_infos = bid_attached_info(rng, n)
+    infos = [{**os_infos[i], **load_infos[i], **bid_infos[i]} for i in range(n)]
+    net = PeerWindowNetwork(
+        config=ProtocolConfig(id_bits=16, multicast_processing_delay=0.1),
+        master_seed=8,
+    )
+    keys = net.seed_nodes(
+        [{"threshold_bps": 1e6, "attached_info": infos[i]} for i in range(n)]
+    )
+    net.run(until=10.0)
+    return net, keys
+
+
+class TestBackup:
+    def test_similar_partners_share_os(self, app_net):
+        net, keys = app_net
+        node = net.node(keys[0])
+        matcher = BackupMatcher(node)
+        own = matcher.own_os
+        for p in matcher.partners(5, similar=True):
+            assert p.attached_info["os"] == own
+
+    def test_different_partners_differ(self, app_net):
+        net, keys = app_net
+        matcher = BackupMatcher(net.node(keys[0]))
+        own = matcher.own_os
+        partners = matcher.partners(5, similar=False)
+        assert partners
+        for p in partners:
+            assert p.attached_info["os"] != own
+
+    def test_diversity_set_unique_oses(self, app_net):
+        net, keys = app_net
+        matcher = BackupMatcher(net.node(keys[0]))
+        div = matcher.diversity_set(6)
+        oses = [p.attached_info["os"] for p in div]
+        assert len(oses) == len(set(oses))
+        # Different-OS entries come first.
+        if len(div) > 1:
+            assert oses[0] != matcher.own_os
+
+    def test_census_counts_everyone_with_os(self, app_net):
+        net, keys = app_net
+        matcher = BackupMatcher(net.node(keys[0]))
+        census = matcher.os_census()
+        assert sum(census.values()) == len(net.node(keys[0]).peer_list)
+
+    def test_missing_own_os_raises(self, app_net):
+        net, keys = app_net
+        node = net.node(keys[1])
+        saved = node.attached_info
+        node.attached_info = {}
+        try:
+            with pytest.raises(ValueError):
+                BackupMatcher(node).partners(3)
+        finally:
+            node.attached_info = saved
+
+
+class TestLoadBalance:
+    def test_plan_reduces_max_load(self, app_net):
+        net, keys = app_net
+        lb = LoadBalancer(net.node(keys[0]), high=1.0, low=0.5)
+        result = lb.imbalance_before_after()
+        if lb.overloaded():
+            assert result["after"] <= result["before"]
+            assert result["after"] <= 1.0 + 1e-9
+
+    def test_transfers_never_overfill_targets(self, app_net):
+        net, keys = app_net
+        lb = LoadBalancer(net.node(keys[0]))
+        loads = lb.visible_loads()
+        for t in lb.plan():
+            loads[t.dst_id] += t.amount
+        for dst in {t.dst_id for t in lb.plan()}:
+            assert loads[dst] <= lb.high + 1e-6
+
+    def test_orderings(self, app_net):
+        net, keys = app_net
+        lb = LoadBalancer(net.node(keys[0]))
+        over = lb.overloaded()
+        loads = lb.visible_loads()
+        assert all(loads[a] >= loads[b] for a, b in zip(over, over[1:]))
+
+    def test_transfer_validation(self):
+        with pytest.raises(ValueError):
+            Transfer(1, 2, 0.0)
+
+    def test_threshold_validation(self, app_net):
+        net, keys = app_net
+        with pytest.raises(ValueError):
+            LoadBalancer(net.node(keys[0]), high=0.5, low=0.5)
+
+
+class TestBidding:
+    def test_best_offers_are_viable_and_sorted(self, app_net):
+        net, keys = app_net
+        matcher = BidMatcher(net.node(keys[0]))
+        offers = matcher.best_offers(need_gb=5.0, max_price=3.0, k=5)
+        scores = [s for _, _, s in offers]
+        assert scores == sorted(scores, reverse=True)
+        for _, bid, _ in offers:
+            assert bid.storage_gb >= 5.0
+            assert bid.price_per_gb <= 3.0
+
+    def test_market_depth_counts_viable(self, app_net):
+        net, keys = app_net
+        matcher = BidMatcher(net.node(keys[0]))
+        depth_loose = matcher.market_depth(1.0, 100.0)
+        depth_tight = matcher.market_depth(100.0, 0.1)
+        assert depth_loose >= depth_tight
+
+    def test_score_dominance(self):
+        cheap = BidInfo(storage_gb=50.0, availability=0.9, price_per_gb=0.5)
+        pricey = BidInfo(storage_gb=50.0, availability=0.9, price_per_gb=1.5)
+        assert score_bid(cheap, 10.0, 2.0) > score_bid(pricey, 10.0, 2.0)
+        flaky = BidInfo(storage_gb=50.0, availability=0.2, price_per_gb=0.5)
+        assert score_bid(cheap, 10.0, 2.0) > score_bid(flaky, 10.0, 2.0)
+
+    def test_nonviable_scores_minus_inf(self):
+        small = BidInfo(storage_gb=1.0, availability=0.9, price_per_gb=0.5)
+        assert score_bid(small, 10.0, 2.0) == float("-inf")
+
+    def test_score_validation(self):
+        bid = BidInfo(10.0, 0.5, 1.0)
+        with pytest.raises(ValueError):
+            score_bid(bid, 0.0, 1.0)

@@ -1,0 +1,109 @@
+"""Bloom-filter attached-info compression tests (§3, LOCKSS usage)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.compress import BloomFilter, DocumentDirectory
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import PeerWindowNetwork
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        f = BloomFilter(size_bits=512, n_hashes=4)
+        items = [f"doc-{i}" for i in range(40)]
+        f.update(items)
+        assert all(item in f for item in items)
+
+    def test_false_positive_rate_near_prediction(self):
+        f = BloomFilter.optimal(expected_items=30, size_bits=256)
+        f.update(f"doc-{i}" for i in range(30))
+        predicted = f.false_positive_rate()
+        trials = 4000
+        fps = sum(1 for i in range(trials) if f"other-{i}" in f)
+        assert fps / trials == pytest.approx(predicted, abs=0.05)
+
+    def test_empty_filter_rejects_everything(self):
+        f = BloomFilter()
+        assert "x" not in f
+        assert f.false_positive_rate() == 0.0
+
+    def test_optimal_hash_count(self):
+        # k = m/n ln2: 256/32*0.693 ≈ 5.5 → 6
+        f = BloomFilter.optimal(expected_items=32, size_bits=256)
+        assert 4 <= f.n_hashes <= 8
+
+    def test_roundtrip_via_int(self):
+        f = BloomFilter(128, 3)
+        f.update(["a", "b", "c"])
+        g = BloomFilter.from_int(f.to_int(), 128, 3, count=3)
+        assert "a" in g and "b" in g and "c" in g
+        assert g.fill_ratio() == f.fill_ratio()
+
+    def test_fill_ratio_grows(self):
+        f = BloomFilter(128, 3)
+        r0 = f.fill_ratio()
+        f.add("x")
+        assert f.fill_ratio() > r0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BloomFilter(size_bits=4)
+        with pytest.raises(ValueError):
+            BloomFilter(n_hashes=0)
+        with pytest.raises(ValueError):
+            BloomFilter.optimal(0)
+
+
+class TestDocumentDirectory:
+    @pytest.fixture(scope="class")
+    def doc_net(self):
+        rng = np.random.default_rng(31)
+        n = 40
+        holdings = {}
+        specs = []
+        all_docs = [f"doc-{i}" for i in range(200)]
+        for i in range(n):
+            docs = set(rng.choice(all_docs, size=12, replace=False))
+            info = DocumentDirectory.make_attached_info(docs, size_bits=512)
+            specs.append({"threshold_bps": 1e9, "attached_info": info})
+            holdings[i] = docs
+        net = PeerWindowNetwork(
+            config=ProtocolConfig(id_bits=16, multicast_processing_delay=0.1),
+            master_seed=14,
+        )
+        keys = net.seed_nodes(specs)
+        net.run(until=10.0)
+        return net, keys, holdings
+
+    def test_true_holders_always_found(self, doc_net):
+        net, keys, holdings = doc_net
+        directory = DocumentDirectory(net.node(keys[0]))
+        for doc in sorted(holdings[5])[:5]:
+            true_holders = {
+                net.node(k).node_id.value
+                for k, docs in holdings.items()
+                if doc in docs and k != keys[0]
+            }
+            tp, _fp = directory.lookup_quality(doc, true_holders)
+            assert tp == len(true_holders)  # Bloom filters never miss
+
+    def test_false_positives_bounded(self, doc_net):
+        net, keys, holdings = doc_net
+        directory = DocumentDirectory(net.node(keys[0]))
+        total_fp = 0
+        probes = 0
+        for i in range(50):
+            doc = f"nonexistent-{i}"
+            hits = directory.probable_holders(doc)
+            total_fp += len(hits)
+            probes += len(net.node(keys[0]).peer_list) - 1
+        assert total_fp / probes < 0.05  # 512-bit filter on 12 docs
+
+    def test_pointer_stays_small(self, doc_net):
+        """The point of §3's compression: expressing ~12 documents costs
+        512 bits, not 12 document names."""
+        net, keys, holdings = doc_net
+        p = next(iter(net.node(keys[0]).peer_list))
+        filt = p.attached_info["doc_filter"]
+        assert filt.size_bits == 512

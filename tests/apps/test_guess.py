@@ -1,0 +1,77 @@
+"""GUESS non-forwarding search tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.guess import GuessSearch, _holds
+from repro.core.protocol import PeerWindowNetwork
+from repro.core.config import ProtocolConfig
+from repro.workloads.attached_info import guess_attached_info
+
+
+@pytest.fixture(scope="module")
+def guess_net():
+    rng = np.random.default_rng(11)
+    infos = guess_attached_info(rng, 60)
+    net = PeerWindowNetwork(
+        config=ProtocolConfig(id_bits=16, multicast_processing_delay=0.1),
+        master_seed=6,
+    )
+    keys = net.seed_nodes(
+        [{"threshold_bps": 1e6, "attached_info": infos[i]} for i in range(60)]
+    )
+    net.run(until=10.0)
+    return net, keys
+
+
+class TestGuessSearch:
+    def test_candidates_exclude_free_riders_and_self(self, guess_net):
+        net, keys = guess_net
+        gs = GuessSearch(net.node(keys[0]))
+        for p in gs.candidates():
+            assert p.attached_info["shared_files"] > 0
+            assert p.node_id.value != net.node(keys[0]).node_id.value
+
+    def test_candidates_sorted_by_share_size(self, guess_net):
+        net, keys = guess_net
+        gs = GuessSearch(net.node(keys[0]))
+        shares = [p.attached_info["shared_files"] for p in gs.candidates()]
+        assert shares == sorted(shares, reverse=True)
+
+    def test_holds_is_deterministic(self, guess_net):
+        net, keys = guess_net
+        gs = GuessSearch(net.node(keys[0]), universe=1000)
+        pool = gs.candidates()
+        if pool:
+            p = pool[0]
+            assert _holds(p, 7, 1000) == _holds(p, 7, 1000)
+
+    def test_query_counts_hits(self, guess_net):
+        net, keys = guess_net
+        gs = GuessSearch(net.node(keys[0]), universe=2000)
+        for key in range(50):
+            gs.query(key)
+        assert gs.queries == 50
+        assert 0 <= gs.hits <= 50
+        assert gs.hit_rate() == gs.hits / 50
+
+    def test_hit_rate_monotone_in_list_size(self, guess_net):
+        """The paper's motivating claim: more collected pointers, higher
+        local hit rate."""
+        net, keys = guess_net
+        gs = GuessSearch(net.node(keys[0]), universe=5000)
+        curve = gs.hit_rate_vs_list_size(range(150), [1, 5, 15, 40], probe_budget=40)
+        rates = [r for _, r in curve]
+        assert all(a <= b + 1e-9 for a, b in zip(rates, rates[1:]))
+        assert rates[-1] > rates[0]
+
+    def test_invalid_query_key(self, guess_net):
+        net, keys = guess_net
+        gs = GuessSearch(net.node(keys[0]), universe=10)
+        with pytest.raises(ValueError):
+            gs.query(10)
+
+    def test_invalid_universe(self, guess_net):
+        net, keys = guess_net
+        with pytest.raises(ValueError):
+            GuessSearch(net.node(keys[0]), universe=0)

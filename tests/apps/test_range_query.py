@@ -1,0 +1,116 @@
+"""Range-query planner tests (§3, Mercury usage)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.range_query import (
+    AttributeSummary,
+    RangePredicate,
+    RangeQueryPlanner,
+)
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import PeerWindowNetwork
+
+
+class TestAttributeSummary:
+    def test_from_values_counts(self):
+        s = AttributeSummary.from_values([0.5, 1.5, 1.6, 9.9], 0.0, 10.0, buckets=10)
+        assert s.total == 4
+        assert s.counts[0] == 1
+        assert s.counts[1] == 2
+        assert s.counts[9] == 1
+
+    def test_full_range_estimate_equals_total(self):
+        s = AttributeSummary.from_values(list(range(100)), 0.0, 100.0, buckets=8)
+        assert s.estimate_in_range(0.0, 100.0) == pytest.approx(100.0)
+
+    def test_partial_bucket_interpolation(self):
+        s = AttributeSummary(0.0, 10.0, (10,))  # one bucket, 10 tuples
+        assert s.estimate_in_range(0.0, 5.0) == pytest.approx(5.0)
+        assert s.estimate_in_range(2.5, 7.5) == pytest.approx(5.0)
+
+    def test_empty_range(self):
+        s = AttributeSummary(0.0, 10.0, (10,))
+        assert s.estimate_in_range(5.0, 5.0) == 0.0
+
+    def test_size_bits_small(self):
+        """§3: summaries must stay pointer-sized."""
+        s = AttributeSummary.from_values(list(range(1000)), 0.0, 1000.0, 16)
+        assert s.size_bits() <= 512
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AttributeSummary(0.0, 0.0, (1,))
+        with pytest.raises(ValueError):
+            AttributeSummary(0.0, 1.0, ())
+        with pytest.raises(ValueError):
+            RangePredicate("x", 5.0, 5.0)
+
+
+@pytest.fixture(scope="module")
+def planner_net():
+    rng = np.random.default_rng(41)
+    n = 40
+    domains = {"price": (0.0, 100.0), "size": (0.0, 1000.0)}
+    net = PeerWindowNetwork(
+        config=ProtocolConfig(id_bits=16, multicast_processing_delay=0.1),
+        master_seed=17,
+    )
+    specs = []
+    ground = []
+    for i in range(n):
+        # Half the nodes store cheap items, half expensive.
+        if i % 2 == 0:
+            prices = rng.uniform(0.0, 30.0, size=50)
+        else:
+            prices = rng.uniform(60.0, 100.0, size=50)
+        sizes = rng.uniform(0.0, 1000.0, size=50)
+        ground.append((prices, sizes))
+        specs.append(
+            {
+                "threshold_bps": 1e9,
+                "attached_info": RangeQueryPlanner.make_attached_info(
+                    {"price": prices, "size": sizes}, domains
+                ),
+            }
+        )
+    keys = net.seed_nodes(specs)
+    net.run(until=10.0)
+    return net, keys, ground
+
+
+class TestPlanner:
+    def test_selectivity_matches_ground_truth(self, planner_net):
+        net, keys, ground = planner_net
+        planner = RangeQueryPlanner(net.node(keys[0]))
+        pred = RangePredicate("price", 0.0, 30.0)
+        est = planner.selectivity(pred)
+        true = sum((p < 30).sum() for p, _ in ground) / sum(len(p) for p, _ in ground)
+        assert est == pytest.approx(true, abs=0.08)
+
+    def test_node_count_identifies_holders(self, planner_net):
+        net, keys, ground = planner_net
+        planner = RangeQueryPlanner(net.node(keys[0]))
+        cheap = planner.node_count(RangePredicate("price", 0.0, 30.0))
+        # ~half the peers store cheap items (excluding self).
+        assert 15 <= cheap <= 25
+
+    def test_holders_have_matching_summaries(self, planner_net):
+        net, keys, ground = planner_net
+        planner = RangeQueryPlanner(net.node(keys[0]))
+        for p in planner.holders(RangePredicate("price", 60.0, 100.0)):
+            hist = p.attached_info["summaries"]["price"]
+            assert hist.estimate_in_range(60.0, 100.0) >= 0.5
+
+    def test_plan_orders_most_selective_first(self, planner_net):
+        net, keys, ground = planner_net
+        planner = RangeQueryPlanner(net.node(keys[0]))
+        narrow = RangePredicate("price", 0.0, 5.0)
+        wide = RangePredicate("size", 0.0, 900.0)
+        plan = planner.plan([wide, narrow])
+        assert plan[0] == narrow
+
+    def test_unknown_attribute_zero_selectivity(self, planner_net):
+        net, keys, ground = planner_net
+        planner = RangeQueryPlanner(net.node(keys[0]))
+        assert planner.selectivity(RangePredicate("color", 0.0, 1.0)) == 0.0

@@ -1,0 +1,67 @@
+"""Powerful-peer selection tests (§3's level-lookup usage)."""
+
+import pytest
+
+from repro.apps.selection import level_census, peers_at_level, powerful_peers
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import PeerWindowNetwork
+
+
+@pytest.fixture(scope="module")
+def mixed_net():
+    net = PeerWindowNetwork(
+        config=ProtocolConfig(id_bits=16, multicast_processing_delay=0.1),
+        master_seed=19,
+    )
+    keys = net.seed_nodes([1e9] * 10 + [40.0] * 10, mean_lifetime_s=600.0)
+    net.run(until=10.0)
+    return net, keys
+
+
+class TestSelection:
+    def test_powerful_peers_sorted_strongest_first(self, mixed_net):
+        net, keys = mixed_net
+        viewer = net.node(keys[0])  # a level-0 node sees everyone
+        top = powerful_peers(viewer, 8)
+        levels = [p.level for p in top]
+        assert levels == sorted(levels)
+        assert levels[0] == 0
+
+    def test_excludes_self(self, mixed_net):
+        net, keys = mixed_net
+        viewer = net.node(keys[0])
+        everyone = powerful_peers(viewer, 100)
+        assert viewer.node_id.value not in {p.node_id.value for p in everyone}
+
+    def test_k_bounds(self, mixed_net):
+        net, keys = mixed_net
+        viewer = net.node(keys[0])
+        assert powerful_peers(viewer, 0) == []
+        assert len(powerful_peers(viewer, 3)) == 3
+        with pytest.raises(ValueError):
+            powerful_peers(viewer, -1)
+
+    def test_peers_at_level(self, mixed_net):
+        net, keys = mixed_net
+        viewer = net.node(keys[0])
+        strong = peers_at_level(viewer, 0)
+        assert len(strong) == 9  # the other nine strong nodes
+        assert all(p.level == 0 for p in strong)
+        with pytest.raises(ValueError):
+            peers_at_level(viewer, -1)
+
+    def test_level_census_matches_global_histogram(self, mixed_net):
+        """A level-0 node's local census equals the network's figure 5."""
+        net, keys = mixed_net
+        viewer = net.node(keys[0])
+        assert level_census(viewer) == net.level_histogram()
+
+    def test_deep_node_census_is_partial(self, mixed_net):
+        """A deep node only sees its own prefix — the census is local,
+        exactly as the paper intends."""
+        net, keys = mixed_net
+        deep = net.node(keys[-1])
+        assert deep.level > 0
+        census = level_census(deep)
+        assert sum(census.values()) == len(deep.peer_list)
+        assert sum(census.values()) < 20

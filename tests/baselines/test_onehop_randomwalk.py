@@ -1,0 +1,89 @@
+"""One-hop DHT and random-walk baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.onehop import OneHopDHTScheme
+from repro.baselines.random_walk import RandomWalkScheme, small_world_graph
+
+
+class TestOneHop:
+    def test_cost_scales_with_n(self):
+        small = OneHopDHTScheme(n_nodes=10_000)
+        large = OneHopDHTScheme(n_nodes=100_000)
+        assert large.per_node_cost_bps() == pytest.approx(
+            10 * small.per_node_cost_bps()
+        )
+
+    def test_weak_node_gets_nothing_when_unaffordable(self):
+        """§6: one-hop costs too much for weak nodes at scale."""
+        scheme = OneHopDHTScheme(n_nodes=100_000, mean_lifetime_s=8100.0)
+        # 100k nodes: ~2 changes/lifetime... default 3: cost = 100000*3/8100*1000 ≈ 37kbps
+        assert scheme.pointers_for_bandwidth(500.0) == 0.0
+        assert scheme.pointers_for_bandwidth(1e6) == 100_000.0
+
+    def test_all_or_nothing_crossover(self):
+        scheme = OneHopDHTScheme(n_nodes=50_000)
+        cost = scheme.per_node_cost_bps()
+        assert scheme.pointers_for_bandwidth(cost * 0.99) == 0.0
+        assert scheme.pointers_for_bandwidth(cost * 1.01) == 50_000.0
+
+    def test_homogeneous_flag(self):
+        assert not OneHopDHTScheme(1000).heterogeneous
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OneHopDHTScheme(n_nodes=0)
+        with pytest.raises(ValueError):
+            OneHopDHTScheme(1000, dissemination_overhead=0.5)
+
+
+class TestRandomWalk:
+    def test_small_world_graph_connected(self):
+        import networkx as nx
+
+        g = small_world_graph(200, k=6, seed=1)
+        assert nx.is_connected(g)
+        assert g.number_of_nodes() == 200
+
+    def test_walk_collects_distinct_nodes(self):
+        g = small_world_graph(300, seed=2)
+        scheme = RandomWalkScheme()
+        found = scheme.collect(g, start=0, steps=200, rng=np.random.default_rng(0))
+        assert len(found) > 50
+        assert 0 not in found
+        assert len(found) == len(set(found))
+
+    def test_duplicate_overhead_measured(self):
+        g = small_world_graph(300, seed=2)
+        scheme = RandomWalkScheme()
+        overhead = scheme.measured_steps_per_pointer(
+            g, start=0, steps=400, rng=np.random.default_rng(3)
+        )
+        assert overhead > 1.0  # revisits are inevitable
+
+    def test_cost_model_linear_in_pointers(self):
+        scheme = RandomWalkScheme(mean_lifetime_s=3600.0, steps_per_pointer=1.5)
+        assert scheme.bandwidth_for_pointers(2000.0) == pytest.approx(
+            2 * scheme.bandwidth_for_pointers(1000.0)
+        )
+
+    def test_less_efficient_than_peerwindow(self):
+        """The §2 model (multicast, m=3 events per lifetime) beats active
+        walking per pointer maintained."""
+        from repro.core.analytic import CostModel
+
+        pw = CostModel(mean_lifetime_s=3600.0)
+        rw = RandomWalkScheme(mean_lifetime_s=3600.0)
+        budget = 5000.0
+        assert pw.pointers_for_bandwidth(budget) > rw.pointers_for_bandwidth(budget)
+
+    def test_zero_steps(self):
+        g = small_world_graph(10)
+        assert RandomWalkScheme().collect(g, 0, 0) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            small_world_graph(2)
+        with pytest.raises(ValueError):
+            RandomWalkScheme(steps_per_pointer=0.0)

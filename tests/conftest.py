@@ -1,0 +1,59 @@
+"""Shared fixtures for the PeerWindow test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import PeerWindowNetwork
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_config() -> ProtocolConfig:
+    """A config with short timers so tests converge fast, and narrow ids
+    so worked examples stay readable."""
+    return ProtocolConfig(
+        id_bits=16,
+        probe_interval=5.0,
+        probe_timeout=1.0,
+        multicast_ack_timeout=1.0,
+        report_timeout=2.0,
+        level_check_interval=10.0,
+        multicast_processing_delay=0.1,
+    )
+
+
+def build_network(
+    n: int,
+    threshold: float = 100_000.0,
+    seed: int = 1,
+    config: ProtocolConfig | None = None,
+    loss_rate: float = 0.0,
+    settle: float = 30.0,
+) -> tuple[PeerWindowNetwork, list]:
+    """Seed an n-node network and let it settle briefly."""
+    config = config or ProtocolConfig(
+        id_bits=16,
+        probe_interval=5.0,
+        probe_timeout=1.0,
+        multicast_ack_timeout=1.0,
+        report_timeout=2.0,
+        level_check_interval=10.0,
+        multicast_processing_delay=0.1,
+    )
+    net = PeerWindowNetwork(config=config, master_seed=seed, loss_rate=loss_rate)
+    keys = net.seed_nodes([threshold] * n)
+    if settle > 0:
+        net.run(until=settle)
+    return net, keys
+
+
+@pytest.fixture
+def small_network():
+    return build_network(24)

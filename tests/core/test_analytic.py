@@ -1,0 +1,125 @@
+"""Analytic model tests (§2's formulas and worked numbers)."""
+
+import math
+
+import pytest
+
+from repro.core.analytic import (
+    CostModel,
+    estimate_join_level,
+    expected_error_rate,
+    expected_multicast_steps,
+)
+from repro.core.errors import ConfigError
+
+
+class TestPaperNumbers:
+    def test_modem_example_6000_pointers(self):
+        """§2: L=3600, m=3, i=1000, r=1 → a 5 kbps node collects ~6000."""
+        m = CostModel(
+            mean_lifetime_s=3600.0,
+            changes_per_lifetime=3.0,
+            redundancy=1.0,
+            message_bits=1000.0,
+        )
+        assert m.pointers_for_bandwidth(5000.0) == pytest.approx(6000.0)
+
+    def test_abstract_headline_under_1kbps_per_1000(self):
+        """Abstract: collecting 1,000 pointers costs less than 1 kbps."""
+        m = CostModel()
+        assert m.bandwidth_per_1000_pointers() < 1000.0
+
+    def test_level_shift_doubles_pointers(self):
+        """§2 autonomy example: raising one level doubles the list and
+        returns the bandwidth cost to the threshold."""
+        m = CostModel()
+        n = 100_000
+        for level in range(1, 6):
+            assert m.peer_list_size(n, level - 1) == pytest.approx(
+                2 * m.peer_list_size(n, level)
+            )
+            assert m.level_cost(n, level - 1) == pytest.approx(
+                2 * m.level_cost(n, level)
+            )
+
+    def test_intro_probing_comparison(self):
+        """The probing strawman maintains 600 pointers at 10 kbps; the
+        multicast model maintains ~12000 at the same budget (L=2h)."""
+        peer_window = CostModel(mean_lifetime_s=7200.0, changes_per_lifetime=3.0)
+        assert peer_window.pointers_for_bandwidth(10_000) == pytest.approx(24_000.0)
+
+
+class TestCostModel:
+    def test_inverse_functions(self):
+        m = CostModel()
+        for w in (500.0, 5000.0, 1e6):
+            assert m.bandwidth_for_pointers(m.pointers_for_bandwidth(w)) == pytest.approx(w)
+
+    def test_min_affordable_level(self):
+        m = CostModel()
+        n = 100_000
+        for threshold in (500.0, 5_000.0, 50_000.0, 1e9):
+            level = m.min_affordable_level(n, threshold)
+            assert m.level_cost(n, level) <= threshold + 1e-9
+            if level > 0:
+                assert m.level_cost(n, level - 1) > threshold
+
+    def test_level_zero_when_affordable(self):
+        m = CostModel()
+        assert m.min_affordable_level(100, 1e9) == 0
+
+    def test_empty_system(self):
+        assert CostModel().min_affordable_level(0, 100.0) == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CostModel(mean_lifetime_s=0.0)
+        with pytest.raises(ConfigError):
+            CostModel().bandwidth_for_pointers(-1.0)
+        with pytest.raises(ConfigError):
+            CostModel().min_affordable_level(10, 0.0)
+
+
+class TestJoinEstimate:
+    def test_equal_budgets_same_level(self):
+        assert estimate_join_level(2, 1000.0, 1000.0) == 2
+
+    def test_double_budget_one_level_stronger(self):
+        assert estimate_join_level(2, 1000.0, 2000.0) == 1
+
+    def test_half_budget_one_level_weaker(self):
+        assert estimate_join_level(2, 1000.0, 500.0) == 3
+
+    def test_clamped_at_zero(self):
+        assert estimate_join_level(1, 1000.0, 1e9) == 0
+
+    def test_non_power_of_two_ceils(self):
+        # W_T/W_X = 3 → log2(3) ≈ 1.58 → ceil → +2 levels
+        assert estimate_join_level(0, 3000.0, 1000.0) == 2
+
+    def test_zero_top_cost(self):
+        assert estimate_join_level(3, 0.0, 100.0) == 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            estimate_join_level(-1, 100.0, 100.0)
+        with pytest.raises(ConfigError):
+            estimate_join_level(0, 100.0, 0.0)
+
+
+class TestErrorAndSteps:
+    def test_error_rate_formula(self):
+        """§5.1: 25 s staleness over 135-minute lifetimes ≈ 0.0031."""
+        assert expected_error_rate(24.9, 135 * 60) == pytest.approx(0.0031, abs=2e-4)
+
+    def test_error_rate_capped(self):
+        assert expected_error_rate(1e9, 1.0) == 1.0
+
+    def test_multicast_steps_log2(self):
+        """§5.1: log2(100000) ≈ 16.6 steps."""
+        assert expected_multicast_steps(100_000) == pytest.approx(16.6, abs=0.05)
+        assert expected_multicast_steps(1) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            expected_error_rate(-1.0, 10.0)

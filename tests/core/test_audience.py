@@ -1,0 +1,130 @@
+"""Audience-set / peer-list predicate tests (§2), incl. hypothesis."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.audience import (
+    audience_set,
+    correct_peer_list,
+    covers,
+    in_peer_list,
+    same_eigenstring,
+    stronger,
+)
+from repro.core.errors import NodeIdError
+from repro.core.nodeid import NodeId
+
+ids_12 = st.integers(min_value=0, max_value=(1 << 12) - 1)
+levels = st.integers(min_value=0, max_value=12)
+
+
+def nid(s: str) -> NodeId:
+    return NodeId.from_bitstring(s)
+
+
+class TestCovers:
+    def test_level_zero_covers_everything(self):
+        holder = nid("0000")
+        for v in range(16):
+            assert covers(holder, 0, NodeId(v, 4))
+
+    def test_covers_requires_prefix_match(self):
+        holder = nid("1010")
+        assert covers(holder, 2, nid("1001"))
+        assert not covers(holder, 2, nid("1101"))
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(NodeIdError):
+            covers(nid("1010"), 5, nid("0000"))
+
+    @given(ids_12, levels, ids_12)
+    def test_duality_with_peer_list(self, holder_val, level, other_val):
+        """covers(A, lA, B) == B belongs in A's peer list == A is in B's
+        audience set — the §2 identity."""
+        holder, other = NodeId(holder_val, 12), NodeId(other_val, 12)
+        assert covers(holder, level, other) == in_peer_list(holder, level, other)
+
+    @given(ids_12, levels)
+    def test_self_coverage(self, value, level):
+        holder = NodeId(value, 12)
+        assert covers(holder, level, holder)
+
+
+class TestRelations:
+    def test_same_eigenstring_figure1(self):
+        """Nodes D and E share eigenstring '1' (figure 1)."""
+        d, e = nid("1110"), nid("1011")
+        assert same_eigenstring(d, 1, e, 1)
+        assert not same_eigenstring(d, 1, e, 2)
+
+    def test_stronger_is_proper_prefix(self):
+        """Node E (level 1, '1') is stronger than node H (level 2, '10')."""
+        e, h = nid("1011"), nid("1011")
+        assert stronger(e, 1, h, 2)
+        assert not stronger(h, 2, e, 1)
+        assert not stronger(e, 1, e, 1)  # same eigenstring, not stronger
+
+    @given(ids_12, levels, ids_12, levels, ids_12, levels)
+    def test_stronger_transitive(self, av, al, bv, bl, cv, cl):
+        a, b, c = NodeId(av, 12), NodeId(bv, 12), NodeId(cv, 12)
+        if stronger(a, al, b, bl) and stronger(b, bl, c, cl):
+            assert stronger(a, al, c, cl)
+
+    @given(ids_12, levels, ids_12, levels)
+    def test_stronger_peer_list_containment(self, av, al, bv, bl):
+        """Peer-list property 2: a stronger node's list covers the weaker's.
+        Checked against a fixed universe of members."""
+        a, b = NodeId(av, 12), NodeId(bv, 12)
+        if not stronger(a, al, b, bl):
+            return
+        universe = [(NodeId(v * 37 % 4096, 12), 0) for v in range(64)]
+        list_a = {x.value for x, _ in correct_peer_list(a, al, universe)}
+        list_b = {x.value for x, _ in correct_peer_list(b, bl, universe)}
+        assert list_b <= list_a
+
+
+class TestSetComputations:
+    def test_audience_of_figure1_node_e(self):
+        """§2's worked audience: for node E (nodeId 1011), the audience is
+        A, B (level 0), D, E (level 1, '1'), H (level 2, '10')."""
+        members = {
+            "A": (nid("0100"), 0),  # top node
+            "B": (nid("1100"), 0),  # top node
+            "C": (nid("0010"), 1),  # eigenstring "0"
+            "D": (nid("1110"), 1),  # eigenstring "1"
+            "E": (nid("1011"), 1),  # eigenstring "1" (the subject)
+            "F": (nid("0001"), 2),  # eigenstring "00"
+            "G": (nid("0111"), 2),  # eigenstring "01"
+            "H": (nid("1001"), 2),  # eigenstring "10" — prefix of E's id
+            "I": (nid("0110"), 2),  # eigenstring "01"
+            "J": (nid("0101"), 2),  # eigenstring "01"
+        }
+        subject = members["E"][0]
+        aud = audience_set(subject, members.values())
+        aud_vals = sorted((n.value, l) for n, l in aud)
+        expected = sorted(
+            (members[k][0].value, members[k][1]) for k in ("A", "B", "D", "E", "H")
+        )
+        assert aud_vals == expected
+
+    def test_correct_peer_list_prefix_rule(self):
+        members = [(NodeId(v, 4), 0) for v in range(16)]
+        owner = nid("1010")
+        lst = correct_peer_list(owner, 2, members)
+        assert sorted(n.value for n, _ in lst) == [8, 9, 10, 11]
+
+    @given(ids_12, levels)
+    def test_peer_list_size_halves_per_level(self, owner_val, level):
+        """Expected size N/2^l over the full id universe."""
+        if level > 6:
+            return
+        owner = NodeId(owner_val, 12)
+        members = [(NodeId(v, 12), 0) for v in range(0, 4096, 64)]  # 64 spread
+        lst = correct_peer_list(owner, level, members)
+        # 64 members uniform; expected 64 / 2^level, allow wide slack for
+        # the regular spacing.
+        expected = 64 / (2**level)
+        assert 0 <= len(lst) <= 64
+        if level == 0:
+            assert len(lst) == 64

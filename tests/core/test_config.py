@@ -1,0 +1,57 @@
+"""Protocol configuration validation tests."""
+
+import pytest
+
+from repro.core.config import PAPER_COMMON_CONFIG, ProtocolConfig
+from repro.core.errors import ConfigError
+
+
+class TestDefaults:
+    def test_paper_values(self):
+        c = PAPER_COMMON_CONFIG
+        assert c.id_bits == 128  # §2
+        assert c.top_list_size == 8  # §2: "commonly we set t = 8"
+        assert c.event_message_bits == 1000  # §5.1
+        assert c.multicast_processing_delay == 1.0  # §5.1
+        assert c.multicast_attempts == 3  # §4.2
+        assert c.refresh_multiple == 2.0  # §4.6
+        assert c.expiry_multiple == 3.0  # §4.6
+
+    def test_with_returns_modified_copy(self):
+        c = ProtocolConfig()
+        c2 = c.with_(id_bits=16)
+        assert c2.id_bits == 16
+        assert c.id_bits == 128
+
+    def test_describe_is_complete(self):
+        d = ProtocolConfig().describe()
+        assert d["top_list_size"] == 8
+        assert "probe_interval" in d
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"id_bits": 0},
+            {"id_bits": 257},
+            {"top_list_size": 0},
+            {"probe_interval": 0.0},
+            {"probe_timeout": -1.0},
+            {"probe_misses_to_fail": 0},
+            {"event_message_bits": 0},
+            {"multicast_processing_delay": -0.1},
+            {"multicast_attempts": 0},
+            {"multicast_ack_timeout": 0.0},
+            {"refresh_multiple": 0.0},
+            {"refresh_multiple": 3.0, "expiry_multiple": 2.0},
+            {"level_check_interval": 0.0},
+            {"raise_fraction": 0.0},
+            {"raise_fraction": 1.0},
+            {"report_timeout": 0.0},
+            {"warmup_extra_levels": -1},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            ProtocolConfig(**kwargs)

@@ -1,0 +1,84 @@
+"""Autonomic level controller tests (§2, §4.3)."""
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.levels import LevelController, LevelDecision
+
+
+def make_controller(threshold=5000.0, raise_fraction=0.5):
+    config = ProtocolConfig(raise_fraction=raise_fraction)
+    return LevelController(config, threshold)
+
+
+class TestDecisions:
+    def test_hold_inside_dead_zone(self):
+        ctl = make_controller(threshold=5000.0)
+        assert ctl.decide(3, 4000.0) is LevelDecision.HOLD
+
+    def test_lower_when_over_threshold(self):
+        ctl = make_controller(threshold=5000.0)
+        assert ctl.decide(3, 6000.0) is LevelDecision.LOWER
+
+    def test_raise_when_under_half(self):
+        """§2's worked example: 5 kbps threshold, cost drops below
+        2.5 kbps → shift to level l-1."""
+        ctl = make_controller(threshold=5000.0)
+        assert ctl.decide(3, 2400.0) is LevelDecision.RAISE
+
+    def test_never_raise_past_level_zero(self):
+        ctl = make_controller()
+        assert ctl.decide(0, 0.0) is LevelDecision.HOLD
+
+    def test_boundary_exact_threshold_holds(self):
+        ctl = make_controller(threshold=5000.0)
+        assert ctl.decide(2, 5000.0) is LevelDecision.HOLD
+
+    def test_counters(self):
+        ctl = make_controller(threshold=1000.0)
+        ctl.decide(3, 2000.0)
+        ctl.decide(4, 2000.0)
+        ctl.decide(5, 100.0)  # blocked by anti-flap (just lowered)
+        ctl.decide(5, 100.0)
+        assert ctl.lowers == 2
+        assert ctl.raises == 1
+
+
+class TestAntiFlap:
+    def test_no_immediate_reversal_after_lower(self):
+        ctl = make_controller(threshold=1000.0)
+        assert ctl.decide(3, 2000.0) is LevelDecision.LOWER
+        # Next tick the measured cost halves and undershoots: a naive
+        # controller would raise right back.
+        assert ctl.decide(4, 400.0) is LevelDecision.HOLD
+        # The tick after that, a persistent undershoot may act.
+        assert ctl.decide(4, 400.0) is LevelDecision.RAISE
+
+    def test_no_immediate_reversal_after_raise(self):
+        ctl = make_controller(threshold=1000.0)
+        assert ctl.decide(3, 400.0) is LevelDecision.RAISE
+        assert ctl.decide(2, 1200.0) is LevelDecision.HOLD
+        assert ctl.decide(2, 1200.0) is LevelDecision.LOWER
+
+    def test_repeated_same_direction_allowed(self):
+        ctl = make_controller(threshold=1000.0)
+        assert ctl.decide(3, 8000.0) is LevelDecision.LOWER
+        assert ctl.decide(4, 4000.0) is LevelDecision.LOWER
+        assert ctl.decide(5, 2000.0) is LevelDecision.LOWER
+
+
+class TestThresholdUpdates:
+    def test_user_retunes_threshold(self):
+        ctl = make_controller(threshold=1000.0)
+        assert ctl.decide(2, 900.0) is LevelDecision.HOLD
+        ctl.set_threshold(10_000.0)
+        assert ctl.decide(2, 900.0) is LevelDecision.RAISE
+
+    def test_validation(self):
+        ctl = make_controller()
+        with pytest.raises(ValueError):
+            ctl.set_threshold(0.0)
+        with pytest.raises(ValueError):
+            ctl.decide(0, -1.0)
+        with pytest.raises(ValueError):
+            LevelController(ProtocolConfig(), 0.0)

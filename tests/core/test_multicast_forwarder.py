@@ -1,0 +1,122 @@
+"""Runtime multicast forwarder tests: retries, redirects, stale removal."""
+
+from typing import Callable, Dict, List
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.events import EventKind, EventRecord
+from repro.core.multicast import MulticastForwarder
+from repro.core.nodeid import NodeId
+from repro.core.peerlist import PeerList
+from repro.core.pointer import Pointer
+
+
+def nid(s):
+    return NodeId.from_bitstring(s)
+
+
+def ptr(s, level=0):
+    return Pointer(node_id=nid(s), address=s, level=level)
+
+
+def make_event(subject="0011"):
+    return EventRecord(
+        kind=EventKind.JOIN,
+        subject_id=nid(subject),
+        subject_level=2,
+        subject_address=subject,
+        seq=0,
+        origin_time=0.0,
+    )
+
+
+class FakeSender:
+    """Captures sends; per-address behaviour: 'ok', 'fail'."""
+
+    def __init__(self, behaviour: Dict[str, str]):
+        self.behaviour = behaviour
+        self.sent: List[tuple] = []
+
+    def __call__(self, target, event, next_bit, on_result):
+        self.sent.append((target.address, next_bit))
+        on_result(self.behaviour.get(target.address, "ok") == "ok")
+
+
+@pytest.fixture
+def forwarder_setup():
+    config = ProtocolConfig(id_bits=4, multicast_attempts=3)
+    local = nid("0000")
+    pl = PeerList(local, 0)
+    for s, lvl in (("0000", 0), ("1000", 0), ("0100", 1), ("0010", 2)):
+        pl.add(ptr(s, lvl))
+
+    def build(behaviour=None, on_stale=None):
+        sender = FakeSender(behaviour or {})
+        fwd = MulticastForwarder(config, local, pl, sender, on_stale)
+        return fwd, sender, pl
+
+    return build
+
+
+class TestForward:
+    def test_sends_one_per_bit_position(self, forwarder_setup):
+        fwd, sender, _ = forwarder_setup()
+        out_degree = fwd.forward(make_event("0011"), 0)
+        # Audience of 0011: 0000(L0) 1000(L0) 0100?  eigen "01"≠prefix of
+        # 0011... 0100 at level 1 has eigenstring "0": prefix of 0011 ✓;
+        # 0010 at level 2 eigen "00": prefix ✓.  Candidates from 0000:
+        # bit0→1000, bit1→0100, bit2→0010(=? 0010 shares first 2 bits
+        # "00", differs at bit 2).  Subject itself (0011) excluded.
+        assert out_degree == 3
+        assert [(a, b) for a, b in sender.sent] == [
+            ("1000", 1),
+            ("0100", 2),
+            ("0010", 3),
+        ]
+
+    def test_start_bit_skips_earlier_positions(self, forwarder_setup):
+        fwd, sender, _ = forwarder_setup()
+        fwd.forward(make_event("0011"), 1)
+        assert ("1000", 1) not in sender.sent
+
+    def test_retries_then_removes_stale(self, forwarder_setup):
+        stale = []
+        fwd, sender, pl = forwarder_setup(
+            behaviour={"1000": "fail"}, on_stale=stale.append
+        )
+        fwd.forward(make_event("0011"), 0)
+        attempts_to_1000 = [s for s in sender.sent if s[0] == "1000"]
+        assert len(attempts_to_1000) == 3  # multicast_attempts
+        assert nid("1000") not in pl
+        assert [p.address for p in stale] == ["1000"]
+        assert fwd.stale_removed == 1
+
+    def test_redirect_after_removal(self, forwarder_setup):
+        """After removing the stale target, a fresh candidate for the same
+        bit is tried (§4.2: "turn back to line (3)")."""
+        fwd, sender, pl = forwarder_setup(behaviour={"1000": "fail"})
+        pl.add(ptr("1100", 1))  # alternative differing at bit 0
+        fwd.forward(make_event("0011"), 0)
+        # 1100 eigen "1"... wait: 1100 level 1 eigen "1" is not a prefix of
+        # subject 0011, so it is NOT an audience member and must NOT be
+        # used as the redirect target.
+        assert all(addr != "1100" for addr, _ in sender.sent)
+        assert fwd.redirects == 0
+
+    def test_redirect_to_valid_audience_member(self, forwarder_setup):
+        fwd, sender, pl = forwarder_setup(behaviour={"1000": "fail"})
+        pl.add(ptr("1010", 0))  # level-0: always in audience
+        fwd.forward(make_event("0011"), 0)
+        assert ("1010", 1) in sender.sent
+        assert fwd.redirects == 1
+
+    def test_no_candidates_no_sends(self, forwarder_setup):
+        config = ProtocolConfig(id_bits=4)
+        local = nid("0000")
+        pl = PeerList(local, 0)
+        pl.add(ptr("0000", 0))
+        sender = FakeSender({})
+        fwd = MulticastForwarder(config, local, pl, sender)
+        assert fwd.forward(make_event("0011"), 0) == 0
+        assert sender.sent == []

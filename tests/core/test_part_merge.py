@@ -1,0 +1,113 @@
+"""Part merging (§4.4 + DESIGN.md §7): a top node raising above its part.
+
+The paper specifies splitting but leaves merging informal.  Our
+completion: the raising top downloads the sibling part's membership from
+a cross-part top and bridge-subscribes to its event stream.  These tests
+drive the whole path.
+"""
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.nodeid import NodeId
+from repro.core.protocol import PeerWindowNetwork
+
+
+def build_two_parts(per_part=8, seed=6, level_check=1e6):
+    config = ProtocolConfig(
+        id_bits=12,
+        probe_interval=5.0,
+        probe_timeout=1.0,
+        multicast_ack_timeout=1.0,
+        report_timeout=2.0,
+        level_check_interval=level_check,
+        multicast_processing_delay=0.1,
+    )
+    net = PeerWindowNetwork(config=config, master_seed=seed)
+    rng = net.streams.get("ids")
+    specs = []
+    used = set()
+    for part_bit in (0, 1):
+        while sum(1 for s in specs if s["node_id"].bit(0) == part_bit) < per_part:
+            value = (part_bit << 11) | int(rng.integers(0, 1 << 11))
+            if value in used:
+                continue
+            used.add(value)
+            specs.append(
+                {"threshold_bps": 1e6, "node_id": NodeId(value, 12), "level": 1}
+            )
+    keys = net.seed_nodes(specs)
+    net.run(until=15.0)
+    return net, keys
+
+
+class TestPartMerge:
+    def _merge_one(self, net, keys):
+        """Force one part-0 top to raise to level 0."""
+        merger = next(
+            net.node(k) for k in keys if net.node(k).node_id.bit(0) == 0
+        )
+        merger._initiate_raise(0)
+        net.run(until=net.sim.now + 20.0)
+        return merger
+
+    def test_merger_reaches_level_zero_with_full_list(self):
+        net, keys = build_two_parts()
+        merger = self._merge_one(net, keys)
+        assert merger.level == 0
+        assert merger.is_top
+        # Its peer list now spans BOTH parts.
+        assert len(merger.peer_list) == len(net.live_nodes())
+        bits_seen = {p.node_id.bit(0) for p in merger.peer_list}
+        assert bits_seen == {0, 1}
+
+    def test_merger_bridge_subscribed_at_sibling_top(self):
+        net, keys = build_two_parts()
+        merger = self._merge_one(net, keys)
+        subscribed = [
+            n for n in net.live_nodes()
+            if merger.node_id.value in n.bridge_subscribers
+        ]
+        assert subscribed
+        assert all(n.node_id.bit(0) == 1 for n in subscribed)
+
+    def test_sibling_part_events_reach_merger(self):
+        """A leave in part 1 must update the merger's (merged) list via
+        the bridge."""
+        net, keys = build_two_parts()
+        merger = self._merge_one(net, keys)
+        victim_key = next(
+            k for k in keys
+            if k in net.nodes and net.node(k).node_id.bit(0) == 1
+        )
+        # The subscription propagated across the sibling top group, so any
+        # sibling top's own leave is bridged too.
+        assert merger.node_id.value in net.node(victim_key).bridge_subscribers
+        victim_id = net.node(victim_key).node_id
+        assert victim_id in merger.peer_list
+        net.leave(victim_key)
+        net.run(until=net.sim.now + 30.0)
+        assert victim_id not in merger.peer_list
+
+    def test_own_part_unaffected_by_merge(self):
+        net, keys = build_two_parts()
+        merger = self._merge_one(net, keys)
+        # Part-0 members still hold correct intra-part lists.
+        for k in keys:
+            if k in net.nodes and net.node(k).node_id.bit(0) == 0:
+                node = net.node(k)
+                if node is merger:
+                    continue
+                assert net.node_error_rate(node) == 0.0
+
+    def test_merge_then_lower_splits_again(self):
+        """The merger lowering back to 1 re-splits: the sibling entries
+        are evicted and land in its cross-part list."""
+        net, keys = build_two_parts()
+        merger = self._merge_one(net, keys)
+        merger._commit_lower()
+        net.run(until=net.sim.now + 10.0)
+        assert merger.level == 1
+        assert all(p.node_id.bit(0) == 0 for p in merger.peer_list)
+        sibling_parts = merger.cross_parts.parts()
+        assert any(p.startswith("1") for p in sibling_parts)

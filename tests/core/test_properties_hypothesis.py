@@ -1,0 +1,194 @@
+"""Cross-cutting property-based tests on core data structures.
+
+These complement the per-module hypothesis tests with whole-structure
+invariants: peer-list/retarget consistency, event-application
+commutativity-where-expected, and audience/multicast agreement between
+the two engines' predicate implementations.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.audience import covers
+from repro.core.events import EventKind, EventRecord, apply_event
+from repro.core.nodeid import NodeId
+from repro.core.peerlist import PeerList
+from repro.core.pointer import Pointer
+
+BITS = 10
+ids = st.integers(min_value=0, max_value=(1 << BITS) - 1)
+levels = st.integers(min_value=0, max_value=BITS)
+
+
+def ptr(value, level=0):
+    return Pointer(NodeId(value, BITS), value, level)
+
+
+class TestPeerListInvariants:
+    @settings(max_examples=60)
+    @given(
+        st.lists(st.tuples(ids, levels), min_size=1, max_size=40, unique_by=lambda t: t[0]),
+        ids,
+        levels,
+    )
+    def test_membership_matches_covers_predicate(self, members, owner_value, owner_level):
+        owner = NodeId(owner_value, BITS)
+        pl = PeerList(owner, owner_level)
+        for value, level in members:
+            if covers(owner, owner_level, NodeId(value, BITS)):
+                pl.add(ptr(value, level))
+        # Every stored id satisfies the predicate; every satisfying member
+        # was stored.
+        stored = set(pl.ids())
+        expected = {
+            v for v, _ in members if covers(owner, owner_level, NodeId(v, BITS))
+        }
+        assert stored == expected
+
+    @settings(max_examples=60)
+    @given(
+        st.lists(ids, min_size=1, max_size=40, unique=True),
+        ids,
+        st.integers(min_value=0, max_value=BITS - 1),
+    )
+    def test_retarget_equals_fresh_build(self, values, owner_value, new_level):
+        """Lowering a list must leave exactly what a fresh list at the new
+        level would contain."""
+        owner = NodeId(owner_value, BITS)
+        pl = PeerList(owner, 0)
+        for v in values:
+            pl.add(ptr(v))
+        pl.retarget(new_level)
+        fresh = PeerList(owner, new_level)
+        for v in values:
+            if covers(owner, new_level, NodeId(v, BITS)):
+                fresh.add(ptr(v))
+        assert pl.ids() == fresh.ids()
+
+    @settings(max_examples=60)
+    @given(st.lists(ids, min_size=2, max_size=30, unique=True))
+    def test_ring_successors_form_one_cycle(self, values):
+        """Following ring_successor from any member visits every member
+        exactly once before wrapping (the §4.1 ring is a single cycle)."""
+        owner = NodeId(values[0], BITS)
+        pl = PeerList(owner, 0)
+        for v in values:
+            pl.add(ptr(v, level=0))
+        start = NodeId(values[0], BITS)
+        seen = []
+        current = start
+        for _ in range(len(values)):
+            succ = pl.ring_successor(current)
+            assert succ is not None
+            seen.append(succ.node_id.value)
+            current = succ.node_id
+        assert sorted(seen) == sorted(values)  # full cycle, back to start
+        assert seen[-1] == start.value
+
+
+class TestEventApplication:
+    @settings(max_examples=60)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from([EventKind.JOIN, EventKind.LEAVE, EventKind.REFRESH]),
+                st.integers(min_value=0, max_value=5),  # seq
+            ),
+            min_size=1,
+            max_size=12,
+        ),
+        ids,
+    )
+    def test_final_state_determined_by_max_applied_seq(self, script, subject_value):
+        """With the node's per-subject max-seq filter in front (the
+        ``_seen_events`` guard every PeerWindowNode applies before
+        ``apply_event``), the surviving state corresponds to the highest
+        sequence number delivered — regardless of delivery order.
+
+        (Without the guard, a stale JOIN delivered after a LEAVE would
+        resurrect the tombstoned entry; see the apply_event docstring.)
+        """
+        owner = NodeId(0, BITS)
+        subject = NodeId(subject_value if subject_value else 1, BITS)
+        pl = PeerList(owner, 0)
+        seen = -1  # the node-level guard under test
+        applied_max = -1
+        final_kind = None
+        for kind, seq in script:
+            if seq <= seen:
+                continue
+            seen = seq
+            event = EventRecord(
+                kind=kind,
+                subject_id=subject,
+                subject_level=0,
+                subject_address="s",
+                seq=seq,
+                origin_time=0.0,
+            )
+            if apply_event(pl, event, now=0.0, owner_id=owner):
+                assert seq > applied_max
+                applied_max = seq
+                final_kind = kind
+        present = subject in pl
+        if final_kind is None:
+            assert not present
+        elif final_kind is EventKind.LEAVE:
+            assert not present
+        else:
+            assert present
+
+    def test_stale_join_after_leave_resurrects_without_guard(self):
+        """Pin the documented hazard: apply_event alone resurrects."""
+        owner = NodeId(0, BITS)
+        subject = NodeId(5, BITS)
+        pl = PeerList(owner, 0)
+        join0 = EventRecord(EventKind.JOIN, subject, 0, "s", 0, 0.0)
+        leave1 = EventRecord(EventKind.LEAVE, subject, 0, "s", 1, 1.0)
+        apply_event(pl, join0, 0.0, owner_id=owner)
+        apply_event(pl, leave1, 1.0, owner_id=owner)
+        assert subject not in pl
+        # Duplicate/stale join delivered late:
+        apply_event(pl, join0, 2.0, owner_id=owner)
+        assert subject in pl  # the hazard the node-level guard prevents
+
+    @settings(max_examples=40)
+    @given(ids, levels)
+    def test_join_then_leave_is_noop(self, subject_value, level):
+        owner = NodeId(0, BITS)
+        subject = NodeId(subject_value, BITS)
+        if subject.value == owner.value:
+            return
+        pl = PeerList(owner, 0)
+        join = EventRecord(EventKind.JOIN, subject, min(level, BITS), "s", 1, 0.0)
+        leave = EventRecord(EventKind.LEAVE, subject, min(level, BITS), "s", 2, 1.0)
+        apply_event(pl, join, 0.0, owner_id=owner)
+        apply_event(pl, leave, 1.0, owner_id=owner)
+        assert len(pl) == 0
+
+
+class TestEngineAgreement:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=5000))
+    def test_python_and_vectorized_audience_agree(self, seed):
+        """The detailed engine's covers() and the scalable engine's
+        vectorized prefix mask select the same audience."""
+        rng = np.random.default_rng(seed)
+        n = 200
+        bits = 16
+        values = rng.choice(1 << bits, size=n, replace=False).astype(np.uint64)
+        lvls = rng.integers(0, 6, size=n)
+        subject = np.uint64(rng.integers(0, 1 << bits))
+        # Vectorized (scalable engine's formula):
+        shifts = np.uint64(bits) - lvls.astype(np.uint64)
+        mask = ((values ^ subject) >> shifts) == 0
+        # Predicate (core):
+        subject_id = NodeId(int(subject), bits)
+        expected = np.array(
+            [
+                covers(NodeId(int(v), bits), int(l), subject_id)
+                for v, l in zip(values, lvls)
+            ]
+        )
+        assert np.array_equal(mask, expected)

@@ -1,0 +1,92 @@
+"""Refresh/expiry machinery tests (§4.6)."""
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.nodeid import NodeId
+from repro.core.peerlist import PeerList
+from repro.core.pointer import Pointer
+from repro.core.refresh import LifetimeEstimator, RefreshManager
+
+
+def ptr(s, level=0, refresh=0.0, join=None):
+    return Pointer(
+        node_id=NodeId.from_bitstring(s),
+        address=s,
+        level=level,
+        last_refresh=refresh,
+        seen_join_time=join,
+    )
+
+
+class TestLifetimeEstimator:
+    def test_prior_before_samples(self):
+        est = LifetimeEstimator(prior_mean=3600.0)
+        assert est.mean(0) == pytest.approx(3600.0)
+        assert est.samples(0) == 0
+
+    def test_samples_pull_mean(self):
+        est = LifetimeEstimator(prior_mean=3600.0, prior_weight=1.0)
+        for _ in range(99):
+            est.observe(0, 100.0)
+        # (3600 + 99*100) / 100 = 135
+        assert est.mean(0) == pytest.approx(135.0)
+        assert est.samples(0) == 99
+
+    def test_levels_tracked_separately(self):
+        est = LifetimeEstimator(prior_mean=100.0)
+        est.observe(1, 1000.0)
+        assert est.mean(1) > est.mean(2)
+
+    def test_observe_departure_requires_known_join(self):
+        est = LifetimeEstimator()
+        est.observe_departure(ptr("0001", join=None), now=50.0)
+        assert est.samples(0) == 0
+        est.observe_departure(ptr("0001", join=10.0), now=50.0)
+        assert est.samples(0) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LifetimeEstimator(prior_mean=0.0)
+        with pytest.raises(ValueError):
+            LifetimeEstimator().observe(0, -1.0)
+
+
+class TestRefreshManager:
+    def _mgr(self, prior=100.0):
+        config = ProtocolConfig(refresh_multiple=2.0, expiry_multiple=3.0)
+        return RefreshManager(config, LifetimeEstimator(prior_mean=prior))
+
+    def test_refresh_interval_is_twice_lt(self):
+        mgr = self._mgr(prior=100.0)
+        assert mgr.refresh_due_interval(0) == pytest.approx(200.0)
+
+    def test_expiry_age_is_three_lt(self):
+        mgr = self._mgr(prior=100.0)
+        assert mgr.expiry_age(2) == pytest.approx(300.0)
+
+    def test_sweep_removes_only_expired(self):
+        mgr = self._mgr(prior=100.0)
+        pl = PeerList(NodeId.from_bitstring("0000"), 0)
+        pl.add(ptr("0001", refresh=0.0))  # expired at t=400 (age > 300)
+        pl.add(ptr("0010", refresh=350.0))  # fresh
+        expired = mgr.sweep(pl, now=400.0)
+        assert [p.node_id.bitstring() for p in expired] == ["0001"]
+        assert NodeId.from_bitstring("0010") in pl
+        assert mgr.expired_removed == 1
+
+    def test_sweep_uses_pointer_level_lt(self):
+        """An m-level pointer expires after 3*LT_m — per-level clocks."""
+        mgr = self._mgr(prior=100.0)
+        mgr.estimator.observe(1, 1000.0)  # LT_1 now (100+1000)/2 = 550
+        pl = PeerList(NodeId.from_bitstring("0000"), 0)
+        pl.add(ptr("0001", level=0, refresh=0.0))
+        pl.add(ptr("0010", level=1, refresh=0.0))
+        expired = mgr.sweep(pl, now=400.0)
+        # level-0 pointer expired (age 400 > 300); level-1 still fresh
+        # (age 400 < 3*550).
+        assert [p.level for p in expired] == [0]
+
+    def test_config_rejects_expiry_not_after_refresh(self):
+        with pytest.raises(Exception):
+            ProtocolConfig(refresh_multiple=3.0, expiry_multiple=2.0)

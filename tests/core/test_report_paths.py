@@ -1,0 +1,95 @@
+"""Report-path edge cases (§4.5): dead tops, fallbacks, piggyback healing."""
+
+import pytest
+
+from repro.core.events import EventKind
+from tests.conftest import build_network
+
+
+def poison_top_list(node, net):
+    """Replace a node's top-node list with pointers to dead addresses."""
+    from repro.core.nodeid import NodeId
+    from repro.core.pointer import Pointer
+
+    node.top_list.clear()
+    node.top_list.merge(
+        [
+            Pointer(NodeId(60_000 + i, 16), f"ghost-{i}", 0, last_refresh=net.sim.now)
+            for i in range(3)
+        ]
+    )
+
+
+class TestReportFallback:
+    def test_report_heals_via_peer_topnode_query(self):
+        """All top-node pointers stale → §4.5: ask a peer for its
+        top-node list as a substitution, then the report goes through."""
+        net, keys = build_network(16)
+        # Pick a non-top node; everyone is level 0 = top here, so force
+        # one node into thinking it is not a top and poison its list.
+        node = net.node(keys[3])
+        node.is_top = False
+        poison_top_list(node, net)
+        node.update_attached_info({"healed": True})
+        net.run(until=net.sim.now + 40.0)
+        # The info change made it out despite the dead top list.
+        informed = [
+            net.node(k).peer_list.get(node.node_id).attached_info
+            for k in keys
+            if k != keys[3] and k in net.nodes
+        ]
+        assert all(info == {"healed": True} for info in informed)
+        # And the top list got repopulated with live entries.
+        assert len(node.top_list) > 0
+        live = [p for p in node.top_list.pointers() if net.transport.is_alive(p.address)]
+        assert live
+
+    def test_piggyback_refreshes_top_list(self):
+        """A successful report's ack carries t-1 fresh top pointers."""
+        net, keys = build_network(16)
+        node = net.node(keys[5])
+        node.is_top = False
+        node.top_list.clear()
+        # Leave exactly one valid top pointer.
+        top = net.node(keys[0])
+        node.top_list.merge([top.self_pointer()])
+        before = len(node.top_list)
+        node.update_attached_info({"x": 1})
+        net.run(until=net.sim.now + 10.0)
+        assert len(node.top_list) > before
+
+    def test_report_gives_up_after_bounded_attempts(self):
+        """With no peers and no tops, the report fails gracefully."""
+        net, keys = build_network(4)
+        node = net.node(keys[0])
+        node.is_top = False
+        poison_top_list(node, net)
+        # Remove all peers so the fallback has nobody to ask.
+        for p in list(node.peer_list):
+            if p.node_id.value != node.node_id.value:
+                node.peer_list.remove(p.node_id)
+        node.update_attached_info({"y": 2})
+        net.run(until=net.sim.now + 120.0)
+        assert node.stats.reports_failed >= 1
+
+    def test_nontop_receiving_report_relays(self):
+        """A report landing on a stale 'top' is relayed to a real top and
+        still gets multicast."""
+        net, keys = build_network(16)
+        stale_top = net.node(keys[2])
+        stale_top.is_top = False  # it will have to relay
+        reporter = net.node(keys[7])
+        reporter.is_top = False
+        reporter.top_list.clear()
+        reporter.top_list.merge([stale_top.self_pointer()])
+        reporter.update_attached_info({"via-relay": 1})
+        net.run(until=net.sim.now + 30.0)
+        informed = sum(
+            1
+            for k in keys
+            if k in net.nodes
+            and k != keys[7]
+            and (p := net.node(k).peer_list.get(reporter.node_id)) is not None
+            and p.attached_info == {"via-relay": 1}
+        )
+        assert informed == len(keys) - 1

@@ -1,0 +1,106 @@
+"""Top-node list maintenance tests (§4.5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.nodeid import NodeId
+from repro.core.pointer import Pointer
+from repro.core.topnodes import CrossPartTopList, TopNodeList
+
+
+def ptr(s, level=0, refresh=0.0):
+    return Pointer(
+        node_id=NodeId.from_bitstring(s),
+        address=s,
+        level=level,
+        last_refresh=refresh,
+    )
+
+
+class TestTopNodeList:
+    def test_merge_adds_new(self):
+        t = TopNodeList(capacity=4)
+        added = t.merge([ptr("0001"), ptr("0010")])
+        assert added == 2
+        assert len(t) == 2
+
+    def test_merge_prefers_fresher(self):
+        t = TopNodeList(4)
+        t.merge([ptr("0001", level=0, refresh=1.0)])
+        t.merge([ptr("0001", level=1, refresh=5.0)])
+        assert t.pointers()[0].level == 1
+        t.merge([ptr("0001", level=2, refresh=2.0)])  # staler: ignored
+        assert t.pointers()[0].level == 1
+
+    def test_capacity_evicts_oldest_refresh(self):
+        t = TopNodeList(2)
+        t.merge([ptr("0001", refresh=1.0), ptr("0010", refresh=5.0), ptr("0011", refresh=3.0)])
+        kept = {p.node_id.bitstring() for p in t.pointers()}
+        assert kept == {"0010", "0011"}
+
+    def test_choose_uniform(self):
+        t = TopNodeList(8)
+        t.merge([ptr("0001"), ptr("0010"), ptr("0100")])
+        rng = np.random.default_rng(0)
+        picks = {t.choose(rng).node_id.bitstring() for _ in range(50)}
+        assert picks == {"0001", "0010", "0100"}
+
+    def test_choose_empty(self):
+        assert TopNodeList(4).choose(np.random.default_rng(0)) is None
+
+    def test_remove(self):
+        t = TopNodeList(4)
+        t.merge([ptr("0001")])
+        assert t.remove(NodeId.from_bitstring("0001")) is not None
+        assert t.remove(NodeId.from_bitstring("0001")) is None
+        assert len(t) == 0
+
+    def test_min_level(self):
+        t = TopNodeList(4)
+        assert t.min_level() is None
+        t.merge([ptr("0001", level=2), ptr("0010", level=1)])
+        assert t.min_level() == 1
+
+    def test_contains(self):
+        t = TopNodeList(4)
+        t.merge([ptr("0001")])
+        assert NodeId.from_bitstring("0001") in t
+        assert NodeId.from_bitstring("0010") not in t
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            TopNodeList(0)
+
+
+class TestCrossPartTopList:
+    def test_merge_and_lookup_by_part(self):
+        c = CrossPartTopList(per_part=4)
+        c.merge("1", [ptr("1001", level=1), ptr("1100", level=1)])
+        assert len(c.for_part("1")) == 2
+        assert c.for_part("0") == []
+        assert c.parts() == ["1"]
+
+    def test_find_for_id_matches_prefix(self):
+        c = CrossPartTopList(4)
+        c.merge("10", [ptr("1001", level=2)])
+        c.merge("11", [ptr("1101", level=2)])
+        found = c.find_for_id(NodeId.from_bitstring("1011"))
+        assert [p.node_id.bitstring() for p in found] == ["1001"]
+
+    def test_find_prefers_shortest_prefix(self):
+        c = CrossPartTopList(4)
+        c.merge("1", [ptr("1000", level=1)])
+        c.merge("10", [ptr("1001", level=2)])
+        found = c.find_for_id(NodeId.from_bitstring("1011"))
+        assert found[0].node_id.bitstring() == "1000"
+
+    def test_find_none(self):
+        c = CrossPartTopList(4)
+        c.merge("11", [ptr("1101", level=2)])
+        assert c.find_for_id(NodeId.from_bitstring("0011")) == []
+
+    def test_remove_prunes_empty_parts(self):
+        c = CrossPartTopList(4)
+        c.merge("1", [ptr("1001", level=1)])
+        c.remove(NodeId.from_bitstring("1001"))
+        assert c.parts() == []

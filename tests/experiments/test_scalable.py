@@ -1,0 +1,158 @@
+"""Scalable-engine tests: bookkeeping invariants and physical sanity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.scalable import (
+    ScalableParams,
+    ScalableSim,
+    binomial_broadcast,
+)
+
+
+def fast_params(**kw):
+    base = dict(n_target=2000, duration_s=300.0, warmup_s=100.0, seed=3)
+    base.update(kw)
+    return ScalableParams(**base)
+
+
+@pytest.fixture(scope="module")
+def fast_result():
+    return ScalableSim(fast_params()).run()
+
+
+class TestBroadcast:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=2, max_value=400))
+    def test_full_coverage(self, seed, n):
+        """The vectorized dissemination reaches every audience member."""
+        rng = np.random.default_rng(seed)
+        bits = 32
+        subject = np.uint64(rng.integers(0, 1 << bits, dtype=np.uint64))
+        levels = rng.integers(0, 5, size=n).astype(np.int32)
+        # Build member ids sharing the subject's first `level` bits.
+        suffix_bits = bits - levels
+        ids = np.empty(n, dtype=np.uint64)
+        for i in range(n):
+            lvl = int(levels[i])
+            prefix = (int(subject) >> (bits - lvl)) << (bits - lvl) if lvl else 0
+            ids[i] = prefix | int(rng.integers(0, 1 << (bits - lvl)))
+        _, unique_idx = np.unique(ids, return_index=True)
+        ids = ids[unique_idx]
+        levels = levels[unique_idx]
+        root = int(np.lexsort((ids, levels))[0])
+        depths, senders = binomial_broadcast(ids, levels, root, bits)
+        assert (depths >= 0).all()
+        assert depths[root] == 0
+        assert senders.sum() == ids.size - 1  # exactly one receive each
+
+    def test_depth_logarithmic(self):
+        rng = np.random.default_rng(0)
+        n, bits = 4096, 32
+        ids = np.unique(rng.integers(0, 1 << bits, size=n, dtype=np.uint64))
+        levels = np.zeros(ids.size, dtype=np.int32)
+        depths, senders = binomial_broadcast(ids, levels, 0, bits)
+        assert depths.max() <= 2.5 * np.log2(ids.size)
+        assert senders[0] <= 2.0 * np.log2(ids.size)
+
+    def test_empty_audience(self):
+        depths, senders = binomial_broadcast(
+            np.empty(0, dtype=np.uint64), np.empty(0, dtype=np.int32), 0, 16
+        )
+        assert depths.size == 0
+
+
+class TestBookkeeping:
+    def test_population_stationary(self, fast_result):
+        res = fast_result
+        assert res.final_population == pytest.approx(res.params.n_target, rel=0.1)
+
+    def test_level_fractions_sum_to_one(self, fast_result):
+        total = sum(r.fraction for r in fast_result.rows)
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_counts_match_oracle(self):
+        """The prefix counters must agree with a direct recount."""
+        sim = ScalableSim(fast_params(n_target=500, duration_s=100.0, warmup_s=50.0))
+        res = sim.run()
+        ids = sim.ids[sim.alive]
+        bits = sim.p.id_bits
+        for l in (0, 1, 3, 5):
+            direct = np.bincount(
+                (ids >> np.uint64(bits - l)).astype(np.int64), minlength=1 << l
+            ) if l else np.array([ids.size])
+            assert np.array_equal(sim._counts[l][: direct.size], direct)
+
+    def test_level_counts_match_levels_array(self):
+        sim = ScalableSim(fast_params(n_target=500, duration_s=100.0, warmup_s=50.0))
+        sim.run()
+        for l in range(sim.p.max_level + 1):
+            expected = int(
+                (sim.alive & (np.minimum(sim.levels, sim.p.max_level) == l)).sum()
+            )
+            assert int(sim._level_counts[l].sum()) == expected
+
+    def test_peer_list_size_halves_per_level(self, fast_result):
+        rows = {r.level: r for r in fast_result.rows if r.population > 0}
+        levels = sorted(rows)
+        for a, b in zip(levels, levels[1:]):
+            if b == a + 1:
+                ratio = rows[a].mean_list_size / max(rows[b].mean_list_size, 1)
+                assert ratio == pytest.approx(2.0, rel=0.35)
+
+    def test_max_min_list_sizes_tight(self, fast_result):
+        """Figure 6: max and min within a level are 'hard to distinguish'."""
+        for r in fast_result.rows:
+            if r.population >= 10 and r.level <= 3:
+                assert r.max_list_size <= 2.0 * max(r.min_list_size, 1.0)
+
+    def test_event_counters_consistent(self, fast_result):
+        res = fast_result
+        assert res.joins > 0 and res.leaves > 0
+        # Poisson joins at N/L over (warmup+duration).
+        expected = res.params.n_target / (135 * 60.0) * (
+            res.params.warmup_s + res.params.duration_s
+        )
+        assert res.joins == pytest.approx(expected, rel=0.4)
+
+
+class TestErrorModel:
+    def test_error_rates_small_but_positive(self, fast_result):
+        for r in fast_result.rows:
+            if r.population > 0:
+                assert 0.0 < r.error_rate < 0.05
+
+    def test_error_scales_with_probe_interval(self):
+        fast = ScalableSim(fast_params(probe_interval_s=10.0, seed=4)).run()
+        slow = ScalableSim(fast_params(probe_interval_s=120.0, seed=4)).run()
+        assert slow.mean_error_rate > fast.mean_error_rate
+
+    def test_bandwidth_proportional_to_list_size(self, fast_result):
+        rows = [r for r in fast_result.rows if r.population > 5]
+        if len(rows) >= 2:
+            top, deep = rows[0], rows[-1]
+            size_ratio = top.mean_list_size / max(deep.mean_list_size, 1.0)
+            bw_ratio = top.in_bps / max(deep.in_bps, 1e-9)
+            # Same order of magnitude (probe floor flattens the tail).
+            assert 0.2 * size_ratio < bw_ratio < 5.0 * size_ratio
+
+    def test_output_concentrated_at_top_levels(self, fast_result):
+        """Figure 8: almost all multicast sends come from levels 0-1."""
+        rows = {r.level: r for r in fast_result.rows if r.population > 0}
+        if 0 in rows and len(rows) > 1:
+            deepest = rows[max(rows)]
+            assert rows[0].out_bps > deepest.out_bps
+
+
+class TestValidation:
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            ScalableParams(n_target=1)
+        with pytest.raises(ValueError):
+            ScalableParams(id_bits=63)
+        with pytest.raises(ValueError):
+            ScalableParams(lifetime_rate=0.0)
+        with pytest.raises(ValueError):
+            ScalableParams(max_level=0)

@@ -1,0 +1,53 @@
+"""Uniform latency model tests."""
+
+import numpy as np
+import pytest
+
+from repro.net.latency import UniformLatencyModel
+
+
+class TestUniformLatencyModel:
+    def test_constant_latency(self):
+        m = UniformLatencyModel(latency=0.05)
+        m.attach("a")
+        m.attach("b")
+        assert m.latency("a", "b") == 0.05
+
+    def test_loopback(self):
+        m = UniformLatencyModel(latency=0.05, loopback=0.001)
+        m.attach("a")
+        assert m.latency("a", "a") == 0.001
+
+    def test_jitter_is_stable_per_pair(self):
+        m = UniformLatencyModel(latency=0.1, jitter=0.5, rng=np.random.default_rng(0))
+        m.attach("a")
+        m.attach("b")
+        first = m.latency("a", "b")
+        assert m.latency("a", "b") == first
+        assert m.latency("b", "a") == first  # symmetric
+
+    def test_jitter_within_bounds(self):
+        m = UniformLatencyModel(latency=0.1, jitter=0.3, rng=np.random.default_rng(1))
+        for i in range(50):
+            m.attach(i)
+        for i in range(1, 50):
+            lat = m.latency(0, i)
+            assert 0.07 - 1e-9 <= lat <= 0.13 + 1e-9
+
+    def test_unattached_raises(self):
+        m = UniformLatencyModel()
+        m.attach("a")
+        with pytest.raises(KeyError):
+            m.latency("a", "b")
+
+    def test_detach(self):
+        m = UniformLatencyModel()
+        m.attach("a")
+        m.detach("a")
+        assert "a" not in m
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformLatencyModel(latency=-1.0)
+        with pytest.raises(ValueError):
+            UniformLatencyModel(jitter=1.0)

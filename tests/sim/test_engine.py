@@ -1,0 +1,264 @@
+"""Unit tests for the discrete-event core."""
+
+import pytest
+
+from repro.sim.engine import Event, SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_start_time(self):
+        assert Simulator().now == 0.0
+        assert Simulator(start_time=5.0).now == 5.0
+
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, order.append, "c")
+        sim.schedule(1.0, order.append, "a")
+        sim.schedule(2.0, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_run_in_schedule_order(self):
+        sim = Simulator()
+        order = []
+        for tag in "abcde":
+            sim.schedule(1.0, order.append, tag)
+        sim.run()
+        assert order == list("abcde")
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_into_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: sim.schedule(1.0, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [2.0]
+
+    def test_events_executed_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_executed == 5
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_run(self):
+        sim = Simulator()
+        ran = []
+        handle = sim.schedule(1.0, ran.append, 1)
+        handle.cancel()
+        sim.run()
+        assert ran == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert not handle.active
+
+    def test_cancel_after_execution_is_noop(self):
+        sim = Simulator()
+        ran = []
+        handle = sim.schedule(1.0, ran.append, 1)
+        sim.run()
+        handle.cancel()
+        assert ran == [1]
+        assert handle.done
+
+    def test_active_property_lifecycle(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        assert handle.active
+        sim.run()
+        assert not handle.active
+
+
+class TestRunBounds:
+    def test_run_until_stops_clock_at_until(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        sim.run(until=4.0)
+        assert sim.now == 4.0
+        assert len(sim) == 1  # event still pending
+
+    def test_run_until_executes_events_at_until(self):
+        sim = Simulator()
+        ran = []
+        sim.schedule(4.0, ran.append, 1)
+        sim.run(until=4.0)
+        assert ran == [1]
+
+    def test_run_resumes_after_until(self):
+        sim = Simulator()
+        ran = []
+        sim.schedule(10.0, ran.append, 1)
+        sim.run(until=5.0)
+        sim.run(until=15.0)
+        assert ran == [1]
+        assert sim.now == 15.0
+
+    def test_max_events(self):
+        sim = Simulator()
+        ran = []
+        for i in range(10):
+            sim.schedule(float(i + 1), ran.append, i)
+        sim.run(max_events=3)
+        assert ran == [0, 1, 2]
+
+    def test_empty_run_with_until_advances_clock(self):
+        sim = Simulator()
+        sim.run(until=100.0)
+        assert sim.now == 100.0
+
+    def test_cancelled_head_does_not_leak_past_until(self):
+        """Regression: with a cancelled entry at the queue head inside the
+        window and a live event beyond ``until``, run(until) must NOT
+        execute the live event."""
+        sim = Simulator()
+        ran = []
+        dead = sim.schedule(5.0, ran.append, "dead")
+        sim.schedule(50.0, ran.append, "far")
+        dead.cancel()
+        sim.run(until=10.0)
+        assert ran == []
+        assert sim.now == 10.0
+        sim.run(until=60.0)
+        assert ran == ["far"]
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+
+        def nested():
+            sim.run()
+
+        sim.schedule(1.0, nested)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestProcesses:
+    def test_process_sleeps(self):
+        sim = Simulator()
+        trace = []
+
+        def proc():
+            trace.append(sim.now)
+            yield 2.0
+            trace.append(sim.now)
+            yield 3.0
+            trace.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert trace == [0.0, 2.0, 5.0]
+
+    def test_process_waits_on_event(self):
+        sim = Simulator()
+        evt = sim.event()
+        results = []
+
+        def waiter():
+            value = yield evt
+            results.append((sim.now, value))
+
+        sim.process(waiter())
+        sim.schedule(4.0, evt.trigger, "payload")
+        sim.run()
+        assert results == [(4.0, "payload")]
+
+    def test_multiple_waiters_all_resume(self):
+        sim = Simulator()
+        evt = sim.event()
+        results = []
+
+        def waiter(tag):
+            value = yield evt
+            results.append((tag, value))
+
+        for tag in range(3):
+            sim.process(waiter(tag))
+        sim.schedule(1.0, evt.trigger, 42)
+        sim.run()
+        assert sorted(results) == [(0, 42), (1, 42), (2, 42)]
+
+    def test_wait_on_triggered_event_resumes_immediately(self):
+        sim = Simulator()
+        evt = sim.event()
+        evt.trigger("x")
+        results = []
+
+        def waiter():
+            value = yield evt
+            results.append(value)
+
+        sim.process(waiter())
+        sim.run()
+        assert results == ["x"]
+
+    def test_double_trigger_rejected(self):
+        sim = Simulator()
+        evt = sim.event()
+        evt.trigger()
+        with pytest.raises(SimulationError):
+            evt.trigger()
+
+    def test_process_bad_yield_raises(self):
+        sim = Simulator()
+
+        def proc():
+            yield "not a delay"
+
+        sim.process(proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_process_negative_delay_raises(self):
+        sim = Simulator()
+
+        def proc():
+            yield -1.0
+
+        sim.process(proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestCalendarBackend:
+    def test_same_results_as_heap(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        delays = rng.exponential(1.0, size=200)
+        results = {}
+        for queue in ("heap", "calendar"):
+            sim = Simulator(queue=queue)
+            order = []
+            for i, d in enumerate(delays):
+                sim.schedule(float(d), order.append, i)
+            sim.run()
+            results[queue] = order
+        assert results["heap"] == results["calendar"]
+
+    def test_unknown_queue_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator(queue="skiplist")

@@ -1,0 +1,130 @@
+"""Instrumentation primitive tests."""
+
+import math
+
+import pytest
+
+from repro.sim.monitor import Counter, Histogram, TimeSeries, TimeWeightedStat, summarize
+
+
+class TestCounter:
+    def test_add_and_rate(self):
+        c = Counter("msgs", t0=0.0)
+        c.add(10)
+        c.add(20)
+        assert c.value == 30
+        assert c.rate(now=10.0) == 3.0
+
+    def test_rate_before_any_time_elapsed(self):
+        assert Counter(t0=5.0).rate(now=5.0) == 0.0
+
+    def test_negative_add_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().add(-1)
+
+    def test_reset(self):
+        c = Counter(t0=0.0)
+        c.add(5)
+        c.reset(now=10.0)
+        assert c.value == 0
+        assert c.rate(now=20.0) == 0.0
+
+
+class TestTimeWeightedStat:
+    def test_piecewise_constant_mean(self):
+        s = TimeWeightedStat(t0=0.0, v0=0.0)
+        s.update(10.0, 100.0)  # 0 for 10s
+        s.update(20.0, 0.0)  # 100 for 10s
+        assert s.mean() == pytest.approx(50.0)
+
+    def test_mean_extends_to_now(self):
+        s = TimeWeightedStat(t0=0.0, v0=10.0)
+        assert s.mean(now=5.0) == pytest.approx(10.0)
+
+    def test_min_max_track_values(self):
+        s = TimeWeightedStat(v0=5.0)
+        s.update(1.0, 20.0)
+        s.update(2.0, -3.0)
+        assert s.min == -3.0
+        assert s.max == 20.0
+
+    def test_time_backwards_rejected(self):
+        s = TimeWeightedStat(t0=10.0)
+        with pytest.raises(ValueError):
+            s.update(5.0, 1.0)
+
+    def test_advance_keeps_value(self):
+        s = TimeWeightedStat(t0=0.0, v0=7.0)
+        s.advance(4.0)
+        assert s.current == 7.0
+        assert s.mean() == pytest.approx(7.0)
+
+
+class TestTimeSeries:
+    def test_record_and_export(self):
+        ts = TimeSeries("x")
+        ts.record(0.0, 1.0)
+        ts.record(1.0, 3.0)
+        times, values = ts.as_arrays()
+        assert list(times) == [0.0, 1.0]
+        assert ts.mean() == 2.0
+        assert ts.last() == 3.0
+        assert len(ts) == 2
+
+    def test_non_monotone_time_rejected(self):
+        ts = TimeSeries()
+        ts.record(5.0, 0.0)
+        with pytest.raises(ValueError):
+            ts.record(4.0, 0.0)
+
+    def test_empty_series(self):
+        ts = TimeSeries()
+        assert math.isnan(ts.mean())
+        with pytest.raises(IndexError):
+            ts.last()
+
+
+class TestHistogram:
+    def test_counts_and_overflow(self):
+        h = Histogram(0.0, 10.0, nbins=10)
+        h.add(-1.0)
+        h.add(5.5)
+        h.add(100.0)
+        assert h.counts[0] == 1  # underflow
+        assert h.counts[-1] == 1  # overflow
+        assert h.n == 3
+
+    def test_mean_std(self):
+        h = Histogram(0.0, 10.0, 10)
+        for v in (2.0, 4.0, 6.0):
+            h.add(v)
+        assert h.mean() == pytest.approx(4.0)
+        assert h.std() == pytest.approx(math.sqrt(8.0 / 3.0))
+
+    def test_quantile_midline(self):
+        h = Histogram(0.0, 100.0, 100)
+        for v in range(100):
+            h.add(v + 0.5)
+        assert h.quantile(0.5) == pytest.approx(50.0, abs=2.0)
+
+    def test_quantile_bounds(self):
+        h = Histogram(0.0, 1.0, 4)
+        h.add(0.5)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Histogram(1.0, 1.0, 4)
+        with pytest.raises(ValueError):
+            Histogram(0.0, 1.0, 0)
+
+
+def test_summarize():
+    s = summarize([1.0, 2.0, 3.0])
+    assert s["n"] == 3
+    assert s["mean"] == 2.0
+    assert s["p50"] == 2.0
+    empty = summarize([])
+    assert empty["n"] == 0
+    assert math.isnan(empty["mean"])

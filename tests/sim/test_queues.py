@@ -1,0 +1,123 @@
+"""Pending-event set tests: heap and calendar queue must agree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.queues import CalendarQueue, HeapQueue
+
+
+class TestHeapQueue:
+    def test_push_pop_order(self):
+        q = HeapQueue()
+        q.push(3.0, 0, "c")
+        q.push(1.0, 1, "a")
+        q.push(2.0, 2, "b")
+        assert [q.pop()[2] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_tie_break_by_seq(self):
+        q = HeapQueue()
+        q.push(1.0, 5, "later")
+        q.push(1.0, 1, "earlier")
+        assert q.pop()[2] == "earlier"
+
+    def test_peek_time(self):
+        q = HeapQueue()
+        assert q.peek_time() is None
+        q.push(7.0, 0, None)
+        assert q.peek_time() == 7.0
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            HeapQueue().pop()
+
+    def test_len_and_clear(self):
+        q = HeapQueue()
+        for i in range(4):
+            q.push(float(i), i, i)
+        assert len(q) == 4
+        q.clear()
+        assert len(q) == 0
+
+
+class TestCalendarQueue:
+    def test_basic_order(self):
+        q = CalendarQueue()
+        q.push(3.0, 0, "c")
+        q.push(1.0, 1, "a")
+        q.push(2.0, 2, "b")
+        assert [q.pop()[2] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_push_into_past_rejected(self):
+        q = CalendarQueue()
+        q.push(5.0, 0, None)
+        q.pop()
+        with pytest.raises(ValueError):
+            q.push(1.0, 1, None)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            CalendarQueue().pop()
+
+    def test_resize_preserves_order(self):
+        q = CalendarQueue(nbuckets=2, bucket_width=0.5)
+        rng = np.random.default_rng(1)
+        times = np.cumsum(rng.exponential(0.3, size=500))
+        for i, t in enumerate(times):
+            q.push(float(t), i, i)
+        out = [q.pop()[1] for _ in range(len(times))]
+        assert out == sorted(out)
+
+    def test_sparse_far_future_events(self):
+        q = CalendarQueue(nbuckets=4, bucket_width=1.0)
+        q.push(1e6, 0, "far")
+        q.push(2.0, 1, "near")
+        assert q.pop()[2] == "near"
+        assert q.pop()[2] == "far"
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            CalendarQueue(nbuckets=0)
+        with pytest.raises(ValueError):
+            CalendarQueue(bucket_width=0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    def test_agrees_with_heap(self, times):
+        heap = HeapQueue()
+        cal = CalendarQueue()
+        for i, t in enumerate(sorted(times)):
+            # Push monotonically so the calendar's no-past rule holds even
+            # while interleaving pops would not be monotone.
+            heap.push(t, i, i)
+            cal.push(t, i, i)
+        heap_out = [heap.pop()[:2] for _ in range(len(times))]
+        cal_out = [cal.pop()[:2] for _ in range(len(times))]
+        assert heap_out == cal_out
+
+    def test_interleaved_push_pop(self):
+        q = CalendarQueue()
+        rng = np.random.default_rng(2)
+        now = 0.0
+        seq = 0
+        pending = []
+        popped = []
+        for _ in range(300):
+            if pending and rng.random() < 0.4:
+                t, s, _ = q.pop()
+                now = t
+                popped.append((t, s))
+                pending.remove((t, s))
+            else:
+                t = now + float(rng.exponential(1.0))
+                q.push(t, seq, None)
+                pending.append((t, seq))
+                seq += 1
+        assert popped == sorted(popped)

@@ -1,0 +1,103 @@
+"""SimTracer tests."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.trace import SimTracer
+
+
+def named_callback():
+    pass
+
+
+class TestSimTracer:
+    def test_records_executed_events(self):
+        sim = Simulator()
+        tracer = SimTracer(sim)
+        sim.schedule(1.0, named_callback)
+        sim.schedule(2.0, named_callback)
+        sim.run()
+        assert len(tracer) == 2
+        assert tracer.records[0].time == 1.0
+        assert "named_callback" in tracer.records[0].name
+
+    def test_args_in_detail(self):
+        sim = Simulator()
+        tracer = SimTracer(sim)
+        sim.schedule(1.0, print, "hello", 42)
+        sim.run()
+        assert "'hello'" in tracer.records[0].detail
+        assert "42" in tracer.records[0].detail
+
+    def test_match_filter(self):
+        sim = Simulator()
+        tracer = SimTracer(sim, match="named")
+        sim.schedule(1.0, named_callback)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert len(tracer) == 1
+        assert tracer.dropped == 1
+
+    def test_ring_buffer_bounds(self):
+        sim = Simulator()
+        tracer = SimTracer(sim, keep=3)
+        for i in range(10):
+            sim.schedule(float(i + 1), named_callback)
+        sim.run()
+        assert len(tracer) == 3
+        assert tracer.records[0].time == 8.0  # oldest retained
+
+    def test_close_detaches(self):
+        sim = Simulator()
+        tracer = SimTracer(sim)
+        sim.schedule(1.0, named_callback)
+        sim.run()
+        tracer.close()
+        sim.schedule(1.0, named_callback)
+        sim.run()
+        assert len(tracer) == 1  # nothing recorded after close
+        assert sim.events_executed == 2  # but the sim kept working
+
+    def test_context_manager(self):
+        sim = Simulator()
+        with SimTracer(sim) as tracer:
+            sim.schedule(1.0, named_callback)
+            sim.run()
+        sim.schedule(1.0, named_callback)
+        sim.run()
+        assert len(tracer) == 1
+
+    def test_cancelled_events_not_recorded(self):
+        sim = Simulator()
+        tracer = SimTracer(sim)
+        handle = sim.schedule(1.0, named_callback)
+        handle.cancel()
+        sim.schedule(2.0, named_callback)
+        sim.run()
+        assert len(tracer) == 1
+        assert sim.events_executed == 1
+
+    def test_filter_and_format(self):
+        sim = Simulator()
+        tracer = SimTracer(sim)
+        sim.schedule(1.0, named_callback)
+        sim.schedule(2.0, print, "x")
+        sim.run()
+        assert len(tracer.filter("print")) == 1
+        text = tracer.format(limit=1)
+        assert "print" in text
+        assert "t=" in text
+
+    def test_traces_protocol_run(self):
+        """Attach to a real PeerWindow run and capture probe traffic."""
+        from tests.conftest import build_network
+
+        net, keys = build_network(6, settle=0.0)
+        tracer = SimTracer(net.sim, keep=5000, match="_probe_tick")
+        net.run(until=12.0)
+        tracer.close()
+        assert len(tracer) >= 6  # each node's probe loop fired
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimTracer(Simulator(), keep=0)

@@ -1,0 +1,81 @@
+"""Attached-info generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.attached_info import (
+    BidInfo,
+    backup_attached_info,
+    bid_attached_info,
+    guess_attached_info,
+    load_attached_info,
+    sample_load,
+    sample_os_versions,
+    sample_shared_files,
+)
+
+
+class TestOsVersions:
+    def test_all_known_versions(self, rng):
+        from repro.workloads.attached_info import OS_VERSIONS
+
+        names = sample_os_versions(rng, 500)
+        assert set(names) <= set(OS_VERSIONS)
+
+    def test_windows_majority(self, rng):
+        names = sample_os_versions(rng, 20_000)
+        windows = sum(1 for n in names if n.startswith("windows"))
+        assert 0.55 < windows / len(names) < 0.80
+
+
+class TestSharedFiles:
+    def test_free_riders_fraction(self, rng):
+        files = sample_shared_files(rng, 50_000)
+        assert np.mean(files == 0) == pytest.approx(0.25, abs=0.02)
+
+    def test_heavy_tail(self, rng):
+        files = sample_shared_files(rng, 50_000)
+        assert files.max() > 100 * max(np.median(files), 1)
+
+    def test_capped(self, rng):
+        files = sample_shared_files(rng, 50_000)
+        assert files.max() <= 100_000
+
+
+class TestLoad:
+    def test_some_overloaded(self, rng):
+        loads = sample_load(rng, 20_000)
+        frac_over = np.mean(loads > 1.0)
+        assert 0.02 < frac_over < 0.35
+        assert (loads > 0).all()
+
+
+class TestBidInfo:
+    def test_fields_valid(self, rng):
+        bids = bid_attached_info(rng, 200)
+        for entry in bids:
+            bid = entry["bid"]
+            assert isinstance(bid, BidInfo)
+            assert bid.storage_gb >= 0
+            assert 0 <= bid.availability <= 1
+            assert bid.price_per_gb >= 0
+
+    def test_invalid_bid_rejected(self):
+        with pytest.raises(ValueError):
+            BidInfo(storage_gb=-1.0, availability=0.5, price_per_gb=1.0)
+        with pytest.raises(ValueError):
+            BidInfo(storage_gb=1.0, availability=1.5, price_per_gb=1.0)
+
+
+class TestDictShapes:
+    def test_guess_info(self, rng):
+        infos = guess_attached_info(rng, 10)
+        assert all("shared_files" in d for d in infos)
+
+    def test_backup_info(self, rng):
+        infos = backup_attached_info(rng, 10)
+        assert all(isinstance(d["os"], str) for d in infos)
+
+    def test_load_info(self, rng):
+        infos = load_attached_info(rng, 10)
+        assert all(d["load"] > 0 for d in infos)

@@ -1,0 +1,88 @@
+"""Bandwidth distribution tests — the paper's anchors enforced."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.bandwidth_dist import (
+    BandwidthCategory,
+    GnutellaBandwidthDistribution,
+    threshold_from_bandwidth,
+)
+
+
+class TestAnchors:
+    def test_20_percent_below_1mbps(self):
+        """§5.1 discussion of figure 5: *"only 20% nodes' available
+        bandwidth is less than 1Mbps"*."""
+        d = GnutellaBandwidthDistribution()
+        assert d.fraction_below(1_000_000) == pytest.approx(0.20, abs=0.005)
+
+    def test_sampled_fraction_matches_model(self, rng):
+        d = GnutellaBandwidthDistribution()
+        samples = d.sample(rng, 100_000)
+        assert np.mean(samples < 1_000_000) == pytest.approx(0.20, abs=0.01)
+
+    def test_modems_exist(self, rng):
+        d = GnutellaBandwidthDistribution()
+        samples = d.sample(rng, 100_000)
+        assert np.mean(samples < 56_000) == pytest.approx(0.05, abs=0.01)
+
+
+class TestSampling:
+    def test_samples_within_category_bounds(self, rng):
+        d = GnutellaBandwidthDistribution()
+        samples = d.sample(rng, 10_000)
+        assert samples.min() >= 33_600
+        assert samples.max() <= 1_000_000_000
+
+    def test_scalar_sample(self, rng):
+        value = GnutellaBandwidthDistribution().sample(rng)
+        assert isinstance(value, float)
+
+    def test_fraction_below_interpolates_within_category(self):
+        d = GnutellaBandwidthDistribution(
+            [BandwidthCategory("only", 1.0, 1000.0, 10_000.0)]
+        )
+        assert d.fraction_below(1000.0) == 0.0
+        assert d.fraction_below(10_000.0) == pytest.approx(1.0)
+        # Log-uniform midpoint: sqrt(1000*10000) ≈ 3162
+        assert d.fraction_below(3162.0) == pytest.approx(0.5, abs=0.01)
+
+    def test_custom_categories_weighting(self, rng):
+        d = GnutellaBandwidthDistribution(
+            [
+                BandwidthCategory("slow", 3.0, 100.0, 200.0),
+                BandwidthCategory("fast", 1.0, 1000.0, 2000.0),
+            ]
+        )
+        samples = d.sample(rng, 40_000)
+        assert np.mean(samples < 500) == pytest.approx(0.75, abs=0.02)
+
+    def test_empty_categories_rejected(self):
+        with pytest.raises(ValueError):
+            GnutellaBandwidthDistribution([])
+
+    def test_invalid_category(self):
+        with pytest.raises(ValueError):
+            BandwidthCategory("bad", 0.5, 100.0, 50.0)
+
+
+class TestThreshold:
+    def test_one_percent_rule(self):
+        assert threshold_from_bandwidth(10_000_000) == pytest.approx(100_000.0)
+
+    def test_floor_for_modems(self):
+        """§5.1: the threshold *"cannot be less than 500bps"*."""
+        assert threshold_from_bandwidth(33_600) == pytest.approx(500.0)
+
+    def test_vectorized(self):
+        out = threshold_from_bandwidth(np.array([33_600.0, 10_000_000.0]))
+        assert out.tolist() == [500.0, 100_000.0]
+
+    def test_custom_fraction_and_floor(self):
+        assert threshold_from_bandwidth(1_000_000, fraction=0.1) == pytest.approx(100_000.0)
+        assert threshold_from_bandwidth(33_600, floor_bps=250.0) == pytest.approx(336.0)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            threshold_from_bandwidth(1000, fraction=0.0)

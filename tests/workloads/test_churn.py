@@ -1,0 +1,138 @@
+"""Churn generation tests."""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.workloads.churn import ChurnProcess, Session, generate_sessions
+from repro.workloads.lifetime import ExponentialLifetime
+
+
+class TestSession:
+    def test_leave_time(self):
+        s = Session(join_time=10.0, lifetime=5.0, bandwidth_bps=1e6, threshold_bps=1e4)
+        assert s.leave_time == 15.0
+
+
+class TestGenerateSessions:
+    def test_warm_population_count(self, rng):
+        sessions = generate_sessions(rng, n_target=100, duration=0.0)
+        assert len(sessions) == 100
+        assert all(s.join_time == 0.0 for s in sessions)
+
+    def test_arrival_rate_balances_departures(self, rng):
+        lifetime = ExponentialLifetime(mean=100.0)
+        sessions = generate_sessions(
+            rng, n_target=200, duration=1000.0, lifetime_dist=lifetime
+        )
+        arrivals = [s for s in sessions if s.join_time > 0]
+        # Expected arrivals = rate * duration = 200/100 * 1000 = 2000
+        assert len(arrivals) == pytest.approx(2000, rel=0.15)
+
+    def test_arrivals_sorted(self, rng):
+        sessions = generate_sessions(rng, n_target=50, duration=500.0)
+        arrivals = [s.join_time for s in sessions if s.join_time > 0]
+        assert arrivals == sorted(arrivals)
+
+    def test_thresholds_floor(self, rng):
+        sessions = generate_sessions(rng, n_target=500, duration=0.0)
+        assert all(s.threshold_bps >= 500.0 for s in sessions)
+
+    def test_population_roughly_stationary(self, rng):
+        """Count the live population at several instants."""
+        lifetime = ExponentialLifetime(mean=50.0)
+        sessions = generate_sessions(
+            rng, n_target=300, duration=500.0, lifetime_dist=lifetime
+        )
+        for t in (100.0, 250.0, 400.0):
+            live = sum(1 for s in sessions if s.join_time <= t < s.leave_time)
+            assert live == pytest.approx(300, rel=0.25)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            generate_sessions(rng, n_target=0, duration=10.0)
+        with pytest.raises(ValueError):
+            generate_sessions(rng, n_target=10, duration=-1.0)
+
+
+class TestChurnProcess:
+    def test_joins_and_leaves_fire(self, rng):
+        sim = Simulator()
+        live = set()
+        joined = []
+
+        def on_join(session):
+            key = len(joined)
+            joined.append(session)
+            live.add(key)
+            return key
+
+        def on_leave(key):
+            live.discard(key)
+
+        churn = ChurnProcess(
+            sim,
+            rng,
+            n_target=50,
+            on_join=on_join,
+            on_leave=on_leave,
+            lifetime_dist=ExponentialLifetime(mean=20.0),
+        )
+        churn.start()
+        sim.run(until=200.0)
+        assert churn.joins > 100  # rate 2.5/s over 200s
+        assert churn.leaves > 50
+        assert churn.joins == len(joined)
+
+    def test_stop_halts_new_joins(self, rng):
+        sim = Simulator()
+        churn = ChurnProcess(
+            sim,
+            rng,
+            n_target=50,
+            on_join=lambda s: 1,
+            on_leave=lambda k: None,
+            lifetime_dist=ExponentialLifetime(mean=20.0),
+        )
+        churn.start()
+        sim.run(until=50.0)
+        count = churn.joins
+        churn.stop()
+        sim.run(until=100.0)
+        assert churn.joins == count
+
+    def test_none_key_skips_leave_scheduling(self, rng):
+        sim = Simulator()
+        leaves = []
+        churn = ChurnProcess(
+            sim,
+            rng,
+            n_target=10,
+            on_join=lambda s: None,
+            on_leave=leaves.append,
+            lifetime_dist=ExponentialLifetime(mean=1.0),
+        )
+        churn.start()
+        sim.run(until=50.0)
+        assert churn.joins > 0
+        assert leaves == []
+
+    def test_sessions_carry_threshold(self, rng):
+        sim = Simulator()
+        sessions = []
+        churn = ChurnProcess(
+            sim,
+            rng,
+            n_target=20,
+            on_join=lambda s: sessions.append(s),
+            on_leave=lambda k: None,
+        )
+        churn.start()
+        sim.run(until=3000.0)
+        assert sessions
+        assert all(s.threshold_bps >= 500.0 for s in sessions)
+        assert all(s.threshold_bps >= 0.01 * s.bandwidth_bps - 1e-9 for s in sessions)
+
+    def test_invalid_target(self, rng):
+        with pytest.raises(ValueError):
+            ChurnProcess(Simulator(), rng, 0, lambda s: None, lambda k: None)

@@ -1,0 +1,107 @@
+"""Lifetime distribution tests — anchored to the paper's quoted values."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.lifetime import (
+    COMMON_MEAN_LIFETIME_S,
+    ExponentialLifetime,
+    GnutellaLifetimeDistribution,
+    WeibullLifetime,
+)
+
+
+class TestGnutellaLifetime:
+    def test_mean_anchor_is_135_minutes(self):
+        d = GnutellaLifetimeDistribution()
+        assert d.mean == pytest.approx(135 * 60.0)
+
+    def test_sample_mean_converges(self, rng):
+        d = GnutellaLifetimeDistribution()
+        samples = d.sample(rng, 200_000)
+        assert np.mean(samples) == pytest.approx(d.mean, rel=0.05)
+
+    def test_median_anchor_is_60_minutes(self, rng):
+        d = GnutellaLifetimeDistribution()
+        samples = d.sample(rng, 100_000)
+        assert np.median(samples) == pytest.approx(3600.0, rel=0.05)
+        assert d.median() == pytest.approx(3600.0)
+
+    def test_heavy_tail(self, rng):
+        """Lognormal heavy tail: a nontrivial share of sessions outlive
+        four times the mean (what makes refresh multicasts rare but real)."""
+        d = GnutellaLifetimeDistribution()
+        samples = d.sample(rng, 100_000)
+        frac = np.mean(samples > 4 * d.mean)
+        assert 0.005 < frac < 0.10
+
+    def test_lifetime_rate_scales_mean(self, rng):
+        d = GnutellaLifetimeDistribution(lifetime_rate=0.1)
+        assert d.mean == pytest.approx(13.5 * 60.0)
+        samples = d.sample(rng, 50_000)
+        assert np.mean(samples) == pytest.approx(d.mean, rel=0.1)
+
+    def test_scaled_returns_copy(self):
+        d = GnutellaLifetimeDistribution()
+        d2 = d.scaled(2.0)
+        assert d.lifetime_rate == 1.0
+        assert d2.mean == pytest.approx(2 * d.mean)
+
+    def test_scalar_sample(self, rng):
+        value = GnutellaLifetimeDistribution().sample(rng)
+        assert isinstance(value, float) and value > 0
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            GnutellaLifetimeDistribution(lifetime_rate=0.0)
+
+
+class TestResidualSampling:
+    def test_residual_mean_exceeds_naive_mean(self, rng):
+        """Inspection paradox: residuals of a heavy-tailed lifetime are
+        longer on average than fresh lifetimes divided by two."""
+        d = GnutellaLifetimeDistribution()
+        residuals = d.sample_residual(rng, 100_000)
+        # E[residual] = E[X^2] / (2 E[X]) for stationary renewal processes.
+        import math
+
+        ex2 = math.exp(2 * d.mu + 2 * d.sigma**2)
+        expected = ex2 / (2 * d.mean)
+        assert np.mean(residuals) == pytest.approx(expected, rel=0.1)
+
+    def test_exponential_residual_memoryless(self, rng):
+        d = ExponentialLifetime(mean=100.0)
+        residuals = d.sample_residual(rng, 100_000)
+        assert np.mean(residuals) == pytest.approx(100.0, rel=0.05)
+
+    def test_generic_residual_fallback(self, rng):
+        d = WeibullLifetime(mean=100.0, shape=0.7)
+        residuals = d.sample_residual(rng, 20_000)
+        # Heavy-ish tail: residual mean above half the fresh mean.
+        assert np.mean(residuals) > 50.0
+
+    def test_residual_empty(self, rng):
+        assert GnutellaLifetimeDistribution().sample_residual(rng, 0).size == 0
+
+
+class TestAlternatives:
+    def test_exponential_mean(self, rng):
+        d = ExponentialLifetime(mean=500.0)
+        assert d.mean == 500.0
+        assert np.mean(d.sample(rng, 100_000)) == pytest.approx(500.0, rel=0.05)
+
+    def test_weibull_mean_solved_from_scale(self, rng):
+        d = WeibullLifetime(mean=COMMON_MEAN_LIFETIME_S, shape=0.6)
+        assert d.mean == pytest.approx(COMMON_MEAN_LIFETIME_S)
+        samples = d.sample(rng, 200_000)
+        assert np.mean(samples) == pytest.approx(d.mean, rel=0.1)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ExponentialLifetime(mean=0.0)
+        with pytest.raises(ValueError):
+            WeibullLifetime(shape=0.0)
+
+    def test_negative_sample_count_rejected(self, rng):
+        with pytest.raises(ValueError):
+            ExponentialLifetime().sample(rng, -1)

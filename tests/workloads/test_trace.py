@@ -1,0 +1,90 @@
+"""Trace record/replay tests."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.workloads.churn import Session, generate_sessions
+from repro.workloads.trace import TraceReplayer, load_trace, save_trace
+
+
+class TestRoundTrip:
+    def test_save_load_identity(self, tmp_path, rng):
+        sessions = generate_sessions(rng, n_target=30, duration=200.0)
+        path = tmp_path / "trace.csv"
+        save_trace(path, sessions)
+        loaded = load_trace(path)
+        assert len(loaded) == len(sessions)
+        original = sorted(sessions, key=lambda s: s.join_time)
+        for a, b in zip(original, loaded):
+            assert a.join_time == pytest.approx(b.join_time)
+            assert a.lifetime == pytest.approx(b.lifetime)
+            assert a.threshold_bps == pytest.approx(b.threshold_bps)
+
+    def test_load_rejects_foreign_csv(self, tmp_path):
+        path = tmp_path / "other.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+
+class TestReplayer:
+    def _trace(self):
+        return [
+            Session(0.0, 50.0, 1e6, 1e4),
+            Session(0.0, 200.0, 1e6, 1e4),
+            Session(10.0, 30.0, 1e6, 1e4),
+            Session(25.0, 100.0, 1e6, 1e4),
+        ]
+
+    def test_event_schedule(self):
+        sim = Simulator()
+        events = []
+        replayer = TraceReplayer(
+            sim,
+            self._trace(),
+            on_join=lambda s: events.append(("join", sim.now)) or len(events),
+            on_leave=lambda k: events.append(("leave", sim.now)),
+        )
+        replayer.start()
+        sim.run(until=300.0)
+        joins = [t for kind, t in events if kind == "join"]
+        leaves = [t for kind, t in events if kind == "leave"]
+        assert joins == [0.0, 0.0, 10.0, 25.0]
+        assert sorted(leaves) == [40.0, 50.0, 125.0, 200.0]
+        assert replayer.joins == 4
+        assert replayer.leaves == 4
+
+    def test_seed_sessions_identified(self):
+        replayer = TraceReplayer(Simulator(), self._trace(), lambda s: 1, lambda k: None)
+        assert len(replayer.seed_sessions()) == 2
+
+    def test_none_key_skips_leave(self):
+        sim = Simulator()
+        leaves = []
+        replayer = TraceReplayer(
+            sim, self._trace(), on_join=lambda s: None, on_leave=leaves.append
+        )
+        replayer.start()
+        sim.run(until=300.0)
+        assert leaves == []
+
+    def test_same_trace_same_replay(self, tmp_path, rng):
+        """Determinism: two replays of one trace produce identical event
+        sequences (the point of recording)."""
+        sessions = generate_sessions(rng, n_target=20, duration=100.0)
+        path = tmp_path / "t.csv"
+        save_trace(path, sessions)
+        runs = []
+        for _ in range(2):
+            sim = Simulator()
+            log = []
+            replayer = TraceReplayer(
+                sim,
+                load_trace(path),
+                on_join=lambda s: log.append(("j", round(sim.now, 6))) or len(log),
+                on_leave=lambda k: log.append(("l", round(sim.now, 6))),
+            )
+            replayer.start()
+            sim.run(until=1e6)
+            runs.append(log)
+        assert runs[0] == runs[1]
