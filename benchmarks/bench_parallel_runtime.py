@@ -1,0 +1,96 @@
+"""Sequential vs. partitioned runtime at population scale.
+
+Not a paper figure — the performance gate for the ONSP-style
+:class:`~repro.core.runtime.PartitionedRuntime`: the same seeded
+deployment is driven on the sequential engine and partitioned across 4
+logical processes (threads off and on), wall-clock times are compared,
+and the summaries are asserted bit-for-bit identical (the equivalence
+contract, at benchmark scale).
+
+Default scale is 5,000 nodes; ``REPRO_FULL=1`` raises it to 20,000.
+CPython's GIL caps the threaded speedup, so the number to watch is the
+epoch-barrier *overhead* of ``parallel=`` vs. sequential — the model cost
+of moving to the partitioned engine, which real multi-core backends would
+then amortize.
+"""
+
+import os
+import time
+
+from benchmarks.conftest import run_once
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import PeerWindowNetwork
+from repro.experiments.report import print_table
+from repro.net.latency import PairwiseLatencyModel
+
+N_NODES = 20_000 if os.environ.get("REPRO_FULL") else 5_000
+FORCED_LEVEL = 8 if os.environ.get("REPRO_FULL") else 6
+SIM_SECONDS = 120.0
+
+CONFIG = ProtocolConfig(
+    id_bits=16,
+    probe_interval=30.0,
+    probe_timeout=5.0,
+    # Levels are pinned by the seeding; a live controller would have every
+    # node raise at the first tick (uniform huge thresholds) and the bench
+    # would measure a 5,000-way multicast storm instead of steady state.
+    level_check_interval=1e6,
+    multicast_processing_delay=1.0,
+)
+N_CRASHES = 10
+
+
+def drive(parallel=None, threads=False):
+    net = PeerWindowNetwork(
+        config=CONFIG,
+        master_seed=5,
+        topology=PairwiseLatencyModel(),
+        parallel=parallel,
+        threads=threads,
+    )
+    keys = net.seed_nodes([1e9] * N_NODES, forced_level=FORCED_LEVEL)
+    net.run(until=40.0)
+    # A bounded churn burst: failure detection + obituary multicasts.
+    for key in keys[:N_CRASHES]:
+        net.crash(key)
+    net.run(until=SIM_SECONDS)
+    return net
+
+
+def test_bench_partitioned_vs_sequential(benchmark):
+    t0 = time.perf_counter()
+    seq = drive()
+    t_seq = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    par = drive(parallel=4)
+    t_par = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    thr = run_once(benchmark, drive, parallel=4, threads=True)
+    t_thr = time.perf_counter() - t0
+
+    s = seq.stats_summary()
+    assert par.stats_summary() == s
+    assert thr.stats_summary() == s
+
+    print_table(
+        f"{N_NODES} nodes, {SIM_SECONDS:.0f} sim-seconds, level {FORCED_LEVEL}",
+        ["mode", "wall s", "vs sequential"],
+        [
+            ["sequential", round(t_seq, 2), "1.00x"],
+            ["parallel=4", round(t_par, 2), f"{t_par / t_seq:.2f}x"],
+            ["parallel=4 threads", round(t_thr, 2), f"{t_thr / t_seq:.2f}x"],
+        ],
+    )
+    print_table(
+        "partitioned execution profile",
+        ["metric", "value"],
+        [
+            ["epochs run", par.runtime.psim.epochs_run],
+            ["cross-LP messages", par.runtime.psim.total_messages()["sent"]],
+            ["messages sent", int(s["transport_sent"])],
+            ["probes sent", int(s["probes_sent"])],
+            ["live nodes", int(s["live_nodes"])],
+        ],
+    )

@@ -1,105 +1,96 @@
 #!/usr/bin/env python
-"""The ONSP execution model: a PeerWindow split across logical processes.
+"""The ONSP execution model: one PeerWindow partitioned across LPs.
 
 The paper ran its experiments on ONSP, a *parallel* discrete-event
 platform: the overlay is partitioned across MPI ranks and synchronized
-conservatively.  Split PeerWindow gives the perfect partition — §4.4
-parts are *wholly independent*, so each part can live on its own logical
-process with zero cross-LP protocol traffic; only the measurement
-aggregation crosses LP boundaries (with the mandatory lookahead, like
-ONSP's Myrinet latency).
+conservatively with a lookahead window (ONSP's Myrinet latency).  This
+repo reproduces that execution model as a first-class network option:
 
-This example runs a two-part split system, one part per LP, under churn,
-and aggregates health statistics across LPs through lookahead-delayed
-messages.  A sequential rerun verifies the parallel execution produced
-identical results — the correctness property conservative parallel DES
-must preserve.
+    PeerWindowNetwork(..., parallel=4)
+
+partitions the nodes by nodeId across 4 logical processes.  Sends whose
+destination lives on another LP cross the rank boundary and pay the
+lookahead; intra-LP sends stay local.  Adjacent ring neighbours land on
+*different* ranks under the modular partition, so the §4.1 probe ring
+alone generates steady cross-LP traffic — this is the hard case for
+conservative synchronization, not the embarrassingly parallel one.
+
+The correctness property conservative parallel DES must preserve is that
+results cannot depend on the partitioning.  This example drives the same
+seeded deployment (with churn) sequentially, partitioned, and partitioned
+with worker threads, and checks all three agree bit-for-bit.
 
 Run:  python examples/onsp_parallel.py
 """
 
-from repro import NodeId, PeerWindowNetwork, ProtocolConfig
+from repro import PeerWindowNetwork, ProtocolConfig
 from repro.experiments.report import print_table
-from repro.sim.parallel import ParallelSimulator
+from repro.net.latency import PairwiseLatencyModel
+
+CONFIG = ProtocolConfig(
+    id_bits=16,
+    probe_interval=5.0,
+    probe_timeout=1.0,
+    multicast_ack_timeout=1.0,
+    report_timeout=2.0,
+    level_check_interval=1e6,
+    multicast_processing_delay=0.1,
+)
 
 
-def build_part(psim, rank, part_bit, n, seed):
-    """One PeerWindow part living on logical process `rank`."""
-    config = ProtocolConfig(
-        id_bits=12,
-        probe_interval=5.0,
-        probe_timeout=1.0,
-        multicast_ack_timeout=1.0,
-        report_timeout=2.0,
-        level_check_interval=1e6,
-        multicast_processing_delay=0.1,
+def run(parallel=None, threads=False):
+    """The same seeded deployment + churn on the requested engine."""
+    net = PeerWindowNetwork(
+        config=CONFIG,
+        master_seed=7,
+        topology=PairwiseLatencyModel(),
+        parallel=parallel,
+        threads=threads,
     )
-    net = PeerWindowNetwork(config=config, master_seed=seed, sim=psim.lps[rank].sim)
-    rng = net.streams.get("part-ids")
-    specs = []
-    used = set()
-    while len(specs) < n:
-        value = (part_bit << 11) | int(rng.integers(0, 1 << 11))
-        if value in used:
-            continue
-        used.add(value)
-        specs.append({"threshold_bps": 1e6, "node_id": NodeId(value, 12), "level": 1})
-    net.seed_nodes(specs)
+    keys = net.seed_nodes([1e6] * 64, forced_level=3)
+    net.run(until=30.0)
+    for key in keys[:3]:  # churn: three crashes mid-run
+        net.crash(key)
+    net.run(until=100.0)
     return net
 
 
-def run(threads: bool):
-    psim = ParallelSimulator(nranks=2, lookahead=0.5, threads=threads)
-    nets = [build_part(psim, rank, rank, 16, seed=rank + 1) for rank in range(2)]
-
-    # Rank-1 periodically ships its health stats to rank-0 (cross-LP
-    # message, paying the lookahead — the only inter-part traffic).
-    collected = []
-
-    def report_stats(rank):
-        net = nets[rank]
-        stats = (psim.lps[rank].now, rank, len(net.live_nodes()),
-                 round(net.mean_error_rate(), 6))
-        if rank == 0:
-            collected.append(stats)
-        else:
-            psim.lps[rank].send(0, psim.lookahead, collected.append, stats)
-        psim.lps[rank].schedule_local(20.0, report_stats, rank)
-
-    for rank in range(2):
-        psim.lps[rank].schedule_local(20.0, report_stats, rank)
-
-    # Churn: crash one node in each part mid-run.
-    for rank in range(2):
-        victims = list(nets[rank].nodes)[:1]
-        psim.lps[rank].schedule_local(30.0, nets[rank].crash, victims[0])
-
-    psim.run(until=100.0)
-    final = [
-        (rank, len(nets[rank].live_nodes()), round(nets[rank].mean_error_rate(), 6))
-        for rank in range(2)
-    ]
-    return sorted(collected), final, psim.total_messages()
-
-
 def main() -> None:
-    seq_collected, seq_final, seq_msgs = run(threads=False)
-    par_collected, par_final, par_msgs = run(threads=True)
+    seq = run()
+    par = run(parallel=4)
+    thr = run(parallel=4, threads=True)
+
+    summary = seq.stats_summary()
+    agree = (
+        par.stats_summary() == summary
+        and thr.stats_summary() == summary
+        and par.level_histogram() == seq.level_histogram()
+    )
 
     print_table(
-        "cross-LP health reports (time, rank, live, error)",
-        ["t", "rank", "live nodes", "mean error"],
-        seq_collected,
+        "the same 64-node deployment on three engines",
+        ["mode", "live nodes", "messages", "mean error"],
+        [
+            [name, int(s["live_nodes"]), int(s["transport_sent"]),
+             round(s["mean_error_rate"], 6)]
+            for name, s in [
+                ("sequential", summary),
+                ("parallel=4", par.stats_summary()),
+                ("parallel=4 +threads", thr.stats_summary()),
+            ]
+        ],
     )
     print_table(
-        "final per-part state",
-        ["LP rank", "live nodes", "mean error"],
-        seq_final,
+        "partitioned execution profile (parallel=4)",
+        ["metric", "value"],
+        [
+            ["lookahead epochs", par.runtime.psim.epochs_run],
+            ["cross-LP messages", par.runtime.psim.total_messages()["sent"]],
+            ["total protocol messages", int(summary["transport_sent"])],
+        ],
     )
-    print(f"\ncross-LP messages: {seq_msgs}")
-    print(f"threaded run identical to sequential: "
-          f"{seq_collected == par_collected and seq_final == par_final}")
-    assert seq_final == par_final
+    print(f"\nall three engines bit-for-bit identical: {agree}")
+    assert agree
 
 
 if __name__ == "__main__":

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Repo check: lint (if ruff is available) + the tier-1 test suite.
+#
+#   scripts/check.sh            # lint + tests
+#   scripts/check.sh --lint     # lint only
+#   scripts/check.sh --tests    # tests only
+set -u
+cd "$(dirname "$0")/.."
+
+run_lint=1
+run_tests=1
+case "${1:-}" in
+  --lint) run_tests=0 ;;
+  --tests) run_lint=0 ;;
+  "") ;;
+  *) echo "usage: scripts/check.sh [--lint|--tests]" >&2; exit 2 ;;
+esac
+
+status=0
+
+if [ "$run_lint" = 1 ]; then
+  if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff check =="
+    ruff check src tests benchmarks examples scripts || status=1
+  else
+    echo "== ruff not installed; skipping lint (pip install ruff) =="
+  fi
+fi
+
+if [ "$run_tests" = 1 ]; then
+  echo "== tier-1 tests =="
+  PYTHONPATH=src python -m pytest -x -q || status=1
+fi
+
+exit $status

@@ -5,8 +5,11 @@ Public surface:
 * identifiers and prefix relations — :class:`NodeId`, :func:`eigenstring`,
   :func:`covers`, :func:`audience_set`;
 * state — :class:`Pointer`, :class:`PeerList`, :class:`TopNodeList`;
-* the protocol — :class:`PeerWindowNode` (one participant) and
-  :class:`PeerWindowNetwork` (a whole simulated deployment);
+* the protocol — :class:`PeerWindowNode` (one participant, a thin
+  coordinator over the join/levelshift/failure/dissemination/maintenance
+  services) and :class:`PeerWindowNetwork` (a whole simulated deployment);
+* execution — :class:`NodeRuntime` with the sequential :class:`SimRuntime`
+  and the conservative-parallel :class:`PartitionedRuntime`;
 * the §2 analytic model — :class:`CostModel`, :func:`estimate_join_level`;
 * configuration — :class:`ProtocolConfig`.
 """
@@ -26,6 +29,8 @@ from repro.core.audience import (
     stronger,
 )
 from repro.core.config import PAPER_COMMON_CONFIG, ProtocolConfig
+from repro.core.context import NodeContext
+from repro.core.dissemination import MulticastService
 from repro.core.errors import (
     ConfigError,
     JoinError,
@@ -35,7 +40,11 @@ from repro.core.errors import (
     PeerWindowError,
 )
 from repro.core.events import EventKind, EventRecord, apply_event
+from repro.core.failure import FailureDetector
+from repro.core.join import JoinService
 from repro.core.levels import LevelController, LevelDecision
+from repro.core.levelshift import LevelShiftService
+from repro.core.maintenance import MaintenanceService
 from repro.core.multicast import MulticastForwarder, TreeNode, plan_tree, tree_stats
 from repro.core.node import NodeStats, PeerWindowNode
 from repro.core.nodeid import NodeId, eigenstring
@@ -43,6 +52,7 @@ from repro.core.peerlist import PeerList
 from repro.core.pointer import Pointer
 from repro.core.protocol import LevelReport, PeerWindowNetwork
 from repro.core.refresh import LifetimeEstimator, RefreshManager
+from repro.core.runtime import NodeRuntime, PartitionedRuntime, SimRuntime
 from repro.core.topnodes import CrossPartTopList, TopNodeList
 
 __all__ = [
@@ -51,18 +61,26 @@ __all__ = [
     "CrossPartTopList",
     "EventKind",
     "EventRecord",
+    "FailureDetector",
     "JoinError",
+    "JoinService",
     "LevelController",
     "LevelDecision",
     "LevelReport",
+    "LevelShiftService",
     "LifetimeEstimator",
+    "MaintenanceService",
     "MembershipError",
     "MulticastForwarder",
+    "MulticastService",
+    "NodeContext",
     "NodeId",
     "NodeIdError",
+    "NodeRuntime",
     "NodeStats",
     "NotAliveError",
     "PAPER_COMMON_CONFIG",
+    "PartitionedRuntime",
     "PeerList",
     "PeerWindowError",
     "PeerWindowNetwork",
@@ -70,6 +88,7 @@ __all__ = [
     "Pointer",
     "ProtocolConfig",
     "RefreshManager",
+    "SimRuntime",
     "TopNodeList",
     "TreeNode",
     "apply_event",

@@ -62,6 +62,19 @@ class ProtocolConfig:
     warmup_extra_levels:
         §4.3 warm-up: join this many levels weaker than the estimate, then
         raise after the background download.  0 disables warm-up.
+    download_grace:
+        Seconds after serving a §4.3 peer-list download during which the
+        server forwards every event it applies to the requester.  A joiner
+        is in nobody's audience until its JOIN multicast lands, so an
+        event whose dissemination completes inside that window would
+        otherwise be permanently missed (a stale download).  0 disables
+        the forwarding (DESIGN.md §8).
+    timer_jitter:
+        Fraction of each probe/refresh period drawn as uniform jitter from
+        the node's seeded stream (see :meth:`NodeContext.jittered`).  At
+        scale this breaks the lockstep synchronization of thousands of
+        identical timers; 0 (the default) draws nothing, keeping existing
+        deterministic runs unchanged.
     """
 
     id_bits: int = 128
@@ -83,6 +96,8 @@ class ProtocolConfig:
     raise_fraction: float = 0.5
     report_timeout: float = 10.0
     warmup_extra_levels: int = 0
+    download_grace: float = 30.0
+    timer_jitter: float = 0.0
 
     def __post_init__(self) -> None:
         if not 1 <= self.id_bits <= 256:
@@ -121,6 +136,10 @@ class ProtocolConfig:
             raise ConfigError("raise_fraction must be in (0, 1)")
         if self.warmup_extra_levels < 0:
             raise ConfigError("warmup_extra_levels must be >= 0")
+        if self.download_grace < 0:
+            raise ConfigError("download_grace must be >= 0")
+        if not 0.0 <= self.timer_jitter < 1.0:
+            raise ConfigError("timer_jitter must be in [0, 1)")
 
     def with_(self, **kwargs: Any) -> "ProtocolConfig":
         """A modified copy (convenience wrapper over dataclasses.replace)."""

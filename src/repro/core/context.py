@@ -1,0 +1,169 @@
+"""Shared per-node protocol state: the :class:`NodeContext`.
+
+The four protocol services (join, failure detection, dissemination,
+maintenance) and the :class:`~repro.core.node.PeerWindowNode` coordinator
+all operate on one context object per node — identity, level, peer list,
+top-node lists, estimators, counters, and the per-subject event-sequence
+memory.  Keeping the state in one place (instead of spread across the
+services) preserves the invariant the monolithic node had implicitly:
+every service sees every state change immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, List
+
+import numpy as np
+
+from repro.core.config import ProtocolConfig
+from repro.core.events import EventKind, EventRecord
+from repro.core.levels import LevelController
+from repro.core.nodeid import NodeId, eigenstring
+from repro.core.peerlist import PeerList
+from repro.core.pointer import Pointer
+from repro.core.refresh import LifetimeEstimator, RefreshManager
+from repro.core.runtime import NodeRuntime
+from repro.core.topnodes import CrossPartTopList, TopNodeList
+from repro.sim.engine import EventHandle
+
+
+@dataclass
+class NodeStats:
+    """Per-node protocol counters (reset never; read by the harness)."""
+
+    events_applied: int = 0
+    events_originated: int = 0
+    mcasts_received: int = 0
+    mcast_duplicates: int = 0
+    probes_sent: int = 0
+    failures_detected: int = 0
+    reports_sent: int = 0
+    reports_failed: int = 0
+    reports_served: int = 0
+    level_raises: int = 0
+    level_lowers: int = 0
+    refreshes_sent: int = 0
+    downloads_served: int = 0
+    joins_assisted: int = 0
+
+
+class NodeContext:
+    """Everything one node's services share.
+
+    ``report_event`` is wired by the coordinator after the dissemination
+    service exists (services are constructed in dependency order, and the
+    report path is the one capability every other service needs).
+    """
+
+    def __init__(
+        self,
+        runtime: NodeRuntime,
+        config: ProtocolConfig,
+        node_id: NodeId,
+        address: Hashable,
+        threshold_bps: float,
+        rng: np.random.Generator,
+        attached_info: Any = None,
+    ):
+        self.runtime = runtime
+        self.config = config
+        self.node_id = node_id
+        self.address = address
+        self.threshold_bps = float(threshold_bps)
+        self.rng = rng
+        self.attached_info = attached_info
+
+        self.level = 0
+        self.alive = False
+        self.is_top = False
+        self.seq = 0
+        self.raising = False
+
+        self.peer_list = PeerList(node_id, 0)
+        self.top_list = TopNodeList(config.top_list_size)
+        self.cross_parts = CrossPartTopList(config.top_list_size)
+        self.estimator = LifetimeEstimator(prior_mean=3600.0)
+        self.refresh_mgr = RefreshManager(config, self.estimator)
+        self.controller = LevelController(config, threshold_bps)
+        self.stats = NodeStats()
+        #: Addresses subscribed to copies of every multicast this (top)
+        #: node originates — the part-merge bridge (DESIGN.md §8).
+        self.bridge_subscribers: Dict[int, Pointer] = {}
+        #: ``(requester_address, served_time)`` for recently served §4.3
+        #: downloads: events applied within ``config.download_grace`` of a
+        #: serve are copied to the requester, who is in nobody's audience
+        #: until its JOIN multicast lands (DESIGN.md §8).
+        self.recent_downloads: List[tuple] = []
+        self.seen_events: Dict[int, int] = {}  # subject id value -> max seq
+        self.endpoint = None  # set by the coordinator after registration
+        self.loop_handles: List[EventHandle] = []
+        #: Dissemination entry point, wired by the coordinator.
+        self.report_event: Callable[[EventRecord], None] = _unwired
+
+    # -- identity helpers --------------------------------------------------
+
+    @property
+    def eigenstring(self) -> str:
+        return eigenstring(self.node_id, self.level)
+
+    def self_pointer(self) -> Pointer:
+        return Pointer(
+            node_id=self.node_id,
+            address=self.address,
+            level=self.level,
+            attached_info=self.attached_info,
+            last_refresh=self.runtime.now,
+            last_event_seq=self.seq,
+        )
+
+    def next_seq(self) -> int:
+        self.seq += 1
+        return self.seq
+
+    def make_event(self, kind: EventKind) -> EventRecord:
+        return EventRecord(
+            kind=kind,
+            subject_id=self.node_id,
+            subject_level=self.level,
+            subject_address=self.address,
+            seq=self.next_seq(),
+            origin_time=self.runtime.now,
+            attached_info=self.attached_info,
+        )
+
+    def part_level(self) -> int:
+        """The believed part-prefix length: our level if we are a top node,
+        else the strongest level in our top-node list."""
+        if self.is_top:
+            return self.level
+        known = self.top_list.min_level()
+        return known if known is not None else 0
+
+    # -- timer bookkeeping -------------------------------------------------
+
+    def track(self, handle: EventHandle) -> None:
+        """Track a loop timer for cancellation at departure, pruning dead
+        handles so long sessions do not accumulate them."""
+        self.loop_handles.append(handle)
+        if len(self.loop_handles) > 64:
+            self.loop_handles = [h for h in self.loop_handles if h.active]
+
+    def cancel_loops(self) -> None:
+        for handle in self.loop_handles:
+            handle.cancel()
+        self.loop_handles.clear()
+
+    def jittered(self, delay: float) -> float:
+        """Apply the configured timer jitter (``config.timer_jitter``, a
+        fraction of the delay) using this node's seeded stream.  Zero
+        jitter — the default — draws nothing, so existing deterministic
+        runs are byte-identical."""
+        j = self.config.timer_jitter
+        if j <= 0.0:
+            return delay
+        return delay * (1.0 + j * (2.0 * float(self.rng.random()) - 1.0))
+
+
+def _unwired(event: EventRecord) -> None:  # pragma: no cover - wiring guard
+    raise RuntimeError("NodeContext.report_event used before wiring")

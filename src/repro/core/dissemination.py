@@ -1,0 +1,409 @@
+"""MulticastService: the §4.2/§4.5 event-dissemination machinery.
+
+One service instance per node, owning:
+
+* origination and relay of the tree multicast (acks, retries,
+  stale-pointer redirects) via
+  :class:`~repro.core.multicast.MulticastForwarder`;
+* the report path — deliver an event to a top node, retry across the
+  top-node list, fall back to peers' top-node lists when every pointer is
+  stale (§4.5);
+* serving reports, top-node-list queries, and bridge subscriptions (the
+  part-merge completion of DESIGN.md §8);
+* applying received events to the shared peer list and top-node list.
+
+The service is runtime-agnostic: it talks to the network exclusively
+through :class:`~repro.core.runtime.NodeRuntime`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.context import NodeContext
+from repro.core.events import EventKind, EventRecord, apply_event
+from repro.core.multicast import MulticastForwarder
+from repro.core.pointer import Pointer
+from repro.core.runtime import NodeRuntime
+from repro.net.message import Message
+
+
+class MulticastService:
+    """Tree multicast + ack/redirect + report retry/fallback (§4.2, §4.5)."""
+
+    def __init__(self, runtime: NodeRuntime, ctx: NodeContext):
+        self.runtime = runtime
+        self.ctx = ctx
+        self.forwarder = MulticastForwarder(
+            ctx.config,
+            ctx.node_id,
+            ctx.peer_list,
+            send_fn=self._mcast_send,
+            on_stale_pointer=self._stale_pointer,
+        )
+
+    def _stale_pointer(self, departed: Pointer) -> None:
+        """A relay target never acked and was removed (§4.2).
+
+        That removal is a failure *detection*, so it must be announced
+        like one (§4.1): if the remover happened to be the dead node's
+        only ring predecessor, nobody else will ever probe it and the
+        stale pointer would survive in every other list forever.  A
+        false positive is healed by the subject's own higher-sequence
+        REFRESH refutation, exactly as for probe-based detection.
+        """
+        ctx = self.ctx
+        ctx.estimator.observe_departure(departed, self.runtime.now)
+        ctx.report_event(
+            EventRecord(
+                kind=EventKind.LEAVE,
+                subject_id=departed.node_id,
+                subject_level=departed.level,
+                subject_address=departed.address,
+                seq=departed.last_event_seq + 1,
+                origin_time=self.runtime.now,
+            )
+        )
+
+    # -- relay path --------------------------------------------------------
+
+    def on_mcast(self, msg: Message) -> None:
+        ctx = self.ctx
+        event, start_bit = msg.payload
+        ctx.stats.mcasts_received += 1
+        subject_value = event.subject_id.value
+        if subject_value == ctx.node_id.value:
+            self.runtime.send(
+                msg.make_reply("mcast-ack", size_bits=ctx.config.ack_bits)
+            )
+            # We are in our own audience, so a *false* failure report (a
+            # lost probe ack, §4.1) reaches us as our own obituary.  Refute
+            # it with a higher-sequence refresh so every audience member
+            # re-adds us.  (The paper leaves false positives to the slow
+            # §4.6 refresh cycle; this is the immediate version.)
+            if ctx.alive and event.kind is EventKind.LEAVE and event.seq >= ctx.seq:
+                ctx.seq = event.seq
+                self.report_event(ctx.make_event(EventKind.REFRESH))
+            return
+        if ctx.seen_events.get(subject_value, -1) >= event.seq:
+            # Already carried this event: our subtree is covered, so the
+            # duplicate can be acknowledged straight away.
+            self.runtime.send(
+                msg.make_reply("mcast-ack", size_bits=ctx.config.ack_bits)
+            )
+            ctx.stats.mcast_duplicates += 1
+            return
+        ctx.seen_events[subject_value] = event.seq
+        self.apply(event)
+        self._copy_to_recent_downloads(event, self.runtime.now)
+        # §5.1: a relay spends 1 s "receiving, calculating and sending".
+        # The ack rides at the END of that window: acknowledging a fresh
+        # multicast means accepting responsibility for the subtree, so a
+        # relay that dies mid-processing leaves the send unacked and the
+        # sender's retry -> remove -> redirect re-covers its range through
+        # a replacement relay (ack-on-receipt silently lost the subtree).
+        self.runtime.schedule(
+            ctx.config.multicast_processing_delay,
+            self._forward_and_ack,
+            msg,
+            event,
+            start_bit,
+        )
+
+    def _forward_and_ack(self, msg: Message, event: EventRecord, start_bit: int) -> None:
+        ctx = self.ctx
+        if not ctx.alive:
+            return
+        self.runtime.send(msg.make_reply("mcast-ack", size_bits=ctx.config.ack_bits))
+        self.forwarder.forward(event, start_bit)
+
+    def _mcast_send(
+        self,
+        target: Pointer,
+        event: EventRecord,
+        next_bit: int,
+        on_result: Callable[[bool], None],
+    ) -> None:
+        ctx = self.ctx
+        msg = Message(
+            ctx.address,
+            target.address,
+            "mcast",
+            payload=(event, next_bit),
+            size_bits=ctx.config.event_message_bits,
+        )
+        self.runtime.request(
+            msg,
+            timeout=ctx.config.multicast_ack_timeout,
+            on_reply=lambda _reply: on_result(True),
+            on_timeout=lambda: on_result(False),
+        )
+
+    # -- origination -------------------------------------------------------
+
+    def start_multicast(self, event: EventRecord) -> None:
+        """Originate a multicast as a top node (root of the tree)."""
+        ctx = self.ctx
+        ctx.seen_events[event.subject_id.value] = event.seq
+        self.apply(event)
+        self._copy_to_recent_downloads(event, self.runtime.now)
+        self.runtime.schedule(
+            ctx.config.multicast_processing_delay, self._root_forward, event
+        )
+
+    def _root_forward(self, event: EventRecord) -> None:
+        ctx = self.ctx
+        if not ctx.alive and event.subject_id.value != ctx.node_id.value:
+            return
+        self.forwarder.forward(event, 0)
+        if (
+            event.kind is EventKind.LEAVE
+            and event.subject_id.value != ctx.node_id.value
+        ):
+            # Copy the obituary to the subject itself: silently dropped if
+            # it is really dead, refuted with a refresh if the failure
+            # detection was a false positive (lost probe acks).
+            self.runtime.send(
+                Message(
+                    ctx.address,
+                    event.subject_address,
+                    "mcast",
+                    payload=(event, ctx.node_id.bits),
+                    size_bits=ctx.config.event_message_bits,
+                )
+            )
+        # Part-merge bridge: forward a copy to cross-part subscribers whose
+        # eigenstring covers the subject.
+        for ptr in list(ctx.bridge_subscribers.values()):
+            if ptr.node_id.shares_prefix(event.subject_id, ptr.level):
+                self._mcast_send(ptr, event, ctx.node_id.bits, lambda ok: None)
+
+    def apply(self, event: EventRecord) -> None:
+        ctx = self.ctx
+        now = self.runtime.now
+        departed = None
+        if event.kind is EventKind.LEAVE:
+            departed = ctx.peer_list.get(event.subject_id)
+        changed = apply_event(ctx.peer_list, event, now, owner_id=ctx.node_id)
+        if changed:
+            ctx.stats.events_applied += 1
+            if departed is not None:
+                ctx.estimator.observe_departure(departed, now)
+        # Keep the top-node list's levels fresh.
+        if event.subject_id in ctx.top_list:
+            if event.kind is EventKind.LEAVE:
+                ctx.top_list.remove(event.subject_id)
+            else:
+                ctx.top_list.merge([
+                    Pointer(
+                        node_id=event.subject_id,
+                        address=event.subject_address,
+                        level=event.subject_level,
+                        attached_info=event.attached_info,
+                        last_refresh=now,
+                        last_event_seq=event.seq,
+                    )
+                ])
+
+    def _copy_to_recent_downloads(self, event: EventRecord, now: float) -> None:
+        """Copy an applied event to requesters we recently served a §4.3
+        download (DESIGN.md §8).
+
+        A joiner is in nobody's audience until its JOIN multicast has been
+        applied network-wide, so an event whose dissemination completes
+        inside that window never reaches it: the downloaded snapshot keeps
+        e.g. a dead node's pointer that no one else holds — and since ring
+        views now disagree, no one ever probes it on the joiner's behalf.
+        Forwarding what we apply during the grace window closes the race.
+        Called from the fresh-receipt sites (first sight of the event per
+        ``seen_events``), not gated on whether the event changed our own
+        list: a server that detected the failure itself removed the
+        pointer *before* the obituary existed, yet its requester still
+        needs the copy.  Copies are fire-and-forget ``event-copy``
+        messages, NOT ``mcast``: an mcast receipt marks the event seen,
+        and a seen event makes the receiver ack any later tree delivery
+        as a duplicate *without forwarding* — a copy that entered
+        ``seen_events`` would black-hole whatever subtree the real tree
+        later routes through the joiner.
+        """
+        ctx = self.ctx
+        if not ctx.recent_downloads:
+            return
+        grace = ctx.config.download_grace
+        ctx.recent_downloads = [
+            entry for entry in ctx.recent_downloads if now - entry[1] <= grace
+        ]
+        if not ctx.alive:
+            return
+        for address, _served in ctx.recent_downloads:
+            if address == event.subject_address or address == ctx.address:
+                continue
+            self.runtime.send(
+                Message(
+                    ctx.address,
+                    address,
+                    "event-copy",
+                    payload=event,
+                    size_bits=ctx.config.event_message_bits,
+                )
+            )
+
+    def on_event_copy(self, msg: Message) -> None:
+        """Apply a download-grace copy.
+
+        No ack, no relaying, no onward copying (copies do not chain, so
+        mutual download servers cannot ping-pong one), and — critically —
+        no ``seen_events`` marking: the real tree delivery, if one comes,
+        must still look fresh so its subtree gets forwarded.  Re-applying
+        is harmless because events are sequence-gated.
+        """
+        ctx = self.ctx
+        event: EventRecord = msg.payload
+        if event.subject_id.value == ctx.node_id.value:
+            return
+        if ctx.seen_events.get(event.subject_id.value, -1) >= event.seq:
+            return
+        self.apply(event)
+
+    # -- report path -------------------------------------------------------
+
+    def report_event(self, event: EventRecord, _attempt: int = 0) -> None:
+        """Deliver ``event`` to a top node for multicast (§4.1/§4.5)."""
+        ctx = self.ctx
+        if event.subject_id.value == ctx.node_id.value:
+            ctx.stats.events_originated += 1
+        if ctx.is_top:
+            # A top node is its own multicast root (this also covers a top
+            # node announcing its own leave: alive is already False then).
+            self.start_multicast(event)
+            return
+        top = ctx.top_list.choose(ctx.rng)
+        if top is None:
+            self._report_fallback(event, _attempt)
+            return
+        ctx.stats.reports_sent += 1
+        msg = Message(
+            ctx.address,
+            top.address,
+            "report",
+            payload=event,
+            size_bits=ctx.config.event_message_bits,
+        )
+        self.runtime.request(
+            msg,
+            timeout=ctx.config.report_timeout,
+            on_reply=lambda reply: ctx.top_list.merge(
+                [p for p in reply.payload if p.node_id.value != ctx.node_id.value]
+            ),
+            on_timeout=lambda: self._report_retry(event, top, _attempt),
+        )
+
+    def _report_retry(self, event: EventRecord, dead_top: Pointer, attempt: int) -> None:
+        ctx = self.ctx
+        ctx.top_list.remove(dead_top.node_id)
+        if attempt + 1 >= 3 * ctx.config.top_list_size:
+            ctx.stats.reports_failed += 1
+            return
+        self.report_event(event, _attempt=attempt + 1)
+
+    def _report_fallback(self, event: EventRecord, attempt: int) -> None:
+        """§4.5: when every top-node pointer is stale, ask a peer for its
+        top-node list as a substitution."""
+        ctx = self.ctx
+        if attempt >= 3 * ctx.config.top_list_size:
+            ctx.stats.reports_failed += 1
+            return
+        peers = [p for p in ctx.peer_list if p.node_id.value != ctx.node_id.value]
+        if not peers:
+            ctx.stats.reports_failed += 1
+            return
+        peer = peers[int(ctx.rng.integers(0, len(peers)))]
+        msg = Message(
+            ctx.address, peer.address, "get-topnodes", size_bits=ctx.config.ack_bits
+        )
+        self.runtime.request(
+            msg,
+            timeout=ctx.config.report_timeout,
+            on_reply=lambda reply: (
+                ctx.top_list.merge(
+                    [p for p in reply.payload if p.node_id.value != ctx.node_id.value]
+                ),
+                self.report_event(event, _attempt=attempt + 1),
+            ),
+            on_timeout=lambda: self._report_fallback(event, attempt + 1),
+        )
+
+    # -- serving -----------------------------------------------------------
+
+    def on_report(self, msg: Message) -> None:
+        ctx = self.ctx
+        event: EventRecord = msg.payload
+        ctx.stats.reports_served += 1
+        if not ctx.is_top:
+            # Stale top-node pointer at the reporter: we are no longer a
+            # top node.  Ack with our *current* top-node list so the
+            # reporter heals (§4.5), and relay the event upward ourselves.
+            piggyback = [p.copy() for p in ctx.top_list.pointers()]
+            self.runtime.send(
+                msg.make_reply(
+                    "report-ack",
+                    payload=piggyback,
+                    size_bits=max(1, len(piggyback)) * ctx.config.pointer_bits,
+                )
+            )
+            if ctx.seen_events.get(event.subject_id.value, -1) < event.seq:
+                # Mark seen before relaying so relay cycles through other
+                # stale "tops" terminate at the first revisit.
+                ctx.seen_events[event.subject_id.value] = event.seq
+                self.report_event(event)
+            return
+        # Piggyback t-1 pointers to top nodes of the reporter's part (§4.5):
+        # our own group members (we are a top node of that part).
+        piggyback = [
+            p.copy()
+            for p in ctx.peer_list.group_members()
+            if p.node_id.value != ctx.node_id.value
+        ][: ctx.config.top_list_size - 1] + [ctx.self_pointer()]
+        self.runtime.send(
+            msg.make_reply(
+                "report-ack",
+                payload=piggyback,
+                size_bits=len(piggyback) * ctx.config.pointer_bits,
+            )
+        )
+        if ctx.seen_events.get(event.subject_id.value, -1) >= event.seq:
+            return
+        self.start_multicast(event)
+
+    def on_get_topnodes(self, msg: Message) -> None:
+        ctx = self.ctx
+        self.runtime.send(
+            msg.make_reply(
+                "topnodes",
+                payload=[p.copy() for p in ctx.top_list.pointers()],
+                size_bits=max(1, len(ctx.top_list)) * ctx.config.pointer_bits,
+            )
+        )
+
+    def on_bridge_subscribe(self, msg: Message) -> None:
+        ctx = self.ctx
+        ptr, propagate = msg.payload
+        fresh = ptr.node_id.value not in ctx.bridge_subscribers
+        ctx.bridge_subscribers[ptr.node_id.value] = ptr
+        self.runtime.send(msg.make_reply("bridge-ack", size_bits=ctx.config.ack_bits))
+        if propagate and fresh:
+            # Every top of this part roots multicasts, so the whole top
+            # group must carry the subscription (one idempotent hop; group
+            # members do not re-propagate).
+            for peer in ctx.peer_list.group_members():
+                if peer.node_id.value == ctx.node_id.value:
+                    continue
+                self.runtime.send(
+                    Message(
+                        ctx.address,
+                        peer.address,
+                        "bridge-subscribe",
+                        payload=(ptr, False),
+                        size_bits=ctx.config.pointer_bits,
+                    )
+                )

@@ -1,0 +1,95 @@
+"""FailureDetector: §4.1 ring probing.
+
+Every node periodically probes its eigenstring-ring successor — *"the
+node whose nodeId is just larger"* within its group.  After
+``probe_misses_to_fail`` consecutive unanswered probes the successor is
+declared dead: the detector removes the pointer, reports a LEAVE event
+through the dissemination service, and immediately redirects probing to
+the next neighbor (the paper's concurrent-failure story).
+
+Probe periods optionally carry seeded jitter (``config.timer_jitter``) so
+that thousands of nodes seeded at the same instant do not fire their
+probes in lockstep forever.
+"""
+
+from __future__ import annotations
+
+from repro.core.context import NodeContext
+from repro.core.events import EventKind, EventRecord
+from repro.core.pointer import Pointer
+from repro.core.runtime import NodeRuntime
+from repro.net.message import Message
+
+
+class FailureDetector:
+    """The §4.1 probe loop over the failure-detection ring."""
+
+    def __init__(self, runtime: NodeRuntime, ctx: NodeContext):
+        self.runtime = runtime
+        self.ctx = ctx
+
+    def start(self) -> None:
+        self._schedule_probe(self.ctx.config.probe_interval)
+
+    def on_probe(self, msg: Message) -> None:
+        self.runtime.send(
+            msg.make_reply("probe-ack", size_bits=self.ctx.config.ack_bits)
+        )
+
+    # -- probe loop --------------------------------------------------------
+
+    def _schedule_probe(self, delay: float) -> None:
+        self.ctx.track(self.runtime.schedule(self.ctx.jittered(delay), self._probe_tick))
+
+    def _probe_tick(self) -> None:
+        ctx = self.ctx
+        if not ctx.alive:
+            return
+        target = ctx.peer_list.ring_successor(ctx.node_id)
+        if target is None:
+            self._schedule_probe(ctx.config.probe_interval)
+            return
+        self._probe_target(target, ctx.config.probe_misses_to_fail)
+
+    def _probe_target(self, target: Pointer, attempts_left: int) -> None:
+        ctx = self.ctx
+        if not ctx.alive:
+            return
+        ctx.stats.probes_sent += 1
+        msg = Message(
+            ctx.address, target.address, "probe", size_bits=ctx.config.heartbeat_bits
+        )
+        self.runtime.request(
+            msg,
+            timeout=ctx.config.probe_timeout,
+            on_reply=lambda _r: self._schedule_probe(ctx.config.probe_interval),
+            on_timeout=lambda: self._probe_miss(target, attempts_left - 1),
+        )
+
+    def _probe_miss(self, target: Pointer, attempts_left: int) -> None:
+        ctx = self.ctx
+        if not ctx.alive:
+            return
+        if attempts_left > 0:
+            self._probe_target(target, attempts_left)
+            return
+        # Failure detected: report, remove, and immediately redirect the
+        # probing to the next neighbor (§4.1's concurrent-failure story).
+        ctx.stats.failures_detected += 1
+        departed = ctx.peer_list.remove(target.node_id)
+        if departed is not None:
+            ctx.estimator.observe_departure(departed, self.runtime.now)
+        event = EventRecord(
+            kind=EventKind.LEAVE,
+            subject_id=target.node_id,
+            subject_level=target.level,
+            subject_address=target.address,
+            seq=target.last_event_seq + 1,
+            origin_time=self.runtime.now,
+        )
+        ctx.report_event(event)
+        nxt = ctx.peer_list.ring_successor(ctx.node_id)
+        if nxt is not None:
+            self._probe_target(nxt, ctx.config.probe_misses_to_fail)
+        else:
+            self._schedule_probe(ctx.config.probe_interval)

@@ -1,0 +1,285 @@
+"""JoinService: the §4.3 joining handshake and warm-up.
+
+Joining (§4.3) is a four-step handshake — find a top node of the part,
+query its level and measured cost, download its peer list (which covers
+any prefix of the joiner's), then multicast the JOIN event.  Warm-up
+joins a few levels weaker than the estimate and raises in the background
+(through :class:`~repro.core.levelshift.LevelShiftService`).  The
+service also answers the assistance queries other nodes' handshakes send
+us: ``get-top``, ``level-query``, and ``download``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Optional
+
+from repro.core.analytic import estimate_join_level
+from repro.core.context import NodeContext
+from repro.core.events import EventKind
+from repro.core.levelshift import LevelShiftService
+from repro.core.nodeid import NodeId
+from repro.core.pointer import Pointer
+from repro.core.runtime import NodeRuntime
+from repro.net.message import Message
+
+
+class JoinService:
+    """§4.3: handshake + warm-up, and join assistance."""
+
+    def __init__(
+        self,
+        runtime: NodeRuntime,
+        ctx: NodeContext,
+        levels: LevelShiftService,
+        on_joined: Callable[[], None],
+    ):
+        self.runtime = runtime
+        self.ctx = ctx
+        #: Warm-up raises go through the level-shift commit path.
+        self.levels = levels
+        #: Coordinator hook: start the protocol loops once state installs.
+        self._on_joined = on_joined
+
+    # ------------------------------------------------------------------
+    # the joining handshake (§4.3)
+    # ------------------------------------------------------------------
+
+    def join_via(
+        self,
+        bootstrap_address: Hashable,
+        on_done: Optional[Callable[[bool], None]] = None,
+    ) -> None:
+        """Run the §4.3 joining handshake through ``bootstrap_address``."""
+        ctx = self.ctx
+        done = on_done if on_done is not None else (lambda ok: None)
+
+        # Step 1: find a top node of our part.
+        msg = Message(
+            ctx.address,
+            bootstrap_address,
+            "get-top",
+            payload=ctx.node_id,
+            size_bits=ctx.config.ack_bits,
+        )
+        self.runtime.request(
+            msg,
+            timeout=ctx.config.report_timeout,
+            on_reply=lambda reply: self._join_got_top(reply.payload, done),
+            on_timeout=lambda: done(False),
+        )
+
+    def _join_got_top(
+        self, top_ptr: Optional[Pointer], done: Callable[[bool], None]
+    ) -> None:
+        ctx = self.ctx
+        if top_ptr is None:
+            done(False)
+            return
+        # Step 2: ask the top node for its level and measured cost.
+        msg = Message(
+            ctx.address,
+            top_ptr.address,
+            "level-query",
+            payload=ctx.node_id,
+            size_bits=ctx.config.ack_bits,
+        )
+        self.runtime.request(
+            msg,
+            timeout=ctx.config.report_timeout,
+            on_reply=lambda reply: self._join_got_level(top_ptr, reply.payload, done),
+            on_timeout=lambda: done(False),
+        )
+
+    def _join_got_level(
+        self, top_ptr: Pointer, info: tuple, done: Callable[[bool], None]
+    ) -> None:
+        ctx = self.ctx
+        top_level, top_cost, top_pointers = info
+        target = estimate_join_level(top_level, top_cost, ctx.threshold_bps)
+        # A joiner cannot start *stronger* than the top node that serves
+        # its download — the downloaded list would not cover the wider
+        # prefix (in a split system that would silently merge parts with a
+        # half-empty list).  Clamp to the part's level; the autonomic
+        # controller may raise (and properly download) later.
+        target = min(max(target, top_level), ctx.node_id.bits)
+        level = min(target + ctx.config.warmup_extra_levels, ctx.node_id.bits)
+        ctx.top_list.merge(list(top_pointers) + [top_ptr])
+        # Step 3: download the peer list (and top-node list) from the top
+        # node, whose list covers any prefix of ours.
+        msg = Message(
+            ctx.address,
+            top_ptr.address,
+            "download",
+            payload=(ctx.node_id, level),
+            size_bits=ctx.config.ack_bits,
+        )
+        self.runtime.request(
+            msg,
+            timeout=ctx.config.report_timeout,
+            on_reply=lambda reply: self._join_got_download(
+                level, target, top_level, reply.payload, done
+            ),
+            on_timeout=lambda: done(False),
+        )
+
+    def _join_got_download(
+        self,
+        level: int,
+        target_level: int,
+        top_level: int,
+        payload: tuple,
+        done: Callable[[bool], None],
+    ) -> None:
+        ctx = self.ctx
+        pointers, top_pointers = payload
+        ctx.level = level
+        ctx.peer_list.retarget(level)
+        ctx.peer_list.add(ctx.self_pointer())
+        for p in pointers:
+            if p.node_id.value != ctx.node_id.value and p.node_id.shares_prefix(
+                ctx.node_id, level
+            ):
+                ctx.peer_list.add(p.copy(last_refresh=self.runtime.now))
+        ctx.top_list.merge(list(top_pointers))
+        ctx.is_top = level <= top_level
+        ctx.alive = True
+        self._on_joined()
+        # Step 4: multicast the joining event around the audience set.
+        ctx.report_event(ctx.make_event(EventKind.JOIN))
+        done(True)
+        # Warm-up (§4.3): raise to the estimated level in the background.
+        if level > target_level:
+            self.runtime.schedule(0.0, self._warmup_raise, target_level)
+
+    def _warmup_raise(self, target_level: int) -> None:
+        ctx = self.ctx
+        if not ctx.alive or ctx.level <= target_level:
+            return
+        self.levels.initiate_raise(ctx.level - 1)
+        # Keep raising until the warm-up target is reached.
+        self.runtime.schedule(
+            ctx.config.report_timeout, self._warmup_raise, target_level
+        )
+
+    # ------------------------------------------------------------------
+    # join assistance (the serving side of the handshake)
+    # ------------------------------------------------------------------
+
+    def on_get_top(self, msg: Message) -> None:
+        ctx = self.ctx
+        joiner_id: NodeId = msg.payload
+        ctx.stats.joins_assisted += 1
+        same_part = joiner_id.shares_prefix(ctx.node_id, ctx.part_level())
+        if same_part:
+            if ctx.is_top:
+                self.runtime.send(
+                    msg.make_reply(
+                        "top-ptr",
+                        payload=ctx.self_pointer(),
+                        size_bits=ctx.config.pointer_bits,
+                    )
+                )
+                return
+            tops = ctx.top_list.pointers()
+            payload = tops[int(ctx.rng.integers(0, len(tops)))] if tops else None
+            self.runtime.send(
+                msg.make_reply(
+                    "top-ptr", payload=payload, size_bits=ctx.config.pointer_bits
+                )
+            )
+            return
+        # Cross-part (§4.4): a top node consults its cross-part list; a
+        # plain node relays the question to a top node of its own part.
+        if ctx.is_top:
+            candidates = ctx.cross_parts.find_for_id(joiner_id)
+            payload = (
+                candidates[int(ctx.rng.integers(0, len(candidates)))]
+                if candidates
+                else None
+            )
+            self.runtime.send(
+                msg.make_reply(
+                    "top-ptr", payload=payload, size_bits=ctx.config.pointer_bits
+                )
+            )
+            return
+        tops = ctx.top_list.pointers()
+        if not tops:
+            self.runtime.send(
+                msg.make_reply("top-ptr", payload=None, size_bits=ctx.config.ack_bits)
+            )
+            return
+        relay_to = tops[int(ctx.rng.integers(0, len(tops)))]
+        inner = Message(
+            ctx.address,
+            relay_to.address,
+            "get-top",
+            payload=joiner_id,
+            size_bits=ctx.config.ack_bits,
+        )
+        self.runtime.request(
+            inner,
+            timeout=ctx.config.report_timeout,
+            on_reply=lambda reply: self.runtime.send(
+                msg.make_reply(
+                    "top-ptr", payload=reply.payload, size_bits=ctx.config.pointer_bits
+                )
+            ),
+            on_timeout=lambda: self.runtime.send(
+                msg.make_reply("top-ptr", payload=None, size_bits=ctx.config.ack_bits)
+            ),
+        )
+
+    def on_level_query(self, msg: Message) -> None:
+        ctx = self.ctx
+        piggyback = [
+            p.copy() for p in ctx.top_list.pointers()[: ctx.config.top_list_size - 1]
+        ]
+        if ctx.is_top:
+            piggyback = [
+                p.copy()
+                for p in ctx.peer_list.group_members()
+                if p.node_id.value != ctx.node_id.value
+            ][: ctx.config.top_list_size - 1]
+        payload = (
+            ctx.level,
+            ctx.endpoint.ewma_in.rate(self.runtime.now),
+            piggyback,
+        )
+        self.runtime.send(
+            msg.make_reply(
+                "level-info",
+                payload=payload,
+                size_bits=ctx.config.ack_bits
+                + len(piggyback) * ctx.config.pointer_bits,
+            )
+        )
+
+    def on_download(self, msg: Message) -> None:
+        ctx = self.ctx
+        requester_id, prefix_len = msg.payload
+        ctx.stats.downloads_served += 1
+        if ctx.config.download_grace > 0:
+            # Events we apply in the grace window are copied to the
+            # requester — multicasts concurrent with the download would
+            # otherwise miss it (it is in nobody's audience yet).
+            ctx.recent_downloads.append((msg.src, self.runtime.now))
+        matching = [
+            p.copy()
+            for p in ctx.peer_list
+            if p.node_id.shares_prefix(requester_id, prefix_len)
+        ]
+        tops = [p.copy() for p in ctx.top_list.pointers()]
+        if ctx.is_top:
+            tops = [
+                p.copy()
+                for p in ctx.peer_list.group_members()
+                if p.node_id.value != ctx.node_id.value
+            ][: ctx.config.top_list_size - 1] + [ctx.self_pointer()]
+        self.runtime.send(
+            msg.make_reply(
+                "download-data",
+                payload=(matching, tops),
+                size_bits=max(1, len(matching) + len(tops)) * ctx.config.pointer_bits,
+            )
+        )

@@ -1,0 +1,67 @@
+"""MaintenanceService: the §4.6 refresh/expiry accuracy machinery.
+
+Two periodic loops per node:
+
+* **refresh** — re-announce our own pointer every ``refresh_multiple *
+  LT_l`` seconds (lifetime-scaled, via
+  :class:`~repro.core.refresh.RefreshManager`) so audience members can
+  tell a silent-but-alive peer from a silently departed one;
+* **sweep** — expire pointers not refreshed within ``expiry_multiple *
+  LT_m`` of their own level's expected lifetime.
+
+Refresh periods optionally carry seeded jitter (``config.timer_jitter``)
+for the same de-synchronization reason as the probe loop.
+"""
+
+from __future__ import annotations
+
+from repro.core.context import NodeContext
+from repro.core.events import EventKind
+from repro.core.runtime import NodeRuntime
+
+
+class MaintenanceService:
+    """§4.6 refresh + expiry-sweep loops."""
+
+    def __init__(self, runtime: NodeRuntime, ctx: NodeContext):
+        self.runtime = runtime
+        self.ctx = ctx
+
+    def start(self) -> None:
+        ctx = self.ctx
+        ctx.track(
+            self.runtime.schedule(
+                ctx.jittered(ctx.refresh_mgr.refresh_due_interval(ctx.level)),
+                self.refresh_tick,
+            )
+        )
+        ctx.track(
+            self.runtime.schedule(ctx.config.level_check_interval, self.sweep_tick)
+        )
+
+    def refresh_tick(self) -> None:
+        ctx = self.ctx
+        if not ctx.alive:
+            return
+        ctx.stats.refreshes_sent += 1
+        ctx.refresh_mgr.refreshes_sent += 1
+        ctx.report_event(ctx.make_event(EventKind.REFRESH))
+        ctx.track(
+            self.runtime.schedule(
+                ctx.jittered(ctx.refresh_mgr.refresh_due_interval(ctx.level)),
+                self.refresh_tick,
+            )
+        )
+
+    def sweep_tick(self) -> None:
+        ctx = self.ctx
+        if not ctx.alive:
+            return
+        expired = ctx.refresh_mgr.sweep(ctx.peer_list, self.runtime.now)
+        for p in expired:
+            if p.node_id.value == ctx.node_id.value:
+                # Never expire ourselves.
+                ctx.peer_list.add(ctx.self_pointer())
+        ctx.track(
+            self.runtime.schedule(ctx.config.level_check_interval, self.sweep_tick)
+        )

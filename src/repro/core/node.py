@@ -1,74 +1,62 @@
-"""The PeerWindow node: the full protocol state machine.
+"""The PeerWindow node: a thin coordinator over the protocol services.
 
-One :class:`PeerWindowNode` implements everything §4 specifies, wired to a
-simulated transport:
+One :class:`PeerWindowNode` is the composition point of the §4 protocol
+machinery, each concern implemented by a dedicated service sharing one
+:class:`~repro.core.context.NodeContext`:
 
-* message handling (probes, multicast, reports, join assistance,
-  downloads, top-node list queries);
-* the §4.1 failure-detection probe loop over the eigenstring ring;
-* origination and relay of the §4.2 tree multicast (acks, retries,
-  stale-pointer redirects) via :class:`~repro.core.multicast.MulticastForwarder`;
-* the §4.3 joining handshake (find top node → level estimation → list
-  download → join multicast) and warm-up;
-* the §2/§4.3 autonomic level controller;
-* §4.5 lazy top-node list maintenance (piggybacked pointers);
-* the §4.6 refresh/expiry accuracy machinery.
+* :class:`~repro.core.join.JoinService` — the §4.3 joining handshake,
+  warm-up, and join assistance;
+* :class:`~repro.core.levelshift.LevelShiftService` — the autonomic level
+  controller's commit paths (lower/raise, part split/merge);
+* :class:`~repro.core.failure.FailureDetector` — the §4.1 ring probe loop;
+* :class:`~repro.core.dissemination.MulticastService` — the §4.2 tree
+  multicast with acks/retries/redirects plus the §4.5 report path;
+* :class:`~repro.core.maintenance.MaintenanceService` — the §4.6
+  refresh/expiry loops.
+
+The coordinator itself owns only lifecycle (bootstrap / install / join /
+leave / crash), message dispatch, and the public accessors the harness
+and tests use.  It runs against a :class:`~repro.core.runtime.NodeRuntime`
+— pass ``runtime=`` directly, or the classic ``sim=``/``transport=`` pair
+which is wrapped in a :class:`~repro.core.runtime.SimRuntime`.
 
 Part handling (§4.4): each node tracks whether it believes itself a *top
 node* (no stronger node in its part).  Top nodes answer reports with
 multicasts and keep a :class:`~repro.core.topnodes.CrossPartTopList` for
 other parts.  Part *merging* (a top node raising above its part's level)
-uses a bridge subscription — see DESIGN.md §7; the paper leaves this path
+uses a bridge subscription — see DESIGN.md §8; the paper leaves this path
 unspecified.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Hashable, List, Optional
+from typing import Any, Callable, Dict, Hashable, List, Optional
 
 import numpy as np
 
-from repro.core.analytic import estimate_join_level
 from repro.core.config import ProtocolConfig
+from repro.core.context import NodeContext, NodeStats
+from repro.core.dissemination import MulticastService
 from repro.core.errors import NotAliveError
-from repro.core.events import EventKind, EventRecord, apply_event
-from repro.core.multicast import MulticastForwarder
-from repro.core.nodeid import NodeId, eigenstring
-from repro.core.peerlist import PeerList
+from repro.core.events import EventKind, EventRecord
+from repro.core.failure import FailureDetector
+from repro.core.join import JoinService
+from repro.core.levelshift import LevelShiftService
+from repro.core.maintenance import MaintenanceService
+from repro.core.nodeid import NodeId
 from repro.core.pointer import Pointer
-from repro.core.refresh import LifetimeEstimator, RefreshManager
-from repro.core.levels import LevelController, LevelDecision
-from repro.core.topnodes import CrossPartTopList, TopNodeList
+from repro.core.runtime import NodeRuntime, SimRuntime
 from repro.net.message import Message
 from repro.net.transport import Transport
-from repro.sim.engine import EventHandle, Simulator
+from repro.sim.engine import Simulator
 
-
-@dataclass
-class NodeStats:
-    """Per-node protocol counters (reset never; read by the harness)."""
-
-    events_applied: int = 0
-    events_originated: int = 0
-    mcasts_received: int = 0
-    mcast_duplicates: int = 0
-    probes_sent: int = 0
-    failures_detected: int = 0
-    reports_sent: int = 0
-    reports_failed: int = 0
-    reports_served: int = 0
-    level_raises: int = 0
-    level_lowers: int = 0
-    refreshes_sent: int = 0
-    downloads_served: int = 0
-    joins_assisted: int = 0
+__all__ = ["PeerWindowNode", "NodeStats"]
 
 
 class PeerWindowNode:
     """A live protocol participant.
 
-    Construction wires the node to the transport but does **not** join it:
+    Construction wires the node to its runtime but does **not** join it:
     call :meth:`bootstrap_first` for the very first node of a system, or
     :meth:`join_via` with a bootstrap address for everyone else.  The
     :class:`~repro.core.protocol.PeerWindowNetwork` harness drives both.
@@ -76,85 +64,199 @@ class PeerWindowNode:
 
     def __init__(
         self,
-        sim: Simulator,
-        transport: Transport,
-        config: ProtocolConfig,
-        node_id: NodeId,
-        address: Hashable,
-        threshold_bps: float,
-        rng: np.random.Generator,
+        sim: Optional[Simulator] = None,
+        transport: Optional[Transport] = None,
+        config: Optional[ProtocolConfig] = None,
+        node_id: Optional[NodeId] = None,
+        address: Hashable = None,
+        threshold_bps: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
         attached_info: Any = None,
         on_left: Optional[Callable[["PeerWindowNode"], None]] = None,
+        runtime: Optional[NodeRuntime] = None,
     ):
-        self.sim = sim
-        self.transport = transport
-        self.config = config
-        self.node_id = node_id
-        self.address = address
-        self.level = 0
-        self.threshold_bps = float(threshold_bps)
-        self.rng = rng
-        self.attached_info = attached_info
-        self.alive = False
-        self.is_top = False
-        self._seq = 0
+        if runtime is None:
+            if sim is None or transport is None:
+                raise ValueError(
+                    "PeerWindowNode needs either runtime= or both sim= and transport="
+                )
+            runtime = SimRuntime(sim, transport)
+        if config is None or node_id is None or rng is None:
+            raise ValueError("config, node_id and rng are required")
+        self.runtime = runtime
+        #: Kept for the sequential-harness/test surface; ``None`` when the
+        #: runtime does not expose them (it always does for SimRuntime).
+        self.sim = getattr(runtime, "sim", None)
+        self.transport = getattr(runtime, "transport", None)
         self._on_left = on_left
 
-        self.peer_list = PeerList(node_id, 0)
-        self.top_list = TopNodeList(config.top_list_size)
-        self.cross_parts = CrossPartTopList(config.top_list_size)
-        self.estimator = LifetimeEstimator(prior_mean=3600.0)
-        self.refresh_mgr = RefreshManager(config, self.estimator)
-        self.controller = LevelController(config, threshold_bps)
-        self.stats = NodeStats()
-        #: Addresses subscribed to copies of every multicast this (top)
-        #: node originates — the part-merge bridge (DESIGN.md §7).
-        self.bridge_subscribers: dict[int, Pointer] = {}
-        self._seen_events: dict[int, int] = {}  # subject id value -> max seq
-        self._loop_handles: List[EventHandle] = []
-        self._raising = False
-        self.endpoint = transport.register(address, self._on_message)
-
-        self.forwarder = MulticastForwarder(
+        self.ctx = NodeContext(
+            runtime,
             config,
             node_id,
-            self.peer_list,
-            send_fn=self._mcast_send,
-            on_stale_pointer=lambda p: self.estimator.observe_departure(p, self.sim.now),
+            address,
+            threshold_bps,
+            rng,
+            attached_info=attached_info,
         )
+        self.dissemination = MulticastService(runtime, self.ctx)
+        # The report path is the capability every other service needs;
+        # wire it into the shared context before anything can fire.
+        self.ctx.report_event = self.dissemination.report_event
+        self.failure = FailureDetector(runtime, self.ctx)
+        self.levels = LevelShiftService(runtime, self.ctx)
+        self.join = JoinService(
+            runtime, self.ctx, self.levels, on_joined=self._start_loops
+        )
+        self.maintenance = MaintenanceService(runtime, self.ctx)
+        self.ctx.endpoint = runtime.register(address, self._on_message)
 
     # ------------------------------------------------------------------
-    # identity helpers
+    # context accessors (the pre-split public surface)
     # ------------------------------------------------------------------
 
     @property
+    def config(self) -> ProtocolConfig:
+        return self.ctx.config
+
+    @property
+    def node_id(self) -> NodeId:
+        return self.ctx.node_id
+
+    @property
+    def address(self) -> Hashable:
+        return self.ctx.address
+
+    @property
+    def threshold_bps(self) -> float:
+        return self.ctx.threshold_bps
+
+    @threshold_bps.setter
+    def threshold_bps(self, value: float) -> None:
+        self.ctx.threshold_bps = float(value)
+
+    @property
+    def rng(self) -> np.random.Generator:
+        return self.ctx.rng
+
+    @property
+    def level(self) -> int:
+        return self.ctx.level
+
+    @level.setter
+    def level(self, value: int) -> None:
+        self.ctx.level = value
+
+    @property
+    def alive(self) -> bool:
+        return self.ctx.alive
+
+    @alive.setter
+    def alive(self, value: bool) -> None:
+        self.ctx.alive = value
+
+    @property
+    def is_top(self) -> bool:
+        return self.ctx.is_top
+
+    @is_top.setter
+    def is_top(self, value: bool) -> None:
+        self.ctx.is_top = value
+
+    @property
+    def attached_info(self) -> Any:
+        return self.ctx.attached_info
+
+    @attached_info.setter
+    def attached_info(self, value: Any) -> None:
+        self.ctx.attached_info = value
+
+    @property
+    def peer_list(self):
+        return self.ctx.peer_list
+
+    @property
+    def top_list(self):
+        return self.ctx.top_list
+
+    @property
+    def cross_parts(self):
+        return self.ctx.cross_parts
+
+    @property
+    def estimator(self):
+        return self.ctx.estimator
+
+    @property
+    def refresh_mgr(self):
+        return self.ctx.refresh_mgr
+
+    @property
+    def controller(self):
+        return self.ctx.controller
+
+    @property
+    def stats(self) -> NodeStats:
+        return self.ctx.stats
+
+    @property
+    def endpoint(self):
+        return self.ctx.endpoint
+
+    @property
+    def bridge_subscribers(self) -> Dict[int, Pointer]:
+        return self.ctx.bridge_subscribers
+
+    @property
+    def forwarder(self):
+        return self.dissemination.forwarder
+
+    @property
     def eigenstring(self) -> str:
-        return eigenstring(self.node_id, self.level)
+        return self.ctx.eigenstring
 
     def self_pointer(self) -> Pointer:
-        return Pointer(
-            node_id=self.node_id,
-            address=self.address,
-            level=self.level,
-            attached_info=self.attached_info,
-            last_refresh=self.sim.now,
-            last_event_seq=self._seq,
-        )
+        return self.ctx.self_pointer()
 
-    def _next_seq(self) -> int:
-        self._seq += 1
-        return self._seq
+    # Pre-split private names a few whitebox tests poke at.
+
+    @property
+    def _seq(self) -> int:
+        return self.ctx.seq
+
+    @_seq.setter
+    def _seq(self, value: int) -> None:
+        self.ctx.seq = value
+
+    @property
+    def _raising(self) -> bool:
+        return self.ctx.raising
+
+    @_raising.setter
+    def _raising(self, value: bool) -> None:
+        self.ctx.raising = value
+
+    @property
+    def _seen_events(self) -> Dict[int, int]:
+        return self.ctx.seen_events
 
     def _make_event(self, kind: EventKind) -> EventRecord:
-        return EventRecord(
-            kind=kind,
-            subject_id=self.node_id,
-            subject_level=self.level,
-            subject_address=self.address,
-            seq=self._next_seq(),
-            origin_time=self.sim.now,
-            attached_info=self.attached_info,
-        )
+        return self.ctx.make_event(kind)
+
+    def _part_level(self) -> int:
+        return self.ctx.part_level()
+
+    def _commit_lower(self) -> None:
+        self.levels.commit_lower()
+
+    def _initiate_raise(self, new_level: int) -> None:
+        self.levels.initiate_raise(new_level)
+
+    def _raise_source(self, new_level: int) -> Optional[Pointer]:
+        return self.levels._raise_source(new_level)
+
+    def report_event(self, event: EventRecord, _attempt: int = 0) -> None:
+        self.dissemination.report_event(event, _attempt=_attempt)
 
     # ------------------------------------------------------------------
     # lifecycle: bootstrap / join / leave / crash
@@ -162,11 +264,12 @@ class PeerWindowNode:
 
     def bootstrap_first(self, level: int = 0) -> None:
         """Become the first node of a (part of a) system at ``level``."""
-        self.level = level
-        self.peer_list.retarget(level)
-        self.peer_list.add(self.self_pointer())
-        self.is_top = True
-        self.alive = True
+        ctx = self.ctx
+        ctx.level = level
+        ctx.peer_list.retarget(level)
+        ctx.peer_list.add(ctx.self_pointer())
+        ctx.is_top = True
+        ctx.alive = True
         self._start_loops()
 
     def install(
@@ -178,15 +281,16 @@ class PeerWindowNode:
     ) -> None:
         """Direct state installation (the harness's initial seeding —
         the paper likewise *creates* its 100,000 nodes before churning)."""
-        self.level = level
-        self.peer_list.retarget(level)
-        self.peer_list.add(self.self_pointer())
+        ctx = self.ctx
+        ctx.level = level
+        ctx.peer_list.retarget(level)
+        ctx.peer_list.add(ctx.self_pointer())
         for p in pointers:
-            if p.node_id.value != self.node_id.value:
-                self.peer_list.add(p)
-        self.top_list.merge(top_pointers)
-        self.is_top = is_top
-        self.alive = True
+            if p.node_id.value != ctx.node_id.value:
+                ctx.peer_list.add(p)
+        ctx.top_list.merge(top_pointers)
+        ctx.is_top = is_top
+        ctx.alive = True
         self._start_loops()
 
     def join_via(
@@ -195,784 +299,99 @@ class PeerWindowNode:
         on_done: Optional[Callable[[bool], None]] = None,
     ) -> None:
         """Run the §4.3 joining handshake through ``bootstrap_address``."""
-        done = on_done if on_done is not None else (lambda ok: None)
-
-        # Step 1: find a top node of our part.
-        msg = Message(self.address, bootstrap_address, "get-top", payload=self.node_id,
-                      size_bits=self.config.ack_bits)
-        self.transport.request(
-            msg,
-            timeout=self.config.report_timeout,
-            on_reply=lambda reply: self._join_got_top(reply.payload, done),
-            on_timeout=lambda: done(False),
-        )
-
-    def _join_got_top(self, top_ptr: Optional[Pointer], done: Callable[[bool], None]) -> None:
-        if top_ptr is None:
-            done(False)
-            return
-        # Step 2: ask the top node for its level and measured cost.
-        msg = Message(self.address, top_ptr.address, "level-query",
-                      payload=self.node_id, size_bits=self.config.ack_bits)
-        self.transport.request(
-            msg,
-            timeout=self.config.report_timeout,
-            on_reply=lambda reply: self._join_got_level(top_ptr, reply.payload, done),
-            on_timeout=lambda: done(False),
-        )
-
-    def _join_got_level(
-        self, top_ptr: Pointer, info: tuple, done: Callable[[bool], None]
-    ) -> None:
-        top_level, top_cost, top_pointers = info
-        target = estimate_join_level(top_level, top_cost, self.threshold_bps)
-        # A joiner cannot start *stronger* than the top node that serves
-        # its download — the downloaded list would not cover the wider
-        # prefix (in a split system that would silently merge parts with a
-        # half-empty list).  Clamp to the part's level; the autonomic
-        # controller may raise (and properly download) later.
-        target = min(max(target, top_level), self.node_id.bits)
-        level = min(target + self.config.warmup_extra_levels, self.node_id.bits)
-        self.top_list.merge(list(top_pointers) + [top_ptr])
-        # Step 3: download the peer list (and top-node list) from the top
-        # node, whose list covers any prefix of ours.
-        msg = Message(self.address, top_ptr.address, "download",
-                      payload=(self.node_id, level), size_bits=self.config.ack_bits)
-        self.transport.request(
-            msg,
-            timeout=self.config.report_timeout,
-            on_reply=lambda reply: self._join_got_download(
-                top_ptr, level, target, top_level, reply.payload, done
-            ),
-            on_timeout=lambda: done(False),
-        )
-
-    def _join_got_download(
-        self,
-        top_ptr: Pointer,
-        level: int,
-        target_level: int,
-        top_level: int,
-        payload: tuple,
-        done: Callable[[bool], None],
-    ) -> None:
-        pointers, top_pointers = payload
-        self.level = level
-        self.peer_list.retarget(level)
-        self.peer_list.add(self.self_pointer())
-        for p in pointers:
-            if p.node_id.value != self.node_id.value and p.node_id.shares_prefix(
-                self.node_id, level
-            ):
-                self.peer_list.add(p.copy(last_refresh=self.sim.now))
-        self.top_list.merge(list(top_pointers))
-        self.is_top = level <= top_level
-        self.alive = True
-        self._start_loops()
-        # Step 4: multicast the joining event around the audience set.
-        self.report_event(self._make_event(EventKind.JOIN))
-        done(True)
-        # Warm-up (§4.3): raise to the estimated level in the background.
-        if level > target_level:
-            self.sim.schedule(0.0, self._warmup_raise, target_level)
-
-    def _warmup_raise(self, target_level: int) -> None:
-        if not self.alive or self.level <= target_level:
-            return
-        self._initiate_raise(self.level - 1)
-        # Keep raising until the warm-up target is reached.
-        self.sim.schedule(
-            self.config.report_timeout, self._warmup_raise, target_level
-        )
+        self.join.join_via(bootstrap_address, on_done=on_done)
 
     def update_attached_info(self, info: Any) -> None:
         """Change this node's application info and announce it (§2's
         "information changing" event; §3's attached-info usage)."""
-        if not self.alive:
-            raise NotAliveError(f"{self.address!r} is not alive")
-        self.attached_info = info
-        own = self.peer_list.get(self.node_id)
+        ctx = self.ctx
+        if not ctx.alive:
+            raise NotAliveError(f"{ctx.address!r} is not alive")
+        ctx.attached_info = info
+        own = ctx.peer_list.get(ctx.node_id)
         if own is not None:
             own.attached_info = info
-        self.report_event(self._make_event(EventKind.INFO_CHANGE))
+        ctx.report_event(ctx.make_event(EventKind.INFO_CHANGE))
 
     def leave(self) -> None:
         """Graceful departure: announce, then disconnect."""
-        if not self.alive:
-            raise NotAliveError(f"{self.address!r} is not alive")
-        event = self._make_event(EventKind.LEAVE)
-        self.alive = False
-        self._stop_loops()
-        if self.is_top:
-            self._start_multicast(event)
+        ctx = self.ctx
+        if not ctx.alive:
+            raise NotAliveError(f"{ctx.address!r} is not alive")
+        event = ctx.make_event(EventKind.LEAVE)
+        ctx.alive = False
+        ctx.cancel_loops()
+        if ctx.is_top:
+            self.dissemination.start_multicast(event)
             grace = (
-                self.config.multicast_ack_timeout * self.config.multicast_attempts
-                + 2 * self.config.multicast_processing_delay
+                ctx.config.multicast_ack_timeout * ctx.config.multicast_attempts
+                + 2 * ctx.config.multicast_processing_delay
             )
-            self.sim.schedule(grace, self._disconnect)
+            self.runtime.schedule(grace, self._disconnect)
         else:
-            self.report_event(event)
-            self.sim.schedule(self.config.report_timeout, self._disconnect)
+            ctx.report_event(event)
+            self.runtime.schedule(ctx.config.report_timeout, self._disconnect)
 
     def crash(self) -> None:
         """Abrupt departure: vanish without notification (§4.1's case)."""
-        if not self.alive:
+        if not self.ctx.alive:
             return
-        self.alive = False
-        self._stop_loops()
+        self.ctx.alive = False
+        self.ctx.cancel_loops()
         self._disconnect()
 
     def _disconnect(self) -> None:
-        if self.transport.is_alive(self.address):
-            self.transport.unregister(self.address)
+        if self.runtime.is_alive(self.ctx.address):
+            self.runtime.unregister(self.ctx.address)
         if self._on_left is not None:
             self._on_left(self)
 
-    def _track(self, handle: EventHandle) -> None:
-        """Track a loop timer for cancellation at departure, pruning dead
-        handles so long sessions do not accumulate them."""
-        self._loop_handles.append(handle)
-        if len(self._loop_handles) > 64:
-            self._loop_handles = [h for h in self._loop_handles if h.active]
-
     def _start_loops(self) -> None:
-        self._schedule_probe(self.config.probe_interval)
-        self._track(self.sim.schedule(self.config.level_check_interval, self._level_tick))
-        self._track(
-            self.sim.schedule(
-                self.refresh_mgr.refresh_due_interval(self.level), self._refresh_tick
-            )
-        )
-        self._track(self.sim.schedule(self.config.level_check_interval, self._sweep_tick))
+        self.failure.start()
+        self.levels.start_level_loop()
+        self.maintenance.start()
 
     def _stop_loops(self) -> None:
-        for handle in self._loop_handles:
-            handle.cancel()
-        self._loop_handles.clear()
+        self.ctx.cancel_loops()
 
     # ------------------------------------------------------------------
     # message dispatch
     # ------------------------------------------------------------------
 
     def _on_message(self, msg: Message) -> None:
-        if not self.alive:
+        if not self.ctx.alive:
             return
         kind = msg.kind
         if kind == "probe":
-            self.transport.send(msg.make_reply("probe-ack", size_bits=self.config.ack_bits))
+            self.failure.on_probe(msg)
         elif kind == "mcast":
-            self._on_mcast(msg)
+            self.dissemination.on_mcast(msg)
+        elif kind == "event-copy":
+            self.dissemination.on_event_copy(msg)
         elif kind == "report":
-            self._on_report(msg)
+            self.dissemination.on_report(msg)
         elif kind == "get-top":
-            self._on_get_top(msg)
+            self.join.on_get_top(msg)
         elif kind == "level-query":
-            self._on_level_query(msg)
+            self.join.on_level_query(msg)
         elif kind == "download":
-            self._on_download(msg)
+            self.join.on_download(msg)
         elif kind == "get-topnodes":
-            self.transport.send(
-                msg.make_reply(
-                    "topnodes",
-                    payload=[p.copy() for p in self.top_list.pointers()],
-                    size_bits=max(1, len(self.top_list)) * self.config.pointer_bits,
-                )
-            )
+            self.dissemination.on_get_topnodes(msg)
         elif kind == "bridge-subscribe":
-            ptr, propagate = msg.payload
-            fresh = ptr.node_id.value not in self.bridge_subscribers
-            self.bridge_subscribers[ptr.node_id.value] = ptr
-            self.transport.send(msg.make_reply("bridge-ack", size_bits=self.config.ack_bits))
-            if propagate and fresh:
-                # Every top of this part roots multicasts, so the whole
-                # top group must carry the subscription (one idempotent
-                # hop; group members do not re-propagate).
-                for peer in self.peer_list.group_members():
-                    if peer.node_id.value == self.node_id.value:
-                        continue
-                    self.transport.send(
-                        Message(
-                            self.address,
-                            peer.address,
-                            "bridge-subscribe",
-                            payload=(ptr, False),
-                            size_bits=self.config.pointer_bits,
-                        )
-                    )
+            self.dissemination.on_bridge_subscribe(msg)
         # Unknown kinds and late acks are ignored.
-
-    # -- multicast relay ----------------------------------------------------
-
-    def _on_mcast(self, msg: Message) -> None:
-        event, start_bit = msg.payload
-        self.transport.send(msg.make_reply("mcast-ack", size_bits=self.config.ack_bits))
-        self.stats.mcasts_received += 1
-        subject_value = event.subject_id.value
-        if subject_value == self.node_id.value:
-            # We are in our own audience, so a *false* failure report (a
-            # lost probe ack, §4.1) reaches us as our own obituary.  Refute
-            # it with a higher-sequence refresh so every audience member
-            # re-adds us.  (The paper leaves false positives to the slow
-            # §4.6 refresh cycle; this is the immediate version.)
-            if self.alive and event.kind is EventKind.LEAVE and event.seq >= self._seq:
-                self._seq = event.seq
-                self.report_event(self._make_event(EventKind.REFRESH))
-            return
-        if self._seen_events.get(subject_value, -1) >= event.seq:
-            self.stats.mcast_duplicates += 1
-            return
-        self._seen_events[subject_value] = event.seq
-        self._apply(event)
-        # §5.1: a relay spends 1 s "receiving, calculating and sending".
-        self.sim.schedule(
-            self.config.multicast_processing_delay,
-            self._forward_if_alive,
-            event,
-            start_bit,
-        )
-
-    def _forward_if_alive(self, event: EventRecord, start_bit: int) -> None:
-        if self.alive:
-            self.forwarder.forward(event, start_bit)
-
-    def _mcast_send(
-        self,
-        target: Pointer,
-        event: EventRecord,
-        next_bit: int,
-        on_result: Callable[[bool], None],
-    ) -> None:
-        msg = Message(
-            self.address,
-            target.address,
-            "mcast",
-            payload=(event, next_bit),
-            size_bits=self.config.event_message_bits,
-        )
-        self.transport.request(
-            msg,
-            timeout=self.config.multicast_ack_timeout,
-            on_reply=lambda _reply: on_result(True),
-            on_timeout=lambda: on_result(False),
-        )
-
-    def _start_multicast(self, event: EventRecord) -> None:
-        """Originate a multicast as a top node (root of the tree)."""
-        self._seen_events[event.subject_id.value] = event.seq
-        self._apply(event)
-        self.sim.schedule(
-            self.config.multicast_processing_delay,
-            self._root_forward,
-            event,
-        )
-
-    def _root_forward(self, event: EventRecord) -> None:
-        if not self.alive and event.subject_id.value != self.node_id.value:
-            return
-        self.forwarder.forward(event, 0)
-        if (
-            event.kind is EventKind.LEAVE
-            and event.subject_id.value != self.node_id.value
-        ):
-            # Copy the obituary to the subject itself: silently dropped if
-            # it is really dead, refuted with a refresh if the failure
-            # detection was a false positive (lost probe acks).
-            self.transport.send(
-                Message(
-                    self.address,
-                    event.subject_address,
-                    "mcast",
-                    payload=(event, self.node_id.bits),
-                    size_bits=self.config.event_message_bits,
-                )
-            )
-        # Part-merge bridge: forward a copy to cross-part subscribers whose
-        # eigenstring covers the subject.
-        for ptr in list(self.bridge_subscribers.values()):
-            if ptr.node_id.shares_prefix(event.subject_id, ptr.level):
-                self._mcast_send(ptr, event, self.node_id.bits, lambda ok: None)
-
-    def _apply(self, event: EventRecord) -> None:
-        departed = None
-        if event.kind is EventKind.LEAVE:
-            departed = self.peer_list.get(event.subject_id)
-        changed = apply_event(self.peer_list, event, self.sim.now, owner_id=self.node_id)
-        if changed:
-            self.stats.events_applied += 1
-            if departed is not None:
-                self.estimator.observe_departure(departed, self.sim.now)
-        # Keep the top-node list's levels fresh.
-        if event.subject_id in self.top_list:
-            if event.kind is EventKind.LEAVE:
-                self.top_list.remove(event.subject_id)
-            else:
-                self.top_list.merge([
-                    Pointer(
-                        node_id=event.subject_id,
-                        address=event.subject_address,
-                        level=event.subject_level,
-                        attached_info=event.attached_info,
-                        last_refresh=self.sim.now,
-                        last_event_seq=event.seq,
-                    )
-                ])
-
-    # -- report path ----------------------------------------------------------
-
-    def report_event(self, event: EventRecord, _attempt: int = 0) -> None:
-        """Deliver ``event`` to a top node for multicast (§4.1/§4.5)."""
-        if event.subject_id.value == self.node_id.value:
-            self.stats.events_originated += 1
-        if self.is_top:
-            # A top node is its own multicast root (this also covers a top
-            # node announcing its own leave: alive is already False then).
-            self._start_multicast(event)
-            return
-        top = self.top_list.choose(self.rng)
-        if top is None:
-            self._report_fallback(event, _attempt)
-            return
-        self.stats.reports_sent += 1
-        msg = Message(
-            self.address,
-            top.address,
-            "report",
-            payload=event,
-            size_bits=self.config.event_message_bits,
-        )
-        self.transport.request(
-            msg,
-            timeout=self.config.report_timeout,
-            on_reply=lambda reply: self.top_list.merge(
-                [p for p in reply.payload if p.node_id.value != self.node_id.value]
-            ),
-            on_timeout=lambda: self._report_retry(event, top, _attempt),
-        )
-
-    def _report_retry(self, event: EventRecord, dead_top: Pointer, attempt: int) -> None:
-        self.top_list.remove(dead_top.node_id)
-        if attempt + 1 >= 3 * self.config.top_list_size:
-            self.stats.reports_failed += 1
-            return
-        self.report_event(event, _attempt=attempt + 1)
-
-    def _report_fallback(self, event: EventRecord, attempt: int) -> None:
-        """§4.5: when every top-node pointer is stale, ask a peer for its
-        top-node list as a substitution."""
-        if attempt >= 3 * self.config.top_list_size:
-            self.stats.reports_failed += 1
-            return
-        peers = [
-            p for p in self.peer_list if p.node_id.value != self.node_id.value
-        ]
-        if not peers:
-            self.stats.reports_failed += 1
-            return
-        peer = peers[int(self.rng.integers(0, len(peers)))]
-        msg = Message(self.address, peer.address, "get-topnodes",
-                      size_bits=self.config.ack_bits)
-        self.transport.request(
-            msg,
-            timeout=self.config.report_timeout,
-            on_reply=lambda reply: (
-                self.top_list.merge(
-                    [p for p in reply.payload if p.node_id.value != self.node_id.value]
-                ),
-                self.report_event(event, _attempt=attempt + 1),
-            ),
-            on_timeout=lambda: self._report_fallback(event, attempt + 1),
-        )
-
-    def _on_report(self, msg: Message) -> None:
-        event: EventRecord = msg.payload
-        self.stats.reports_served += 1
-        if not self.is_top:
-            # Stale top-node pointer at the reporter: we are no longer a
-            # top node.  Ack with our *current* top-node list so the
-            # reporter heals (§4.5), and relay the event upward ourselves.
-            piggyback = [p.copy() for p in self.top_list.pointers()]
-            self.transport.send(
-                msg.make_reply(
-                    "report-ack",
-                    payload=piggyback,
-                    size_bits=max(1, len(piggyback)) * self.config.pointer_bits,
-                )
-            )
-            if self._seen_events.get(event.subject_id.value, -1) < event.seq:
-                # Mark seen before relaying so relay cycles through other
-                # stale "tops" terminate at the first revisit.
-                self._seen_events[event.subject_id.value] = event.seq
-                self.report_event(event)
-            return
-        # Piggyback t-1 pointers to top nodes of the reporter's part (§4.5):
-        # our own group members (we are a top node of that part).
-        piggyback = [
-            p.copy()
-            for p in self.peer_list.group_members()
-            if p.node_id.value != self.node_id.value
-        ][: self.config.top_list_size - 1] + [self.self_pointer()]
-        self.transport.send(
-            msg.make_reply(
-                "report-ack",
-                payload=piggyback,
-                size_bits=len(piggyback) * self.config.pointer_bits,
-            )
-        )
-        subject_value = event.subject_id.value
-        if self._seen_events.get(subject_value, -1) >= event.seq:
-            return
-        self._start_multicast(event)
-
-    # -- join assistance ----------------------------------------------------------
-
-    def _on_get_top(self, msg: Message) -> None:
-        joiner_id: NodeId = msg.payload
-        self.stats.joins_assisted += 1
-        same_part = joiner_id.shares_prefix(self.node_id, self._part_level())
-        if same_part:
-            if self.is_top:
-                self.transport.send(
-                    msg.make_reply("top-ptr", payload=self.self_pointer(),
-                                   size_bits=self.config.pointer_bits)
-                )
-                return
-            tops = self.top_list.pointers()
-            payload = tops[int(self.rng.integers(0, len(tops)))] if tops else None
-            self.transport.send(
-                msg.make_reply("top-ptr", payload=payload,
-                               size_bits=self.config.pointer_bits)
-            )
-            return
-        # Cross-part (§4.4): a top node consults its cross-part list; a
-        # plain node relays the question to a top node of its own part.
-        if self.is_top:
-            candidates = self.cross_parts.find_for_id(joiner_id)
-            payload = (
-                candidates[int(self.rng.integers(0, len(candidates)))]
-                if candidates
-                else None
-            )
-            self.transport.send(
-                msg.make_reply("top-ptr", payload=payload,
-                               size_bits=self.config.pointer_bits)
-            )
-            return
-        tops = self.top_list.pointers()
-        if not tops:
-            self.transport.send(msg.make_reply("top-ptr", payload=None,
-                                               size_bits=self.config.ack_bits))
-            return
-        relay_to = tops[int(self.rng.integers(0, len(tops)))]
-        inner = Message(self.address, relay_to.address, "get-top",
-                        payload=joiner_id, size_bits=self.config.ack_bits)
-        self.transport.request(
-            inner,
-            timeout=self.config.report_timeout,
-            on_reply=lambda reply: self.transport.send(
-                msg.make_reply("top-ptr", payload=reply.payload,
-                               size_bits=self.config.pointer_bits)
-            ),
-            on_timeout=lambda: self.transport.send(
-                msg.make_reply("top-ptr", payload=None,
-                               size_bits=self.config.ack_bits)
-            ),
-        )
-
-    def _on_level_query(self, msg: Message) -> None:
-        piggyback = [
-            p.copy() for p in self.top_list.pointers()[: self.config.top_list_size - 1]
-        ]
-        if self.is_top:
-            piggyback = [
-                p.copy()
-                for p in self.peer_list.group_members()
-                if p.node_id.value != self.node_id.value
-            ][: self.config.top_list_size - 1]
-        payload = (
-            self.level,
-            self.endpoint.ewma_in.rate(self.sim.now),
-            piggyback,
-        )
-        self.transport.send(
-            msg.make_reply(
-                "level-info",
-                payload=payload,
-                size_bits=self.config.ack_bits
-                + len(piggyback) * self.config.pointer_bits,
-            )
-        )
-
-    def _on_download(self, msg: Message) -> None:
-        requester_id, prefix_len = msg.payload
-        self.stats.downloads_served += 1
-        matching = [
-            p.copy()
-            for p in self.peer_list
-            if p.node_id.shares_prefix(requester_id, prefix_len)
-        ]
-        tops = [p.copy() for p in self.top_list.pointers()]
-        if self.is_top:
-            tops = [
-                p.copy()
-                for p in self.peer_list.group_members()
-                if p.node_id.value != self.node_id.value
-            ][: self.config.top_list_size - 1] + [self.self_pointer()]
-        self.transport.send(
-            msg.make_reply(
-                "download-data",
-                payload=(matching, tops),
-                size_bits=max(1, len(matching) + len(tops)) * self.config.pointer_bits,
-            )
-        )
-
-    # ------------------------------------------------------------------
-    # failure detection (§4.1)
-    # ------------------------------------------------------------------
-
-    def _schedule_probe(self, delay: float) -> None:
-        self._track(self.sim.schedule(delay, self._probe_tick))
-
-    def _probe_tick(self) -> None:
-        if not self.alive:
-            return
-        target = self.peer_list.ring_successor(self.node_id)
-        if target is None:
-            self._schedule_probe(self.config.probe_interval)
-            return
-        self._probe_target(target, self.config.probe_misses_to_fail)
-
-    def _probe_target(self, target: Pointer, attempts_left: int) -> None:
-        if not self.alive:
-            return
-        self.stats.probes_sent += 1
-        msg = Message(self.address, target.address, "probe",
-                      size_bits=self.config.heartbeat_bits)
-        self.transport.request(
-            msg,
-            timeout=self.config.probe_timeout,
-            on_reply=lambda _r: self._schedule_probe(self.config.probe_interval),
-            on_timeout=lambda: self._probe_miss(target, attempts_left - 1),
-        )
-
-    def _probe_miss(self, target: Pointer, attempts_left: int) -> None:
-        if not self.alive:
-            return
-        if attempts_left > 0:
-            self._probe_target(target, attempts_left)
-            return
-        # Failure detected: report, remove, and immediately redirect the
-        # probing to the next neighbor (§4.1's concurrent-failure story).
-        self.stats.failures_detected += 1
-        departed = self.peer_list.remove(target.node_id)
-        if departed is not None:
-            self.estimator.observe_departure(departed, self.sim.now)
-        event = EventRecord(
-            kind=EventKind.LEAVE,
-            subject_id=target.node_id,
-            subject_level=target.level,
-            subject_address=target.address,
-            seq=target.last_event_seq + 1,
-            origin_time=self.sim.now,
-        )
-        self.report_event(event)
-        nxt = self.peer_list.ring_successor(self.node_id)
-        if nxt is not None:
-            self._probe_target(nxt, self.config.probe_misses_to_fail)
-        else:
-            self._schedule_probe(self.config.probe_interval)
-
-    # ------------------------------------------------------------------
-    # autonomic level control (§2, §4.3)
-    # ------------------------------------------------------------------
-
-    def _part_level(self) -> int:
-        """The believed part-prefix length: our level if we are a top node,
-        else the strongest level in our top-node list."""
-        if self.is_top:
-            return self.level
-        known = self.top_list.min_level()
-        return known if known is not None else 0
-
-    def _level_tick(self) -> None:
-        if not self.alive:
-            return
-        measured = self.endpoint.ewma_in.rate(self.sim.now)
-        decision = self.controller.decide(self.level, measured)
-        if decision is LevelDecision.LOWER:
-            self._commit_lower()
-        elif decision is LevelDecision.RAISE and not self._raising:
-            new_level = max(self.level - 1, 0)
-            if not self.is_top and new_level < self._part_level():
-                new_level = self._part_level()  # clamp: become a top first
-            if new_level < self.level:
-                self._initiate_raise(new_level)
-        self._track(
-            self.sim.schedule(self.config.level_check_interval, self._level_tick)
-        )
-
-    def _commit_lower(self) -> None:
-        if self.level >= self.node_id.bits:
-            return
-        old_level = self.level
-        was_top = self.is_top
-        group = [
-            p
-            for p in self.peer_list.group_members()
-            if p.node_id.value != self.node_id.value
-        ]
-        # Group members that still share our (longer) prefix stay in our
-        # part and — being at the old, stronger level — are now our tops.
-        same_side = [
-            p for p in group if p.node_id.bit(old_level) == self.node_id.bit(old_level)
-        ]
-        siblings = [
-            p for p in group if p.node_id.bit(old_level) != self.node_id.bit(old_level)
-        ]
-        self.level = old_level + 1
-        self.peer_list.retarget(self.level)
-        self.stats.level_lowers += 1
-        if was_top and same_side:
-            # We were a top node, so our eigenstring group was the set of
-            # our part's tops; the members staying on our side of the new
-            # bit are now strictly stronger than us — our new tops.
-            self.is_top = False
-            self.top_list.merge(
-                [p.copy(last_refresh=self.sim.now) for p in same_side]
-            )
-        # A non-top node keeps its existing top-node list (its group
-        # members were ordinary peers, not tops); a top node with no
-        # same-side group members stays the top of the split-off part.
-        if was_top and self.is_top and siblings:
-            # The part split at this level: the diverging members are the
-            # sibling part's tops (DESIGN.md §7).
-            sibling_prefix = eigenstring(siblings[0].node_id, self.level)
-            self.cross_parts.merge(
-                sibling_prefix,
-                [p.copy(last_refresh=self.sim.now) for p in siblings],
-            )
-        own = self.peer_list.get(self.node_id)
-        if own is not None:
-            own.level = self.level
-        self.report_event(self._make_event(EventKind.LEVEL_CHANGE))
-
-    def _initiate_raise(self, new_level: int) -> None:
-        """§4.3: download the missing pointers from a stronger node, then
-        commit the level change and report it."""
-        if new_level >= self.level or self._raising:
-            return
-        source = self._raise_source(new_level)
-        if source is None:
-            return
-        self._raising = True
-        msg = Message(self.address, source.address, "download",
-                      payload=(self.node_id, new_level),
-                      size_bits=self.config.ack_bits)
-        self.transport.request(
-            msg,
-            timeout=self.config.report_timeout,
-            on_reply=lambda reply: self._commit_raise(new_level, source, reply.payload),
-            on_timeout=lambda: self._abort_raise(source),
-        )
-
-    def _raise_source(self, new_level: int) -> Optional[Pointer]:
-        # A node whose eigenstring is a prefix of our id with level <= new
-        # level covers everything we need.
-        stronger = [
-            p
-            for p in self.peer_list
-            if p.level <= new_level and p.node_id.value != self.node_id.value
-            and p.node_id.shares_prefix(self.node_id, p.level)
-        ]
-        if stronger:
-            return self.peer_list.strongest(stronger)
-        if not self.is_top:
-            tops = self.top_list.pointers()
-            usable = [p for p in tops if p.level <= new_level]
-            if usable:
-                return min(usable, key=lambda p: (p.level, p.node_id.value))
-            return None
-        # Part merge: pull the sibling part from a cross-part top node.
-        sibling_prefix = self.node_id.prefix_bits(self.level - 1) + str(
-            1 - self.node_id.bit(self.level - 1)
-        )
-        for prefix in self.cross_parts.parts():
-            if prefix.startswith(sibling_prefix) or sibling_prefix.startswith(prefix):
-                candidates = self.cross_parts.for_part(prefix)
-                if candidates:
-                    return candidates[0]
-        return None
-
-    def _commit_raise(self, new_level: int, source: Pointer, payload: tuple) -> None:
-        self._raising = False
-        if not self.alive or new_level >= self.level:
-            return
-        pointers, tops = payload
-        was_top = self.is_top
-        self.level = new_level
-        self.peer_list.retarget(new_level)
-        for p in pointers:
-            if (
-                p.node_id.value != self.node_id.value
-                and p.node_id.shares_prefix(self.node_id, new_level)
-            ):
-                if self.peer_list.get(p.node_id) is None:
-                    self.peer_list.add(p.copy(last_refresh=self.sim.now))
-        own = self.peer_list.get(self.node_id)
-        if own is not None:
-            own.level = self.level
-        self.stats.level_raises += 1
-        part_level = self.top_list.min_level()
-        if part_level is None or new_level <= part_level:
-            self.is_top = True
-        if was_top and source.level >= new_level:
-            # We just merged above our old part: subscribe to the sibling
-            # part's event stream through its top node (bridge); the top
-            # propagates the subscription across its group.
-            sub = Message(self.address, source.address, "bridge-subscribe",
-                          payload=(self.self_pointer(), True),
-                          size_bits=self.config.pointer_bits)
-            self.transport.send(sub)
-        self.report_event(self._make_event(EventKind.LEVEL_CHANGE))
-
-    def _abort_raise(self, source: Pointer) -> None:
-        self._raising = False
-        self.peer_list.remove(source.node_id)
-
-    # ------------------------------------------------------------------
-    # refresh & expiry (§4.6)
-    # ------------------------------------------------------------------
-
-    def _refresh_tick(self) -> None:
-        if not self.alive:
-            return
-        self.stats.refreshes_sent += 1
-        self.refresh_mgr.refreshes_sent += 1
-        self.report_event(self._make_event(EventKind.REFRESH))
-        self._track(
-            self.sim.schedule(
-                self.refresh_mgr.refresh_due_interval(self.level), self._refresh_tick
-            )
-        )
-
-    def _sweep_tick(self) -> None:
-        if not self.alive:
-            return
-        expired = self.refresh_mgr.sweep(self.peer_list, self.sim.now)
-        for p in expired:
-            if p.node_id.value == self.node_id.value:
-                # Never expire ourselves.
-                self.peer_list.add(self.self_pointer())
-        self._track(
-            self.sim.schedule(self.config.level_check_interval, self._sweep_tick)
-        )
 
     # ------------------------------------------------------------------
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ctx = self.ctx
         idrepr = (
-            self.node_id.bitstring() if self.node_id.bits <= 16 else hex(self.node_id.value)
+            ctx.node_id.bitstring()
+            if ctx.node_id.bits <= 16
+            else hex(ctx.node_id.value)
         )
         return (
-            f"<PeerWindowNode {self.address!r} id={idrepr} level={self.level} "
-            f"{'top ' if self.is_top else ''}{'alive' if self.alive else 'gone'}>"
+            f"<PeerWindowNode {ctx.address!r} id={idrepr} level={ctx.level} "
+            f"{'top ' if ctx.is_top else ''}{'alive' if ctx.alive else 'gone'}>"
         )

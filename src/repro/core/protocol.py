@@ -19,24 +19,20 @@ tests use.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.analytic import CostModel
 from repro.core.config import ProtocolConfig
-from repro.core.errors import JoinError
 from repro.core.node import PeerWindowNode
-from repro.core.nodeid import NodeId, eigenstring
-from repro.net.latency import UniformLatencyModel
+from repro.core.nodeid import NodeId
+from repro.core.runtime import PartitionedRuntime, SimRuntime
+from repro.core.seeding import SeedSpec, seed_network
+from repro.net.latency import PairwiseLatencyModel, UniformLatencyModel
 from repro.net.topology import Topology
 from repro.net.transport import Transport
 from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
-
-
-#: A seed spec: a bare threshold, or (threshold, node_id), or a full dict.
-SeedSpec = Union[float, Tuple[float, NodeId], Dict[str, Any]]
 
 
 @dataclass
@@ -67,29 +63,72 @@ class PeerWindowNetwork:
         master_seed: int = 0,
         loss_rate: float = 0.0,
         sim: Optional[Simulator] = None,
+        parallel: Optional[int] = None,
+        lookahead: Optional[float] = None,
+        threads: bool = False,
     ):
         """``sim`` lets a caller embed the network in an externally-owned
         simulator — e.g. one logical process of the ONSP-style
         :class:`~repro.sim.parallel.ParallelSimulator` (split PeerWindow
         parts are mutually independent, so one part per LP is the natural
-        partition; see ``examples/onsp_parallel.py``)."""
+        partition; see ``examples/onsp_parallel.py``).
+
+        ``parallel=N`` instead partitions the *whole* network across the
+        ``N`` logical processes of a
+        :class:`~repro.core.runtime.PartitionedRuntime` (nodes are assigned
+        by ``node_id % N``).  Requires a topology with a pure
+        ``pair_latency`` (default: :class:`~repro.net.latency.PairwiseLatencyModel`)
+        and ``loss_rate=0``; a fixed-seed run produces bit-for-bit the same
+        results as the sequential engine.  ``lookahead`` defaults to the
+        topology's minimum latency; ``threads=True`` runs each epoch's LPs
+        on a thread pool."""
         self.config = config if config is not None else ProtocolConfig()
         self.streams = RandomStreams(master_seed)
-        self.sim = sim if sim is not None else Simulator()
-        self.topology = (
-            topology
-            if topology is not None
-            else UniformLatencyModel(latency=0.05, rng=self.streams.get("topology"))
-        )
-        self.transport = Transport(
-            self.sim,
-            self.topology,
-            loss_rate=loss_rate,
-            rng=self.streams.get("transport"),
-        )
+        self.parallel = parallel
+        if parallel is not None:
+            if parallel < 1:
+                raise ValueError("parallel must be >= 1")
+            if sim is not None:
+                raise ValueError("parallel= and sim= are mutually exclusive")
+            self.topology = (
+                topology if topology is not None else PairwiseLatencyModel()
+            )
+            self.runtime = PartitionedRuntime(
+                parallel,
+                self.topology,
+                lookahead=lookahead,
+                threads=threads,
+                loss_rate=loss_rate,
+            )
+            # No single event queue exists in partitioned mode; code that
+            # needs the clock uses ``self.now``.
+            self.sim = None
+            self.transport = None
+        else:
+            self.sim = sim if sim is not None else Simulator()
+            self.topology = (
+                topology
+                if topology is not None
+                else UniformLatencyModel(latency=0.05, rng=self.streams.get("topology"))
+            )
+            self.transport = Transport(
+                self.sim,
+                self.topology,
+                loss_rate=loss_rate,
+                rng=self.streams.get("transport"),
+            )
+            self.runtime = SimRuntime(self.sim, self.transport)
         self.nodes: Dict[Hashable, PeerWindowNode] = {}
         self._next_key = 0
         self._id_rng = self.streams.get("nodeids")
+        # Every id ever allocated (departed nodes included — ids are never
+        # reused), so duplicate checks stay O(1) at large populations.
+        self._used_ids: set = set()
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (mode-independent)."""
+        return self.sim.now if self.sim is not None else self.runtime.now
 
     # ------------------------------------------------------------------
     # population management
@@ -100,10 +139,9 @@ class PeerWindowNetwork:
         self._next_key += 1
         if node_id is None:
             node_id = NodeId.random(self._id_rng, self.config.id_bits)
-            while any(
-                n.node_id.value == node_id.value for n in self.nodes.values()
-            ):  # pragma: no cover - astronomically rare at 128 bits
+            while node_id.value in self._used_ids:  # pragma: no cover - rare at 128 bits
                 node_id = NodeId.random(self._id_rng, self.config.id_bits)
+        self._used_ids.add(node_id.value)
         return key, node_id
 
     def _make_node(
@@ -113,9 +151,12 @@ class PeerWindowNetwork:
         attached_info: Any = None,
     ) -> PeerWindowNode:
         key, nid = self._alloc(node_id)
+        if self.parallel is not None:
+            runtime = self.runtime.runtime_for(nid.value, key)
+        else:
+            runtime = self.runtime
         node = PeerWindowNode(
-            sim=self.sim,
-            transport=self.transport,
+            runtime=runtime,
             config=self.config,
             node_id=nid,
             address=key,
@@ -145,93 +186,16 @@ class PeerWindowNetwork:
         changes_per_lifetime: float = 3.0,
         forced_level: Optional[int] = None,
     ) -> List[Hashable]:
-        """Install an initial population.
-
-        Levels are assigned with the §2 cost model (the stationary point of
-        the autonomic controller), peer lists are built from ground truth,
-        and top-node lists point at ``t`` random top nodes of each node's
-        part.  Returns the node keys in spec order.
-        """
-        if self.nodes:
-            raise JoinError("seed_nodes requires an empty network")
-        model = CostModel(
+        """Install an initial population in the protocol's converged state
+        (see :func:`~repro.core.seeding.seed_network`).  Returns the node
+        keys in spec order."""
+        return seed_network(
+            self,
+            specs,
             mean_lifetime_s=mean_lifetime_s,
             changes_per_lifetime=changes_per_lifetime,
-            message_bits=self.config.event_message_bits,
+            forced_level=forced_level,
         )
-        normalized: List[Dict[str, Any]] = []
-        for spec in specs:
-            if isinstance(spec, dict):
-                normalized.append(dict(spec))
-            elif isinstance(spec, tuple):
-                normalized.append({"threshold_bps": spec[0], "node_id": spec[1]})
-            else:
-                normalized.append({"threshold_bps": float(spec)})
-        n = len(normalized)
-        created: List[PeerWindowNode] = []
-        for spec in normalized:
-            node = self._make_node(
-                spec.get("node_id"),
-                spec["threshold_bps"],
-                attached_info=spec.get("attached_info"),
-            )
-            if forced_level is not None:
-                node.level = forced_level
-            elif "level" in spec:
-                node.level = int(spec["level"])
-            else:
-                node.level = min(
-                    model.min_affordable_level(n, spec["threshold_bps"]),
-                    self.config.id_bits,
-                )
-            created.append(node)
-
-        # Part structure: the shortest existing eigenstring that prefixes
-        # each node's id.
-        eigen = sorted({eigenstring(nd.node_id, nd.level) for nd in created}, key=len)
-        part_of: Dict[int, str] = {}
-        for nd in created:
-            bitstr = nd.node_id.bitstring()
-            for e in eigen:
-                if bitstr.startswith(e):
-                    part_of[nd.node_id.value] = e
-                    break
-        parts: Dict[str, List[PeerWindowNode]] = {}
-        for nd in created:
-            parts.setdefault(part_of[nd.node_id.value], []).append(nd)
-        tops_by_part = {
-            prefix: [nd for nd in members if nd.level == len(prefix)]
-            for prefix, members in parts.items()
-        }
-
-        rng = self.streams.get("seeding")
-        pointer_of = {nd.node_id.value: nd.self_pointer() for nd in created}
-        for nd in created:
-            peers = [
-                pointer_of[other.node_id.value]
-                for other in created
-                if other.node_id.shares_prefix(nd.node_id, nd.level)
-                and other.node_id.value != nd.node_id.value
-            ]
-            part_prefix = part_of[nd.node_id.value]
-            tops = tops_by_part[part_prefix]
-            pool = [pointer_of[t.node_id.value] for t in tops]
-            chosen = (
-                list(pool)
-                if len(pool) <= self.config.top_list_size
-                else [pool[i] for i in rng.choice(len(pool), self.config.top_list_size, replace=False)]
-            )
-            is_top = nd.level == len(part_prefix)
-            nd.install(nd.level, peers, chosen, is_top)
-            if is_top:
-                for other_prefix, other_tops in tops_by_part.items():
-                    if other_prefix == part_prefix or not other_tops:
-                        continue
-                    other_pool = [pointer_of[t.node_id.value] for t in other_tops]
-                    take = min(len(other_pool), self.config.top_list_size)
-                    idx = rng.choice(len(other_pool), take, replace=False)
-                    nd.cross_parts.merge(other_prefix, [other_pool[i] for i in idx])
-        return [nd.address for nd in created]
 
     # -- runtime population changes ---------------------------------------------
 
@@ -263,6 +227,14 @@ class PeerWindowNetwork:
         self.nodes[key].crash()
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        if self.parallel is not None:
+            if until is None:
+                raise ValueError("partitioned execution needs an explicit until=")
+            if max_events is not None:
+                raise ValueError(
+                    "max_events is not meaningful across logical processes"
+                )
+            return self.runtime.run(until=until)
         return self.sim.run(until=until, max_events=max_events)
 
     # ------------------------------------------------------------------
@@ -291,7 +263,7 @@ class PeerWindowNetwork:
     def level_reports(self) -> Dict[int, LevelReport]:
         """Figures 5-8 at detailed-engine scale: per-level population,
         peer-list size, error rate, and in/out bandwidth."""
-        now = self.sim.now
+        now = self.now
         reports: Dict[int, LevelReport] = {}
         for node in self.live_nodes():
             rep = reports.setdefault(node.level, LevelReport(node.level))
@@ -325,7 +297,12 @@ class PeerWindowNetwork:
                 totals[key] = totals.get(key, 0) + value
         totals["live_nodes"] = len(self.live_nodes())
         totals["mean_error_rate"] = self.mean_error_rate()
-        for key, value in self.transport.stats().items():
+        transport_stats = (
+            self.runtime.transport_stats()
+            if self.parallel is not None
+            else self.transport.stats()
+        )
+        for key, value in transport_stats.items():
             if isinstance(value, (int, float)):
                 totals[f"transport_{key}"] = value
         return totals
@@ -340,6 +317,11 @@ class PeerWindowNetwork:
         """
         from repro.sim.monitor import TimeSeries
 
+        if self.parallel is not None:
+            raise NotImplementedError(
+                "monitoring samples the whole network from one event queue; "
+                "in partitioned mode take snapshots between run() calls instead"
+            )
         series = {
             "population": TimeSeries("population"),
             "mean_error_rate": TimeSeries("mean_error_rate"),
@@ -361,7 +343,7 @@ class PeerWindowNetwork:
 
     def parts(self) -> Dict[str, int]:
         """Current part structure (prefix -> population), from the oracle
-        part rule of DESIGN.md §6."""
+        part rule of DESIGN.md §7."""
         live = self.live_nodes()
         eigen = sorted({n.eigenstring for n in live}, key=len)
         out: Dict[str, int] = {}

@@ -14,7 +14,7 @@ All return strings (callers print), so tests can assert on geometry.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 _SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
 _BAR_GLYPH = "█"

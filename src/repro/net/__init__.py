@@ -16,16 +16,24 @@ processing delay at each multicast relay.  This package provides:
 """
 
 from repro.net.bandwidth import BandwidthMeter
-from repro.net.latency import UniformLatencyModel
+from repro.net.latency import PairwiseLatencyModel, UniformLatencyModel
 from repro.net.message import Message
 from repro.net.topology import Topology
 from repro.net.transit_stub import TransitStubParams, TransitStubTopology
-from repro.net.transport import Endpoint, Transport
+from repro.net.transport import (
+    Endpoint,
+    PartitionedTransport,
+    PartitionRouter,
+    Transport,
+)
 
 __all__ = [
     "BandwidthMeter",
     "Endpoint",
     "Message",
+    "PairwiseLatencyModel",
+    "PartitionRouter",
+    "PartitionedTransport",
     "Topology",
     "TransitStubParams",
     "TransitStubTopology",

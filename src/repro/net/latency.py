@@ -7,6 +7,7 @@ tests fast and give baselines a topology-independent footing.
 
 from __future__ import annotations
 
+import zlib
 from typing import Dict, Hashable, Optional
 
 import numpy as np
@@ -63,3 +64,66 @@ class UniformLatencyModel(Topology):
             factor = float(self._rng.uniform(1.0 - self.jitter, 1.0 + self.jitter))
             self._pair_factor[pair] = factor
         return self.base * factor
+
+    def pair_latency(self, a: Hashable, b: Hashable) -> float:
+        if self.jitter != 0.0:
+            # Jittered factors are drawn lazily in query order — not a pure
+            # pair function, so not partition-safe.
+            raise NotImplementedError(
+                "UniformLatencyModel with jitter has no pure pairwise latency"
+            )
+        return self.loopback if a == b else self.base
+
+    def min_latency(self) -> float:
+        if self.jitter != 0.0:
+            return self.base * (1.0 - self.jitter)
+        return self.base
+
+
+class PairwiseLatencyModel(Topology):
+    """Deterministic, *distinct* per-pair latencies from a stable hash.
+
+    ``latency(a, b) = base + spread * h(a, b)`` where ``h`` maps the
+    unordered pair into ``[0, 1)`` via CRC-32 — a pure function of the two
+    keys, identical across runs, machines, and threads, and requiring no
+    attachment state.  Two properties make this the model of choice for
+    partitioned execution:
+
+    * every latency is ``>= base``, so ``base`` is a valid conservative
+      lookahead;
+    * distinct pairs almost always get distinct delays, which removes the
+      simultaneous-delivery ties that make sequential and partitioned
+      event orders diverge on uniform-latency topologies.
+    """
+
+    def __init__(self, base: float = 0.05, spread: float = 0.02, loopback: float = 0.0):
+        if base <= 0 or spread < 0 or loopback < 0:
+            raise ValueError("latencies must be positive (base) / non-negative")
+        self.base = float(base)
+        self.spread = float(spread)
+        self.loopback = float(loopback)
+        self._attached: Dict[Hashable, None] = {}
+
+    def attach(self, key: Hashable) -> None:
+        self._attached[key] = None
+
+    def detach(self, key: Hashable) -> None:
+        self._attached.pop(key, None)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._attached
+
+    def pair_latency(self, a: Hashable, b: Hashable) -> float:
+        if a == b:
+            return self.loopback
+        pair = (a, b) if repr(a) <= repr(b) else (b, a)
+        h = zlib.crc32(repr(pair).encode("utf-8"))
+        return self.base + self.spread * ((h % 9973) / 9973.0)
+
+    def latency(self, a: Hashable, b: Hashable) -> float:
+        if a not in self._attached or b not in self._attached:
+            raise KeyError(f"latency query for unattached key: {a!r} or {b!r}")
+        return self.pair_latency(a, b)
+
+    def min_latency(self) -> float:
+        return self.base

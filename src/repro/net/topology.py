@@ -36,3 +36,23 @@ class Topology(abc.ABC):
     @abc.abstractmethod
     def __contains__(self, key: Hashable) -> bool:
         """Whether ``key`` is currently attached."""
+
+    def pair_latency(self, a: Hashable, b: Hashable) -> float:
+        """Latency as a *pure function* of the key pair — defined even for
+        detached keys and safe to call concurrently.
+
+        The partitioned runtime requires this (delays must be computable
+        without consulting shared liveness state); models whose latencies
+        depend on mutable or lazily-drawn state must raise instead of
+        returning something that differs from :meth:`latency`.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no pure pairwise latency; "
+            "partitioned execution needs one (see PairwiseLatencyModel)"
+        )
+
+    def min_latency(self) -> float:
+        """A lower bound on every cross-node latency — the natural
+        conservative-simulation lookahead.  Models that cannot bound their
+        latencies must raise."""
+        raise NotImplementedError(f"{type(self).__name__} has no latency bound")

@@ -44,9 +44,15 @@ class Endpoint:
 
 
 class _PendingRequest:
-    __slots__ = ("on_reply", "timeout_handle")
+    __slots__ = ("src", "on_reply", "timeout_handle")
 
-    def __init__(self, on_reply: Callable[[Message], None], timeout_handle: EventHandle):
+    def __init__(
+        self,
+        src: Hashable,
+        on_reply: Callable[[Message], None],
+        timeout_handle: EventHandle,
+    ):
+        self.src = src
         self.on_reply = on_reply
         self.timeout_handle = timeout_handle
 
@@ -57,7 +63,7 @@ class Transport:
     def __init__(
         self,
         sim: Simulator,
-        topology: Topology,
+        topology: Optional[Topology],
         loss_rate: float = 0.0,
         rng: Optional[np.random.Generator] = None,
         ewma_tau: float = 120.0,
@@ -94,8 +100,21 @@ class Transport:
         return ep
 
     def unregister(self, key: Hashable) -> None:
+        """Remove an endpoint.
+
+        Outstanding request timeouts *originated by* the removed endpoint
+        are cancelled: the departed node's callbacks are dead weight, and
+        leaving their timers in the queue makes long churny runs accumulate
+        garbage events.  Timeouts of requests *sent to* the removed key are
+        untouched — they are exactly how live peers detect the departure.
+        """
         self._endpoints.pop(key, None)
         self.topology.detach(key)
+        stale = [
+            msg_id for msg_id, pending in self._pending.items() if pending.src == key
+        ]
+        for msg_id in stale:
+            self._pending.pop(msg_id).timeout_handle.cancel()
 
     def endpoint(self, key: Hashable) -> Endpoint:
         return self._endpoints[key]
@@ -150,12 +169,25 @@ class Transport:
         if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
             self.lost += 1
             return
-        try:
-            delay = self.topology.latency(msg.src, msg.dst)
-        except KeyError:
-            # Destination (or source) not attached: already gone.
+        delay = self._route(msg)
+        if delay is None:
             self.dropped_dead += 1
             return
+        self._dispatch(msg, delay)
+
+    def _route(self, msg: Message) -> Optional[float]:
+        """One-way delay for ``msg``, or None when it must be dropped
+        (sender or destination already gone).  Subclasses override this to
+        change routing semantics."""
+        try:
+            return self.topology.latency(msg.src, msg.dst)
+        except KeyError:
+            # Destination (or source) not attached: already gone.
+            return None
+
+    def _dispatch(self, msg: Message, delay: float) -> None:
+        """Schedule the delivery ``delay`` seconds from now.  Subclasses
+        override this to route deliveries to other event queues."""
         self.sim.schedule(delay, self._deliver, msg)
 
     def _deliver(self, msg: Message) -> None:
@@ -196,7 +228,7 @@ class Transport:
         if timeout <= 0:
             raise ValueError("timeout must be positive")
         handle = self.sim.schedule(timeout, self._on_timeout, msg.msg_id, on_timeout)
-        self._pending[msg.msg_id] = _PendingRequest(on_reply, handle)
+        self._pending[msg.msg_id] = _PendingRequest(msg.src, on_reply, handle)
         self.send(msg)
 
     def _on_timeout(self, msg_id: int, on_timeout: Callable[[], None]) -> None:
@@ -214,3 +246,94 @@ class Transport:
             "pending_requests": len(self._pending),
             "by_kind": dict(self.by_kind),
         }
+
+
+class PartitionRouter:
+    """What :class:`PartitionedTransport` needs from its coordinator.
+
+    Implemented by :class:`repro.core.runtime.PartitionedRuntime`; kept as
+    a three-method contract here so ``net`` stays independent of the
+    parallel engine.
+    """
+
+    def rank_of(self, key: Hashable) -> Optional[int]:  # pragma: no cover - contract
+        """Logical-process rank owning ``key`` (None if never registered)."""
+        raise NotImplementedError
+
+    def pair_latency(self, a: Hashable, b: Hashable) -> float:  # pragma: no cover
+        """Pure pairwise one-way latency (no liveness precondition)."""
+        raise NotImplementedError
+
+    def cross_send(
+        self, src_rank: int, dest_rank: int, delay: float, msg: Message
+    ) -> None:  # pragma: no cover - contract
+        """Ship ``msg`` to ``dest_rank``'s transport, honouring lookahead."""
+        raise NotImplementedError
+
+
+class PartitionedTransport(Transport):
+    """One logical process's share of a partitioned transport fabric.
+
+    Each LP owns one instance: a private endpoint map, pending-request map,
+    and counter set, all mutated only from its own event queue — which is
+    what makes threaded epoch execution race-free.  Differences from the
+    sequential :class:`Transport`:
+
+    * routing uses the router's *pure* pairwise latency, so computing a
+      delay never touches shared liveness state; the is-the-destination-dead
+      check moves to delivery time inside the destination LP, where it is
+      correctly ordered against the destination's own departure.  Totals
+      (``delivered``/``dropped_dead``) match sequential execution exactly —
+      only the *instant* the drop is counted moves;
+    * the (LP-local) sender-liveness check replaces the topology KeyError
+      probe, so a departed node's straggler callbacks still cannot emit
+      traffic;
+    * endpoints do not attach/detach the shared topology object — that
+      would be a cross-thread mutation.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rank: int,
+        router: PartitionRouter,
+        loss_rate: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+        ewma_tau: float = 120.0,
+    ):
+        super().__init__(sim, topology=None, loss_rate=loss_rate, rng=rng, ewma_tau=ewma_tau)
+        self.rank = rank
+        self.router = router
+
+    # -- registration: no shared-topology mutation ------------------------
+
+    def register(self, key: Hashable, handler: Handler) -> Endpoint:
+        if key in self._endpoints:
+            raise ValueError(f"endpoint {key!r} already registered")
+        ep = Endpoint(key, handler, self.sim.now, self.ewma_tau)
+        self._endpoints[key] = ep
+        return ep
+
+    def unregister(self, key: Hashable) -> None:
+        self._endpoints.pop(key, None)
+        stale = [
+            msg_id for msg_id, pending in self._pending.items() if pending.src == key
+        ]
+        for msg_id in stale:
+            self._pending.pop(msg_id).timeout_handle.cancel()
+
+    # -- routing ----------------------------------------------------------
+
+    def _route(self, msg: Message) -> Optional[float]:
+        if msg.src not in self._endpoints:
+            return None  # departed sender (LP-local check)
+        if self.router.rank_of(msg.dst) is None:
+            return None  # address never existed
+        return self.router.pair_latency(msg.src, msg.dst)
+
+    def _dispatch(self, msg: Message, delay: float) -> None:
+        dest_rank = self.router.rank_of(msg.dst)
+        if dest_rank == self.rank:
+            self.sim.schedule(delay, self._deliver, msg)
+        else:
+            self.router.cross_send(self.rank, dest_rank, delay, msg)

@@ -1,6 +1,5 @@
 """Analytic model tests (§2's formulas and worked numbers)."""
 
-import math
 
 import pytest
 

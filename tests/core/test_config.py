@@ -50,8 +50,45 @@ class TestValidation:
             {"raise_fraction": 1.0},
             {"report_timeout": 0.0},
             {"warmup_extra_levels": -1},
+            {"timer_jitter": -0.1},
+            {"timer_jitter": 1.0},
         ],
     )
     def test_invalid_configs_rejected(self, kwargs):
         with pytest.raises(ConfigError):
             ProtocolConfig(**kwargs)
+
+
+class TestTimerJitter:
+    def _context(self, jitter):
+        import numpy as np
+
+        from repro.core.context import NodeContext
+        from repro.core.nodeid import NodeId
+        from repro.core.runtime import SimRuntime
+        from repro.net.latency import UniformLatencyModel
+        from repro.net.transport import Transport
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+        transport = Transport(sim, UniformLatencyModel())
+        return NodeContext(
+            SimRuntime(sim, transport),
+            ProtocolConfig(id_bits=16, timer_jitter=jitter),
+            NodeId(0x1234, 16),
+            "n0",
+            1e6,
+            np.random.default_rng(3),
+        )
+
+    def test_zero_jitter_is_identity_and_draws_nothing(self):
+        ctx = self._context(0.0)
+        before = ctx.rng.bit_generator.state
+        assert ctx.jittered(30.0) == 30.0
+        assert ctx.rng.bit_generator.state == before  # stream untouched
+
+    def test_jitter_bounded_and_seeded(self):
+        draws = [self._context(0.25).jittered(30.0) for _ in range(2)]
+        assert draws[0] == draws[1]  # same seed, same draw
+        assert 22.5 <= draws[0] <= 37.5
+        assert draws[0] != 30.0

@@ -5,7 +5,6 @@ import pytest
 from repro.core.events import EventKind, EventRecord, apply_event
 from repro.core.nodeid import NodeId
 from repro.core.peerlist import PeerList
-from repro.core.pointer import Pointer
 
 
 def nid(s):

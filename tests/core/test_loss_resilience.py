@@ -5,7 +5,6 @@ this; these tests run the detailed engine with independent message loss
 and assert the peer lists still converge to (near) truth.
 """
 
-import pytest
 
 from repro.core.config import ProtocolConfig
 from repro.core.protocol import PeerWindowNetwork

@@ -1,6 +1,6 @@
 """Runtime multicast forwarder tests: retries, redirects, stale removal."""
 
-from typing import Callable, Dict, List
+from typing import Dict, List
 
 import pytest
 

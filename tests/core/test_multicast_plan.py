@@ -7,7 +7,6 @@ Property 4 (r=1): each member receives exactly once.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,10 +1,7 @@
 """Protocol-node edge cases: aborted raises, top-node departures,
 events during the join window, probe loop corner states."""
 
-import pytest
 
-from repro.core.config import ProtocolConfig
-from repro.core.protocol import PeerWindowNetwork
 from tests.conftest import build_network
 
 

@@ -1,9 +1,7 @@
 """Autonomic level shifting on the live protocol (§2, §4.3)."""
 
-import pytest
 
 from repro.core.config import ProtocolConfig
-from repro.core.events import EventKind
 from repro.core.protocol import PeerWindowNetwork
 from tests.conftest import build_network
 

@@ -3,8 +3,6 @@ crashes, failure detection, level shifts."""
 
 import pytest
 
-from repro.core.config import ProtocolConfig
-from repro.core.events import EventKind
 from tests.conftest import build_network
 
 

@@ -1,6 +1,5 @@
 """NodeId and eigenstring tests (including property-based)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,4 +1,4 @@
-"""Part merging (§4.4 + DESIGN.md §7): a top node raising above its part.
+"""Part merging (§4.4 + DESIGN.md §8): a top node raising above its part.
 
 The paper specifies splitting but leaves merging informal.  Our
 completion: the raising top downloads the sibling part's membership from
@@ -6,7 +6,6 @@ a cross-part top and bridge-subscribes to its event stream.  These tests
 drive the whole path.
 """
 
-import pytest
 
 from repro.core.config import ProtocolConfig
 from repro.core.nodeid import NodeId

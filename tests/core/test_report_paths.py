@@ -1,8 +1,6 @@
 """Report-path edge cases (§4.5): dead tops, fallbacks, piggyback healing."""
 
-import pytest
 
-from repro.core.events import EventKind
 from tests.conftest import build_network
 
 

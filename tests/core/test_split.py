@@ -1,6 +1,5 @@
 """Split-PeerWindow tests (§4.4): independent parts, cross-part joins."""
 
-import pytest
 
 from repro.core.config import ProtocolConfig
 from repro.core.nodeid import NodeId

@@ -6,7 +6,6 @@ bounded error, live failure detection, stable population, working app
 layer on top.
 """
 
-import numpy as np
 import pytest
 
 from repro.apps.guess import GuessSearch

@@ -1,0 +1,139 @@
+"""Sequential <-> partitioned equivalence: the conservative-PDES contract.
+
+A fixed-seed :class:`~repro.core.protocol.PeerWindowNetwork` run on the
+sequential engine and the same run partitioned across logical processes
+(``parallel=N``, threads off and on) must produce *bit-for-bit* identical
+results — identical protocol counters, transport totals, and level
+histograms.  This is the correctness property conservative parallel DES
+must preserve (results cannot depend on the partitioning), and it is the
+ONSP paper's own validation methodology.
+
+The topology is :class:`~repro.net.latency.PairwiseLatencyModel`: its
+latency is a pure function of the endpoint pair (partition-safe) and its
+per-pair spread removes simultaneous-delivery ties whose queue order
+would otherwise be partition-dependent.
+"""
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import PeerWindowNetwork
+from repro.net.latency import PairwiseLatencyModel, UniformLatencyModel
+
+CONFIG = ProtocolConfig(
+    id_bits=16,
+    probe_interval=8.0,
+    probe_timeout=2.0,
+    report_timeout=4.0,
+    multicast_ack_timeout=2.0,
+    level_check_interval=45.0,
+    multicast_processing_delay=1.0,
+)
+
+
+def run_scenario(config=CONFIG, **network_kwargs):
+    """Seeded population + deterministic churn, identical in every mode."""
+    net = PeerWindowNetwork(
+        config=config,
+        master_seed=11,
+        topology=PairwiseLatencyModel(),
+        **network_kwargs,
+    )
+    keys = list(net.seed_nodes([1e9] * 30))
+    net.run(until=20.0)
+
+    def live():
+        return [k for k in keys if k in net.nodes and net.nodes[k].alive]
+
+    net.crash(live()[3])
+    net.run(until=40.0)
+    keys.append(net.add_node(1e9, bootstrap=live()[0]))
+    net.run(until=60.0)
+    net.leave(live()[5])
+    net.run(until=80.0)
+    net.crash(live()[7])
+    net.run(until=100.0)
+    keys.append(net.add_node(1e9, bootstrap=live()[2]))
+    net.run(until=200.0)
+    return net
+
+
+class TestEquivalence:
+    @pytest.fixture(scope="class")
+    def sequential(self):
+        return run_scenario()
+
+    def test_partitioned_matches_sequential(self, sequential):
+        par = run_scenario(parallel=4)
+        assert par.stats_summary() == sequential.stats_summary()
+        assert par.level_histogram() == sequential.level_histogram()
+
+    def test_threaded_partitions_match_sequential(self, sequential):
+        thr = run_scenario(parallel=4, threads=True)
+        assert thr.stats_summary() == sequential.stats_summary()
+        assert thr.level_histogram() == sequential.level_histogram()
+
+    def test_rank_count_does_not_matter(self, sequential):
+        two = run_scenario(parallel=2)
+        assert two.stats_summary() == sequential.stats_summary()
+
+    def test_single_rank_partition(self, sequential):
+        one = run_scenario(parallel=1)
+        assert one.stats_summary() == sequential.stats_summary()
+
+    def test_timer_jitter_is_partition_safe(self):
+        """Jittered probe/refresh timers draw from per-node streams, so
+        they too must be identical across execution modes."""
+        jittery = CONFIG.with_(timer_jitter=0.2)
+        seq = run_scenario(config=jittery)
+        par = run_scenario(config=jittery, parallel=4)
+        assert par.stats_summary() == seq.stats_summary()
+        assert par.level_histogram() == seq.level_histogram()
+
+
+class TestPartitionedModeGuards:
+    def test_loss_rate_rejected(self):
+        with pytest.raises(ValueError, match="loss_rate"):
+            PeerWindowNetwork(
+                config=CONFIG,
+                topology=PairwiseLatencyModel(),
+                parallel=2,
+                loss_rate=0.1,
+            )
+
+    def test_impure_topology_rejected(self):
+        jittery = UniformLatencyModel(latency=0.05, jitter=0.2)
+        with pytest.raises(NotImplementedError):
+            PeerWindowNetwork(config=CONFIG, topology=jittery, parallel=2)
+
+    def test_excessive_lookahead_rejected(self):
+        with pytest.raises(ValueError, match="lookahead"):
+            PeerWindowNetwork(
+                config=CONFIG,
+                topology=PairwiseLatencyModel(base=0.05),
+                parallel=2,
+                lookahead=0.5,
+            )
+
+    def test_run_needs_until(self):
+        net = PeerWindowNetwork(
+            config=CONFIG, topology=PairwiseLatencyModel(), parallel=2
+        )
+        net.seed_nodes([1e9] * 4)
+        with pytest.raises(ValueError, match="until"):
+            net.run()
+
+    def test_monitoring_unsupported(self):
+        net = PeerWindowNetwork(
+            config=CONFIG, topology=PairwiseLatencyModel(), parallel=2
+        )
+        with pytest.raises(NotImplementedError):
+            net.enable_monitoring()
+
+    def test_now_property_tracks_partitioned_clock(self):
+        net = PeerWindowNetwork(
+            config=CONFIG, topology=PairwiseLatencyModel(), parallel=2
+        )
+        net.seed_nodes([1e9] * 4)
+        net.run(until=12.5)
+        assert net.now == pytest.approx(12.5)

@@ -13,7 +13,6 @@ Two regimes, both pinned here:
   does not claim partition recovery; we pin the honest behavior.
 """
 
-import pytest
 
 from repro.core.config import ProtocolConfig
 from repro.core.protocol import PeerWindowNetwork

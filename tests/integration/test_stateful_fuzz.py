@@ -12,7 +12,6 @@ checks the global invariants:
 * the network never deadlocks (events keep draining).
 """
 
-import pytest
 from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule

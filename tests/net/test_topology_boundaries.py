@@ -1,7 +1,6 @@
 """Structural boundary cases for the topology generators."""
 
 import numpy as np
-import pytest
 
 from repro.net.transit_stub import TransitStubParams, TransitStubTopology
 

@@ -201,3 +201,50 @@ class TestMessage:
     def test_negative_size_rejected(self):
         with pytest.raises(ValueError):
             Message("a", "b", "x", size_bits=-1)
+
+
+class TestUnregisterCancelsPending:
+    def test_unregister_cancels_own_pending_timeouts(self):
+        """A departed endpoint's outstanding request timeouts are cancelled:
+        its callbacks are dead weight, and the timer events would otherwise
+        linger in the queue for the full timeout."""
+        sim, tr = make_transport()
+        fired = []
+        tr.register("a", lambda m: None)
+        tr.register("ghost-target", lambda m: None)
+        tr.unregister("ghost-target")  # requests below can never be answered
+        for i in range(5):
+            tr.request(
+                Message("a", "ghost-target", "ask", payload=i),
+                timeout=1000.0,
+                on_reply=lambda r: fired.append("reply"),
+                on_timeout=lambda: fired.append("timeout"),
+            )
+        assert tr.stats()["pending_requests"] == 5
+        queued_before = len(sim)
+        tr.unregister("a")
+        assert tr.stats()["pending_requests"] == 0
+        # Cancellation is lazy (entries stay queued until popped), but the
+        # queue must drain immediately instead of idling to t=1000.
+        assert len(sim) == queued_before
+        sim.run()
+        assert fired == []
+        assert sim.now < 1000.0
+
+    def test_unregister_keeps_timeouts_of_requests_to_it(self):
+        """Timeouts of requests sent *to* the departed endpoint must keep
+        running — they are exactly how live peers detect the departure."""
+        sim, tr = make_transport()
+        outcomes = []
+        tr.register("prober", lambda m: None)
+        tr.register("victim", lambda m: None)
+        tr.request(
+            Message("prober", "victim", "probe"),
+            timeout=2.0,
+            on_reply=lambda r: outcomes.append("reply"),
+            on_timeout=lambda: outcomes.append("timeout"),
+        )
+        tr.unregister("victim")
+        assert tr.stats()["pending_requests"] == 1
+        sim.run()
+        assert outcomes == ["timeout"]

@@ -78,3 +78,49 @@ class TestNetworkMonitoring:
         pops = series["population"].values
         assert pops[0] == 12.0
         assert pops[-1] == 10.0
+
+
+class TestJitteredPeriod:
+    def test_zero_jitter_fires_on_exact_grid(self):
+        sim = Simulator()
+        times = []
+        sim.every(10.0, lambda: times.append(sim.now))
+        sim.run(until=50.0)
+        assert times == [pytest.approx(10.0 * k) for k in range(1, 6)]
+
+    def test_jitter_spreads_the_gaps(self):
+        import numpy as np
+
+        sim = Simulator()
+        times = []
+        sim.every(10.0, lambda: times.append(sim.now), jitter=0.3,
+                  rng=np.random.default_rng(42))
+        sim.run(until=500.0)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(7.0 <= g <= 13.0 for g in gaps)
+        assert len(set(round(g, 9) for g in gaps)) > 1  # not a fixed grid
+
+    def test_jitter_is_reproducible(self):
+        import numpy as np
+
+        def fire_times(seed):
+            sim = Simulator()
+            times = []
+            sim.every(10.0, lambda: times.append(sim.now), jitter=0.3,
+                      rng=np.random.default_rng(seed))
+            sim.run(until=200.0)
+            return times
+
+        assert fire_times(7) == fire_times(7)
+        assert fire_times(7) != fire_times(8)
+
+    def test_jitter_validation(self):
+        import numpy as np
+
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.every(10.0, lambda: None, jitter=1.0, rng=np.random.default_rng(0))
+        with pytest.raises(SimulationError):
+            sim.every(10.0, lambda: None, jitter=-0.1, rng=np.random.default_rng(0))
+        with pytest.raises(SimulationError):
+            sim.every(10.0, lambda: None, jitter=0.2)  # rng required

@@ -1,6 +1,5 @@
 """Churn generation tests."""
 
-import numpy as np
 import pytest
 
 from repro.sim.engine import Simulator
