@@ -1,19 +1,23 @@
 #!/usr/bin/env bash
-# Repo check: lint (if ruff is available) + the tier-1 test suite.
+# Repo check: lint (if ruff is available) + the tier-1 test suite + a
+# fast chaos smoke scenario (< 60 s).
 #
-#   scripts/check.sh            # lint + tests
+#   scripts/check.sh            # lint + tests + chaos smoke
 #   scripts/check.sh --lint     # lint only
 #   scripts/check.sh --tests    # tests only
+#   scripts/check.sh --chaos    # chaos smoke only
 set -u
 cd "$(dirname "$0")/.."
 
 run_lint=1
 run_tests=1
+run_chaos=1
 case "${1:-}" in
-  --lint) run_tests=0 ;;
-  --tests) run_lint=0 ;;
+  --lint) run_tests=0; run_chaos=0 ;;
+  --tests) run_lint=0; run_chaos=0 ;;
+  --chaos) run_lint=0; run_tests=0 ;;
   "") ;;
-  *) echo "usage: scripts/check.sh [--lint|--tests]" >&2; exit 2 ;;
+  *) echo "usage: scripts/check.sh [--lint|--tests|--chaos]" >&2; exit 2 ;;
 esac
 
 status=0
@@ -30,6 +34,19 @@ fi
 if [ "$run_tests" = 1 ]; then
   echo "== tier-1 tests =="
   PYTHONPATH=src python -m pytest -x -q || status=1
+fi
+
+if [ "$run_chaos" = 1 ]; then
+  if PYTHONPATH=src python -c "import numpy" >/dev/null 2>&1; then
+    echo "== chaos smoke (deterministic fault injection) =="
+    if command -v timeout >/dev/null 2>&1; then
+      timeout 60 env PYTHONPATH=src python -m repro chaos --scenario smoke --seed 0 || status=1
+    else
+      PYTHONPATH=src python -m repro chaos --scenario smoke --seed 0 || status=1
+    fi
+  else
+    echo "== numpy not installed; skipping chaos smoke =="
+  fi
 fi
 
 exit $status

@@ -1,0 +1,40 @@
+"""Deterministic chaos harness (robustness tentpole).
+
+Three cooperating pieces:
+
+* :class:`~repro.chaos.faults.FaultPlan` — a declarative, seeded schedule
+  of fault events (crashes, crash-with-recovery, churn bursts, network
+  partitions, asymmetric per-pair loss, latency spikes, slow and
+  "zombie" nodes, message duplication) that drives the
+  :class:`~repro.net.transport.Transport` and
+  :class:`~repro.core.protocol.PeerWindowNetwork` through the simulated
+  clock only — a chaos run replays **bit-for-bit** from its seed;
+* :class:`~repro.chaos.monitor.InvariantMonitor` — a periodic checker
+  that runs *during* the chaos and asserts the protocol's safety
+  invariants always, and its convergence invariants whenever the network
+  has been quiescent for a config-derived bound;
+* :class:`~repro.chaos.runner.ChaosRunner` — wires a named
+  :class:`~repro.chaos.scenarios.Scenario` to a fresh network, runs the
+  plan plus a quiescence tail, and emits a deterministic fault/state
+  trace whose bytes are identical across same-seed runs.
+
+CLI: ``python -m repro chaos --scenario churn-partition --nodes 500 --seed 0``.
+"""
+
+from repro.chaos.faults import ChaosTrace, FaultEvent, FaultPlan
+from repro.chaos.monitor import InvariantMonitor, Violation, quiescence_bound
+from repro.chaos.runner import ChaosResult, ChaosRunner
+from repro.chaos.scenarios import SCENARIOS, Scenario
+
+__all__ = [
+    "ChaosResult",
+    "ChaosRunner",
+    "ChaosTrace",
+    "FaultEvent",
+    "FaultPlan",
+    "InvariantMonitor",
+    "SCENARIOS",
+    "Scenario",
+    "Violation",
+    "quiescence_bound",
+]

@@ -1,0 +1,358 @@
+"""Declarative, seeded fault schedules.
+
+A :class:`FaultPlan` is a list of :class:`FaultEvent` entries built with
+the fluent helpers (:meth:`FaultPlan.crash`, :meth:`FaultPlan.partition`,
+...).  ``install`` schedules every event on the network's simulator;
+when an event fires its *targets are resolved at fire time* from the
+sorted live population using a generator seeded by ``(plan seed, event
+index)``.  Nothing consults the wall clock or any unseeded source, so a
+plan applied to a deterministic network replays bit-for-bit: same seed,
+same fault times, same victims, same trace bytes.
+
+Every applied fault (and every reversal — heal, loss clear, zombie cure,
+recovery completion) appends one line to a :class:`ChaosTrace` and pings
+the ``on_disruption`` callback so the invariant monitor can restart its
+quiescence clock.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+
+class ChaosTrace:
+    """An append-only, deterministic run log.
+
+    Lines carry simulated time only (never wall-clock), formatted with a
+    fixed width so two same-seed runs produce byte-identical text.
+    """
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+
+    def add(self, time: float, text: str) -> None:
+        self.lines.append(f"[{time:14.6f}] {text}")
+
+    def text(self) -> str:
+        return "\n".join(self.lines) + ("\n" if self.lines else "")
+
+    def digest(self) -> str:
+        return hashlib.sha256(self.text().encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: ``kind`` at simulated ``time`` with ``params``.
+
+    ``params`` values are plain numbers; the victims are *not* stored here
+    — they are resolved from the live population when the event fires.
+    """
+
+    time: float
+    kind: str
+    params: Tuple[Tuple[str, float], ...] = ()
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+    def describe(self) -> str:
+        inner = " ".join(f"{k}={v:g}" for k, v in self.params)
+        return f"{self.kind} {inner}".strip()
+
+
+class FaultPlan:
+    """A seeded schedule of fault events for one chaos run."""
+
+    #: Never crash/zombie below this many live nodes — a plan that
+    #: extinguishes the population tests nothing.
+    MIN_SURVIVORS = 3
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self.events: List[FaultEvent] = []
+
+    # -- builders ----------------------------------------------------------
+
+    def _add(self, time: float, kind: str, **params: float) -> "FaultPlan":
+        self.events.append(
+            FaultEvent(float(time), kind, tuple(sorted(params.items())))
+        )
+        return self
+
+    def crash(self, time: float, count: int = 1) -> "FaultPlan":
+        """Silently kill ``count`` live nodes (no LEAVE announcement)."""
+        return self._add(time, "crash", count=count)
+
+    def crash_recover(
+        self, time: float, count: int = 1, down_for: float = 20.0
+    ) -> "FaultPlan":
+        """Crash ``count`` nodes, then rejoin each through the §4.3 path
+        ``down_for`` seconds later, reconciling its stale cached peer
+        list against the downloaded snapshot."""
+        return self._add(time, "crash_recover", count=count, down_for=down_for)
+
+    def churn(self, time: float, crash: int = 0, join: int = 0,
+              threshold: float = 1e9) -> "FaultPlan":
+        """A churn burst: ``crash`` silent deaths plus ``join`` fresh
+        protocol joins through randomly chosen live bootstraps."""
+        return self._add(time, "churn", crash=crash, join=join, threshold=threshold)
+
+    def partition(self, time: float, groups: int = 2,
+                  duration: float = 4.0) -> "FaultPlan":
+        """Split every registered endpoint into ``groups`` random sides,
+        heal after ``duration``.  Keep ``duration`` below the detection
+        horizon (``probe_misses_to_fail * probe_timeout``) when the
+        scenario must converge back without evictions."""
+        return self._add(time, "partition", groups=groups, duration=duration)
+
+    def pair_loss(self, time: float, pairs: int = 50, rate: float = 0.3,
+                  duration: float = 10.0) -> "FaultPlan":
+        """Asymmetric loss: ``pairs`` random directed links drop ``rate``
+        of their traffic for ``duration`` seconds."""
+        return self._add(time, "pair_loss", pairs=pairs, rate=rate, duration=duration)
+
+    def latency_spike(self, time: float, scale: float = 2.0,
+                      duration: float = 10.0) -> "FaultPlan":
+        """Multiply every one-way delay by ``scale`` for ``duration``."""
+        return self._add(time, "latency_spike", scale=scale, duration=duration)
+
+    def slow(self, time: float, count: int = 1, extra: float = 0.3,
+             duration: float = 10.0) -> "FaultPlan":
+        """Give ``count`` nodes ``extra`` seconds of one-way delay (keep
+        the round trip under ``probe_timeout`` or they will be declared
+        dead, which is a different fault — see :meth:`zombie`)."""
+        return self._add(time, "slow", count=count, extra=extra, duration=duration)
+
+    def zombie(self, time: float, count: int = 1,
+               duration: float = 4.0) -> "FaultPlan":
+        """Wedge ``count`` nodes: registered and receiving, but their
+        handler never runs and nothing they send leaves the host.  On
+        cure each announces a REFRESH with an outrunning sequence number
+        so any obituary in flight is refuted."""
+        return self._add(time, "zombie", count=count, duration=duration)
+
+    def duplicate(self, time: float, rate: float = 0.2,
+                  duration: float = 10.0) -> "FaultPlan":
+        """Deliver ``rate`` of all sends twice for ``duration``."""
+        return self._add(time, "duplicate", rate=rate, duration=duration)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def horizon(self) -> float:
+        """When the last scheduled fault effect ends (recovery completions
+        may still be in flight shortly after — the runner adds margin)."""
+        end = 0.0
+        for ev in self.events:
+            end = max(end, ev.time + ev.get("duration") + ev.get("down_for"))
+        return end
+
+    # -- installation ------------------------------------------------------
+
+    def install(
+        self,
+        net,
+        trace: ChaosTrace,
+        on_disruption: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        """Schedule every event on ``net.sim`` (sequential engine only).
+
+        Event times are relative to the install instant, so the same plan
+        works regardless of how long the network settled first.
+        """
+        if net.sim is None:
+            raise ValueError("FaultPlan drives the sequential engine; "
+                             "partitioned networks have no single event queue")
+        self._disrupt = on_disruption or (lambda _t: None)
+        for index, ev in enumerate(sorted(self.events, key=lambda e: e.time)):
+            net.sim.schedule(ev.time, self._fire, net, trace, ev, index)
+
+    # -- firing ------------------------------------------------------------
+
+    def _rng(self, index: int) -> np.random.Generator:
+        return np.random.default_rng((self.seed, index))
+
+    def _pick(self, rng: np.random.Generator, pool: List[Hashable],
+              count: int) -> List[Hashable]:
+        count = min(count, len(pool))
+        if count <= 0:
+            return []
+        chosen = rng.choice(len(pool), size=count, replace=False)
+        return [pool[i] for i in sorted(int(i) for i in chosen)]
+
+    def _live_keys(self, net) -> List[Hashable]:
+        return sorted(k for k, n in net.nodes.items() if n.alive)
+
+    def _killable(self, net) -> List[Hashable]:
+        """Live keys that may be crashed/zombied without dropping the
+        population below MIN_SURVIVORS (already-zombied keys excluded)."""
+        return [k for k in self._live_keys(net)
+                if not net.transport.is_zombie(k)]
+
+    def _note(self, net, trace: ChaosTrace, text: str) -> None:
+        now = net.sim.now
+        trace.add(now, text)
+        self._disrupt(now)
+
+    def _fire(self, net, trace: ChaosTrace, ev: FaultEvent, index: int) -> None:
+        rng = self._rng(index)
+        handler = getattr(self, "_fire_" + ev.kind)
+        handler(net, trace, ev, index, rng)
+
+    def _fire_crash(self, net, trace, ev, index, rng) -> None:
+        pool = self._killable(net)
+        budget = max(0, len(pool) - self.MIN_SURVIVORS)
+        victims = self._pick(rng, pool, min(int(ev.get("count", 1)), budget))
+        for key in victims:
+            net.crash(key)
+        self._note(net, trace, f"crash keys={victims}")
+
+    def _fire_crash_recover(self, net, trace, ev, index, rng) -> None:
+        pool = self._killable(net)
+        budget = max(0, len(pool) - self.MIN_SURVIVORS)
+        victims = self._pick(rng, pool, min(int(ev.get("count", 1)), budget))
+        down_for = ev.get("down_for", 20.0)
+        for key in victims:
+            node = net.crash(key)
+            net.sim.schedule(down_for, self._recover, net, trace, node, index)
+        self._note(net, trace, f"crash_recover keys={victims} down_for={down_for:g}")
+
+    def _recover(self, net, trace, node, index) -> None:
+        live = self._live_keys(net)
+        if not live:  # pragma: no cover - plans never extinguish the net
+            trace.add(net.sim.now, f"recover key={node.address} aborted: no live bootstrap")
+            return
+        # Deterministic bootstrap choice: seeded by the originating event,
+        # decorrelated per victim by its (stable, unique) key.
+        rng = self._rng((index + 1) * 1_000_003 + int(node.address))
+        bootstrap = live[int(rng.integers(len(live)))]
+
+        def done(ok: bool, key=node.address, boot=bootstrap) -> None:
+            self._note(net, trace, f"recovered key={key} via={boot} ok={ok}")
+
+        net.recover_node(node, bootstrap, on_done=done)
+        self._note(net, trace, f"recovering key={node.address} via={bootstrap}")
+
+    def _fire_churn(self, net, trace, ev, index, rng) -> None:
+        pool = self._killable(net)
+        budget = max(0, len(pool) - self.MIN_SURVIVORS)
+        victims = self._pick(rng, pool, min(int(ev.get("crash", 0)), budget))
+        for key in victims:
+            net.crash(key)
+        joined: List[Hashable] = []
+        live = self._live_keys(net)
+        for _ in range(int(ev.get("join", 0))):
+            if not live:
+                break
+            bootstrap = live[int(rng.integers(len(live)))]
+            joined.append(net.add_node(ev.get("threshold", 1e9), bootstrap,
+                                       on_done=lambda ok: self._disrupt(net.sim.now)))
+        self._note(net, trace, f"churn crashed={victims} joined={joined}")
+
+    def _fire_partition(self, net, trace, ev, index, rng) -> None:
+        keys = [k for k in sorted(net.nodes) if net.transport.is_alive(k)]
+        n_groups = max(2, int(ev.get("groups", 2)))
+        assignment = rng.integers(n_groups, size=len(keys))
+        groups: List[List[Hashable]] = [[] for _ in range(n_groups)]
+        for key, gid in zip(keys, assignment):
+            groups[int(gid)].append(key)
+        groups = [g for g in groups if g]
+        duration = ev.get("duration", 4.0)
+        net.transport.partition(*groups)
+        net.sim.schedule(duration, self._heal, net, trace)
+        sizes = [len(g) for g in groups]
+        self._note(net, trace, f"partition groups={sizes} duration={duration:g}")
+
+    def _heal(self, net, trace) -> None:
+        net.transport.heal()
+        self._note(net, trace, "heal")
+
+    def _fire_pair_loss(self, net, trace, ev, index, rng) -> None:
+        keys = self._live_keys(net)
+        n_pairs = int(ev.get("pairs", 50))
+        rate = ev.get("rate", 0.3)
+        pairs: List[Tuple[Hashable, Hashable]] = []
+        if len(keys) >= 2:
+            for _ in range(n_pairs):
+                i, j = (int(x) for x in rng.choice(len(keys), size=2, replace=False))
+                pairs.append((keys[i], keys[j]))
+        for src, dst in pairs:
+            net.transport.set_pair_loss(src, dst, rate)
+        duration = ev.get("duration", 10.0)
+        net.sim.schedule(duration, self._clear_pair_loss, net, trace, pairs)
+        self._note(net, trace,
+                   f"pair_loss pairs={len(pairs)} rate={rate:g} duration={duration:g}")
+
+    def _clear_pair_loss(self, net, trace, pairs) -> None:
+        for src, dst in pairs:
+            net.transport.set_pair_loss(src, dst, 0.0)
+        self._note(net, trace, f"pair_loss_clear pairs={len(pairs)}")
+
+    def _fire_latency_spike(self, net, trace, ev, index, rng) -> None:
+        scale = max(1.0, ev.get("scale", 2.0))
+        duration = ev.get("duration", 10.0)
+        net.transport.set_latency_scale(scale)
+        net.sim.schedule(duration, self._latency_restore, net, trace)
+        self._note(net, trace, f"latency_spike scale={scale:g} duration={duration:g}")
+
+    def _latency_restore(self, net, trace) -> None:
+        net.transport.set_latency_scale(1.0)
+        self._note(net, trace, "latency_restore")
+
+    def _fire_slow(self, net, trace, ev, index, rng) -> None:
+        victims = self._pick(rng, self._live_keys(net), int(ev.get("count", 1)))
+        extra = ev.get("extra", 0.3)
+        duration = ev.get("duration", 10.0)
+        for key in victims:
+            net.transport.set_endpoint_delay(key, extra)
+        net.sim.schedule(duration, self._unslow, net, trace, victims)
+        self._note(net, trace,
+                   f"slow keys={victims} extra={extra:g} duration={duration:g}")
+
+    def _unslow(self, net, trace, victims) -> None:
+        for key in victims:
+            net.transport.set_endpoint_delay(key, 0.0)
+        self._note(net, trace, f"slow_clear keys={victims}")
+
+    def _fire_zombie(self, net, trace, ev, index, rng) -> None:
+        pool = self._killable(net)
+        budget = max(0, len(pool) - self.MIN_SURVIVORS)
+        victims = self._pick(rng, pool, min(int(ev.get("count", 1)), budget))
+        duration = ev.get("duration", 4.0)
+        for key in victims:
+            net.transport.set_zombie(key, True)
+        net.sim.schedule(duration, self._cure, net, trace, victims)
+        self._note(net, trace, f"zombie keys={victims} duration={duration:g}")
+
+    def _cure(self, net, trace, victims) -> None:
+        from repro.core.events import EventKind
+
+        for key in victims:
+            net.transport.set_zombie(key, False)
+            node = net.nodes.get(key)
+            if node is None or not node.alive:
+                continue
+            # Wedge-recovery heartbeat: bump past any obituary announced
+            # while we were silent (observers' LEAVE seq is at most our
+            # last-heard seq + 1), then refresh so it is refuted.
+            node.ctx.seq += 1
+            node.ctx.report_event(node.ctx.make_event(EventKind.REFRESH))
+        self._note(net, trace, f"zombie_cure keys={victims}")
+
+    def _fire_duplicate(self, net, trace, ev, index, rng) -> None:
+        rate = ev.get("rate", 0.2)
+        duration = ev.get("duration", 10.0)
+        net.transport.set_duplication(rate)
+        net.sim.schedule(duration, self._duplicate_clear, net, trace)
+        self._note(net, trace, f"duplicate rate={rate:g} duration={duration:g}")
+
+    def _duplicate_clear(self, net, trace) -> None:
+        net.transport.set_duplication(0.0)
+        self._note(net, trace, "duplicate_clear")

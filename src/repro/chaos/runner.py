@@ -1,0 +1,129 @@
+"""The chaos run driver: scenario -> network -> plan -> verdict.
+
+:class:`ChaosRunner` builds a fresh sequential
+:class:`~repro.core.protocol.PeerWindowNetwork`, seeds it, lets it
+settle, installs the scenario's :class:`~repro.chaos.faults.FaultPlan`
+and an :class:`~repro.chaos.monitor.InvariantMonitor`, runs past the
+plan horizon plus the quiescence bound, forces a final full check, and
+returns a :class:`ChaosResult`.
+
+Everything in the run — victim selection, fault times, the trace — is a
+pure function of ``(scenario, n_nodes, seed)``: the emitted trace ends
+with a per-node peer-list digest, so two same-seed runs can be compared
+byte-for-byte (`ChaosResult.trace`), which is exactly how the
+determinism tests and the acceptance criterion check replayability.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.chaos.faults import ChaosTrace
+from repro.chaos.monitor import InvariantMonitor, Violation
+from repro.chaos.scenarios import Scenario
+from repro.core.protocol import PeerWindowNetwork
+
+
+@dataclass
+class ChaosResult:
+    """Everything a caller (CLI, test) needs from one chaos run."""
+
+    scenario: str
+    n_nodes: int
+    seed: int
+    duration: float
+    live_nodes: int
+    mean_error_rate: float
+    faults_injected: int
+    safety_checks: int
+    convergence_checks: int
+    violations: List[Violation]
+    trace: str
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+class ChaosRunner:
+    """Run one named scenario deterministically on the sequential engine."""
+
+    #: Extra simulated seconds past ``horizon + quiescence`` so async
+    #: tails (a recovery handshake started at the horizon) can land.
+    MARGIN = 10.0
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        n_nodes: Optional[int] = None,
+        seed: int = 0,
+        monitor_interval: float = 5.0,
+    ):
+        self.scenario = scenario
+        self.n_nodes = scenario.default_nodes if n_nodes is None else int(n_nodes)
+        self.seed = int(seed)
+        self.monitor_interval = monitor_interval
+
+    def run(self) -> ChaosResult:
+        scenario = self.scenario
+        config = scenario.make_config()
+        net = PeerWindowNetwork(config=config, master_seed=self.seed)
+        net.seed_nodes([scenario.threshold_bps] * self.n_nodes)
+        net.run(until=scenario.settle)
+
+        trace = ChaosTrace()
+        monitor = InvariantMonitor(net, interval=self.monitor_interval)
+        plan = scenario.build_plan(self.n_nodes, self.seed)
+        trace.add(net.sim.now, f"begin scenario={scenario.name} "
+                               f"nodes={self.n_nodes} seed={self.seed}")
+        plan.install(net, trace, on_disruption=monitor.note_disruption)
+        monitor.start()
+
+        net.run(until=scenario.settle + plan.horizon + monitor.quiescence + self.MARGIN)
+        # Late async disruptions (recovery completions, retried joins)
+        # push the quiescence clock forward; keep running until the full
+        # budget has elapsed after the *last* of them.
+        for _ in range(8):
+            target = monitor.last_disruption + monitor.quiescence + self.MARGIN
+            if net.sim.now >= target:
+                break
+            net.run(until=target)
+        monitor.stop()
+        monitor.check()  # one forced, quiescent, full check
+        if not monitor.quiescent:  # pragma: no cover - runner bug guard
+            raise RuntimeError("chaos run ended before quiescence")
+
+        self._trace_final_state(net, trace, monitor)
+        return ChaosResult(
+            scenario=scenario.name,
+            n_nodes=self.n_nodes,
+            seed=self.seed,
+            duration=net.sim.now,
+            live_nodes=len(net.live_nodes()),
+            mean_error_rate=net.mean_error_rate(),
+            faults_injected=len(plan.events),
+            safety_checks=monitor.safety_checks,
+            convergence_checks=monitor.convergence_checks,
+            violations=list(monitor.violations),
+            trace=trace.text(),
+        )
+
+    def _trace_final_state(self, net, trace: ChaosTrace,
+                           monitor: InvariantMonitor) -> None:
+        """Append the determinism footer: one digest line per live node
+        (key, level, peer-list CRC over the sorted ids) plus totals."""
+        for key in sorted(net.nodes):
+            node = net.nodes[key]
+            if not node.alive:
+                continue
+            ids = ",".join(format(v, "x") for v in sorted(node.peer_list.ids()))
+            crc = zlib.crc32(ids.encode())
+            trace.add(net.sim.now,
+                      f"state key={key} level={node.level} "
+                      f"peers={len(node.peer_list)} crc={crc:08x}")
+        trace.add(net.sim.now,
+                  f"end live={len(net.live_nodes())} "
+                  f"violations={len(monitor.violations)} "
+                  f"error_rate={net.mean_error_rate():.6f}")

@@ -181,6 +181,50 @@ def cmd_baselines(args) -> None:
           ["budget_bps", "peerwindow"] + [s.name for s in schemes], rows)
 
 
+def cmd_chaos(args) -> int:
+    from repro.chaos import SCENARIOS, ChaosRunner
+
+    if args.list:
+        _emit(args, "chaos scenarios",
+              ["scenario", "default_nodes", "description"],
+              [[s.name, s.default_nodes, s.description]
+               for s in SCENARIOS.values()])
+        return 0
+    scenario = SCENARIOS.get(args.scenario)
+    if scenario is None:
+        print(f"unknown scenario {args.scenario!r}; "
+              f"choose from: {', '.join(sorted(SCENARIOS))}", file=sys.stderr)
+        return 2
+    runner = ChaosRunner(scenario, n_nodes=args.nodes, seed=args.seed)
+    result = runner.run()
+    _emit(
+        args,
+        f"chaos {result.scenario}, N={result.n_nodes}, seed={result.seed}",
+        ["metric", "value"],
+        [
+            ["simulated_seconds", round(result.duration, 1)],
+            ["faults_injected", result.faults_injected],
+            ["safety_checks", result.safety_checks],
+            ["convergence_checks", result.convergence_checks],
+            ["live_nodes", result.live_nodes],
+            ["mean_error_rate", round(result.mean_error_rate, 6)],
+            ["violations", len(result.violations)],
+        ],
+    )
+    if args.trace:
+        with open(args.trace, "w") as fh:
+            fh.write(result.trace)
+        print(f"[wrote {args.trace}]")
+    if result.violations:
+        print(f"\nFAIL: {len(result.violations)} invariant violation(s); first 20:")
+        for v in result.violations[:20]:
+            print("  " + v.describe())
+        return 1
+    print("\nOK: all invariants held (safety throughout; convergence after "
+          "each quiescence window)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -227,14 +271,27 @@ def build_parser() -> argparse.ArgumentParser:
     pb = sub.add_parser("baselines", parents=[common_opts], help="the intro comparison table")
     pb.add_argument("-n", "--nodes", type=int, default=100_000)
     pb.set_defaults(func=cmd_baselines)
+
+    pch = sub.add_parser("chaos", parents=[common_opts],
+                         help="deterministic fault-injection run with live "
+                              "invariant checking")
+    pch.add_argument("--scenario", default="smoke",
+                     help="scenario name (--list shows all)")
+    pch.add_argument("-n", "--nodes", type=int, default=None,
+                     help="population (default: the scenario's)")
+    pch.add_argument("--seed", type=int, default=0,
+                     help="master seed; same seed => byte-identical trace")
+    pch.add_argument("--trace", help="write the deterministic fault/state trace here")
+    pch.add_argument("--list", action="store_true", help="list scenarios and exit")
+    pch.set_defaults(func=cmd_chaos)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    args.func(args)
-    return 0
+    rc = args.func(args)
+    return rc if isinstance(rc, int) else 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -75,6 +75,16 @@ class ProtocolConfig:
         scale this breaks the lockstep synchronization of thousands of
         identical timers; 0 (the default) draws nothing, keeping existing
         deterministic runs unchanged.
+    join_retry_attempts:
+        How many times a failed §4.3 joining handshake is retried before
+        ``join_via`` reports failure.  Each retry restarts the handshake
+        from the bootstrap after an exponentially backed-off delay
+        (``report_timeout * join_retry_backoff**attempt``); a download
+        timeout additionally tries alternate top nodes from the top-node
+        list before burning a retry.  0 (the default) keeps the original
+        single-shot behavior.
+    join_retry_backoff:
+        Exponential backoff multiplier between join retries (>= 1).
     """
 
     id_bits: int = 128
@@ -98,6 +108,8 @@ class ProtocolConfig:
     warmup_extra_levels: int = 0
     download_grace: float = 30.0
     timer_jitter: float = 0.0
+    join_retry_attempts: int = 0
+    join_retry_backoff: float = 2.0
 
     def __post_init__(self) -> None:
         if not 1 <= self.id_bits <= 256:
@@ -138,6 +150,10 @@ class ProtocolConfig:
             raise ConfigError("warmup_extra_levels must be >= 0")
         if self.download_grace < 0:
             raise ConfigError("download_grace must be >= 0")
+        if self.join_retry_attempts < 0:
+            raise ConfigError("join_retry_attempts must be >= 0")
+        if self.join_retry_backoff < 1.0:
+            raise ConfigError("join_retry_backoff must be >= 1")
         if not 0.0 <= self.timer_jitter < 1.0:
             raise ConfigError("timer_jitter must be in [0, 1)")
 

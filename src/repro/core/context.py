@@ -79,6 +79,10 @@ class NodeContext:
         self.is_top = False
         self.seq = 0
         self.raising = False
+        #: True while a crash-recovery rejoin is in flight: the §4.3
+        #: download then *reconciles* against the stale cached peer list
+        #: instead of starting from an empty one (see JoinService).
+        self.recovering = False
 
         self.peer_list = PeerList(node_id, 0)
         self.top_list = TopNodeList(config.top_list_size)
@@ -96,6 +100,12 @@ class NodeContext:
         #: until its JOIN multicast lands (DESIGN.md §8).
         self.recent_downloads: List[tuple] = []
         self.seen_events: Dict[int, int] = {}  # subject id value -> max seq
+        #: Events relayed upward as a stale "top" (§4.5), subject id value
+        #: -> max seq.  A separate map from ``seen_events`` on purpose:
+        #: marking a relayed event *seen* would make the later tree
+        #: delivery look like a duplicate, which is acked without
+        #: forwarding — black-holing the subtree routed through us.
+        self.relayed_reports: Dict[int, int] = {}
         self.endpoint = None  # set by the coordinator after registration
         self.loop_handles: List[EventHandle] = []
         #: Dissemination entry point, wired by the coordinator.

@@ -160,23 +160,38 @@ class MulticastService:
             event.kind is EventKind.LEAVE
             and event.subject_id.value != ctx.node_id.value
         ):
-            # Copy the obituary to the subject itself: silently dropped if
-            # it is really dead, refuted with a refresh if the failure
-            # detection was a false positive (lost probe acks).
-            self.runtime.send(
-                Message(
-                    ctx.address,
-                    event.subject_address,
-                    "mcast",
-                    payload=(event, ctx.node_id.bits),
-                    size_bits=ctx.config.event_message_bits,
-                )
-            )
+            # Copy the obituary to the subject itself: unanswered if it is
+            # really dead, refuted with a refresh if the failure detection
+            # was a false positive (lost probe acks).  The copy is acked
+            # and retried like any tree edge — it is the *only* message
+            # that can reach a falsely-evicted node (once every list has
+            # dropped it, no multicast tree targets it again), so losing
+            # the single datagram would make the eviction permanent until
+            # the §4.6 refresh cycle, hours later.
+            self._copy_to_subject(event, ctx.config.multicast_attempts)
         # Part-merge bridge: forward a copy to cross-part subscribers whose
         # eigenstring covers the subject.
         for ptr in list(ctx.bridge_subscribers.values()):
             if ptr.node_id.shares_prefix(event.subject_id, ptr.level):
                 self._mcast_send(ptr, event, ctx.node_id.bits, lambda ok: None)
+
+    def _copy_to_subject(self, event: EventRecord, attempts_left: int) -> None:
+        if attempts_left <= 0:
+            return
+        ctx = self.ctx
+        msg = Message(
+            ctx.address,
+            event.subject_address,
+            "mcast",
+            payload=(event, ctx.node_id.bits),
+            size_bits=ctx.config.event_message_bits,
+        )
+        self.runtime.request(
+            msg,
+            timeout=ctx.config.multicast_ack_timeout,
+            on_reply=lambda _reply: None,
+            on_timeout=lambda: self._copy_to_subject(event, attempts_left - 1),
+        )
 
     def apply(self, event: EventRecord) -> None:
         ctx = self.ctx
@@ -351,10 +366,18 @@ class MulticastService:
                     size_bits=max(1, len(piggyback)) * ctx.config.pointer_bits,
                 )
             )
-            if ctx.seen_events.get(event.subject_id.value, -1) < event.seq:
-                # Mark seen before relaying so relay cycles through other
-                # stale "tops" terminate at the first revisit.
-                ctx.seen_events[event.subject_id.value] = event.seq
+            subject_value = event.subject_id.value
+            if (
+                ctx.relayed_reports.get(subject_value, -1) < event.seq
+                and ctx.seen_events.get(subject_value, -1) < event.seq
+            ):
+                # Mark *relayed* (not seen!) before relaying, so cycles
+                # through other stale "tops" terminate at the first
+                # revisit while the eventual tree delivery still looks
+                # fresh and gets forwarded — we are ourselves an interior
+                # tree node for this event's audience.
+                ctx.relayed_reports[subject_value] = event.seq
+                self.apply(event)
                 self.report_event(event)
             return
         # Piggyback t-1 pointers to top nodes of the reporter's part (§4.5):

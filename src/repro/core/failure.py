@@ -75,6 +75,16 @@ class FailureDetector:
             return
         # Failure detected: report, remove, and immediately redirect the
         # probing to the next neighbor (§4.1's concurrent-failure story).
+        self._declare_failed(target)
+        nxt = ctx.peer_list.ring_successor(ctx.node_id)
+        if nxt is not None:
+            self._probe_target(nxt, ctx.config.probe_misses_to_fail)
+        else:
+            self._schedule_probe(ctx.config.probe_interval)
+
+    def _declare_failed(self, target: Pointer) -> None:
+        """Remove ``target`` and announce its obituary (§4.1)."""
+        ctx = self.ctx
         ctx.stats.failures_detected += 1
         departed = ctx.peer_list.remove(target.node_id)
         if departed is not None:
@@ -88,8 +98,41 @@ class FailureDetector:
             origin_time=self.runtime.now,
         )
         ctx.report_event(event)
-        nxt = ctx.peer_list.ring_successor(ctx.node_id)
-        if nxt is not None:
-            self._probe_target(nxt, ctx.config.probe_misses_to_fail)
-        else:
-            self._schedule_probe(ctx.config.probe_interval)
+
+    # -- reconciliation verification (crash recovery) ----------------------
+
+    def verify(self, pointers: list) -> None:
+        """Actively probe ``pointers`` outside the ring cadence.
+
+        Used after a crash-recovery rejoin for cached peer-list entries
+        that the downloaded snapshot did *not* confirm: each is probed
+        ``probe_misses_to_fail`` times and, if silent, removed and
+        announced like a ring detection — bounding how long a stale
+        pointer carried over from the pre-crash cache can survive.
+        """
+        for pointer in pointers:
+            self._verify_target(pointer, self.ctx.config.probe_misses_to_fail)
+
+    def _verify_target(self, target: Pointer, attempts_left: int) -> None:
+        ctx = self.ctx
+        if not ctx.alive or ctx.peer_list.get(target.node_id) is None:
+            return
+        ctx.stats.probes_sent += 1
+        msg = Message(
+            ctx.address, target.address, "probe", size_bits=ctx.config.heartbeat_bits
+        )
+        self.runtime.request(
+            msg,
+            timeout=ctx.config.probe_timeout,
+            on_reply=lambda _r: None,
+            on_timeout=lambda: self._verify_miss(target, attempts_left - 1),
+        )
+
+    def _verify_miss(self, target: Pointer, attempts_left: int) -> None:
+        ctx = self.ctx
+        if not ctx.alive or ctx.peer_list.get(target.node_id) is None:
+            return
+        if attempts_left > 0:
+            self._verify_target(target, attempts_left)
+            return
+        self._declare_failed(target)

@@ -7,11 +7,20 @@ joins a few levels weaker than the estimate and raises in the background
 (through :class:`~repro.core.levelshift.LevelShiftService`).  The
 service also answers the assistance queries other nodes' handshakes send
 us: ``get-top``, ``level-query``, and ``download``.
+
+Resilience (``config.join_retry_attempts``): a handshake step that times
+out restarts the whole handshake after exponential backoff; a *download*
+timeout first fails over to alternate top nodes already learned into the
+top-node list before burning a retry.  Crash recovery
+(``ctx.recovering``): the download is reconciled against the stale cached
+peer list instead of replacing it — cached pointers the snapshot does not
+confirm are kept but handed to the verification hook (the failure
+detector probes them and evicts the truly dead with obituaries).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Hashable, Optional
+from typing import Callable, Hashable, List, Optional
 
 from repro.core.analytic import estimate_join_level
 from repro.core.context import NodeContext
@@ -32,6 +41,7 @@ class JoinService:
         ctx: NodeContext,
         levels: LevelShiftService,
         on_joined: Callable[[], None],
+        verify_stale: Optional[Callable[[List[Pointer]], None]] = None,
     ):
         self.runtime = runtime
         self.ctx = ctx
@@ -39,6 +49,9 @@ class JoinService:
         self.levels = levels
         #: Coordinator hook: start the protocol loops once state installs.
         self._on_joined = on_joined
+        #: Coordinator hook: actively probe reconciled-but-unconfirmed
+        #: pointers after a crash-recovery rejoin (FailureDetector.verify).
+        self._verify_stale = verify_stale if verify_stale is not None else (lambda _p: None)
 
     # ------------------------------------------------------------------
     # the joining handshake (§4.3)
@@ -50,9 +63,14 @@ class JoinService:
         on_done: Optional[Callable[[bool], None]] = None,
     ) -> None:
         """Run the §4.3 joining handshake through ``bootstrap_address``."""
-        ctx = self.ctx
         done = on_done if on_done is not None else (lambda ok: None)
+        self._attempt_join(bootstrap_address, done, attempt=0)
 
+    def _attempt_join(
+        self, bootstrap_address: Hashable, done: Callable[[bool], None], attempt: int
+    ) -> None:
+        ctx = self.ctx
+        fail = self._make_fail(bootstrap_address, done, attempt)
         # Step 1: find a top node of our part.
         msg = Message(
             ctx.address,
@@ -64,16 +82,39 @@ class JoinService:
         self.runtime.request(
             msg,
             timeout=ctx.config.report_timeout,
-            on_reply=lambda reply: self._join_got_top(reply.payload, done),
-            on_timeout=lambda: done(False),
+            on_reply=lambda reply: self._join_got_top(reply.payload, done, fail),
+            on_timeout=fail,
         )
 
+    def _make_fail(
+        self, bootstrap_address: Hashable, done: Callable[[bool], None], attempt: int
+    ) -> Callable[[], None]:
+        """A step-failure continuation: retry the whole handshake with
+        exponential backoff until ``join_retry_attempts`` is exhausted."""
+        ctx = self.ctx
+
+        def fail() -> None:
+            if attempt >= ctx.config.join_retry_attempts:
+                done(False)
+                return
+            delay = ctx.config.report_timeout * (
+                ctx.config.join_retry_backoff**attempt
+            )
+            self.runtime.schedule(
+                delay, self._attempt_join, bootstrap_address, done, attempt + 1
+            )
+
+        return fail
+
     def _join_got_top(
-        self, top_ptr: Optional[Pointer], done: Callable[[bool], None]
+        self,
+        top_ptr: Optional[Pointer],
+        done: Callable[[bool], None],
+        fail: Callable[[], None],
     ) -> None:
         ctx = self.ctx
         if top_ptr is None:
-            done(False)
+            fail()
             return
         # Step 2: ask the top node for its level and measured cost.
         msg = Message(
@@ -86,12 +127,18 @@ class JoinService:
         self.runtime.request(
             msg,
             timeout=ctx.config.report_timeout,
-            on_reply=lambda reply: self._join_got_level(top_ptr, reply.payload, done),
-            on_timeout=lambda: done(False),
+            on_reply=lambda reply: self._join_got_level(
+                top_ptr, reply.payload, done, fail
+            ),
+            on_timeout=fail,
         )
 
     def _join_got_level(
-        self, top_ptr: Pointer, info: tuple, done: Callable[[bool], None]
+        self,
+        top_ptr: Pointer,
+        info: tuple,
+        done: Callable[[bool], None],
+        fail: Callable[[], None],
     ) -> None:
         ctx = self.ctx
         top_level, top_cost, top_pointers = info
@@ -104,8 +151,22 @@ class JoinService:
         target = min(max(target, top_level), ctx.node_id.bits)
         level = min(target + ctx.config.warmup_extra_levels, ctx.node_id.bits)
         ctx.top_list.merge(list(top_pointers) + [top_ptr])
+        self._request_download(top_ptr, level, target, top_level, done, fail, tried=[])
+
+    def _request_download(
+        self,
+        top_ptr: Pointer,
+        level: int,
+        target_level: int,
+        top_level: int,
+        done: Callable[[bool], None],
+        fail: Callable[[], None],
+        tried: List[Hashable],
+    ) -> None:
         # Step 3: download the peer list (and top-node list) from the top
         # node, whose list covers any prefix of ours.
+        ctx = self.ctx
+        tried = tried + [top_ptr.address]
         msg = Message(
             ctx.address,
             top_ptr.address,
@@ -117,10 +178,32 @@ class JoinService:
             msg,
             timeout=ctx.config.report_timeout,
             on_reply=lambda reply: self._join_got_download(
-                level, target, top_level, reply.payload, done
+                level, target_level, top_level, reply.payload, done
             ),
-            on_timeout=lambda: done(False),
+            on_timeout=lambda: self._download_failover(
+                level, target_level, top_level, done, fail, tried
+            ),
         )
+
+    def _download_failover(
+        self,
+        level: int,
+        target_level: int,
+        top_level: int,
+        done: Callable[[bool], None],
+        fail: Callable[[], None],
+        tried: List[Hashable],
+    ) -> None:
+        """A download timed out: fail over to an alternate top node from
+        the top-node list (learned in steps 1-2) before burning a full
+        handshake retry."""
+        ctx = self.ctx
+        alternates = [p for p in ctx.top_list.pointers() if p.address not in tried]
+        if not alternates:
+            fail()
+            return
+        alt = alternates[int(ctx.rng.integers(0, len(alternates)))]
+        self._request_download(alt, level, target_level, top_level, done, fail, tried)
 
     def _join_got_download(
         self,
@@ -132,13 +215,22 @@ class JoinService:
     ) -> None:
         ctx = self.ctx
         pointers, top_pointers = payload
+        recovering = ctx.recovering
+        ctx.recovering = False
+        # Crash recovery: the cached (pre-crash) peer list is reconciled
+        # against the snapshot, not discarded — entries the snapshot also
+        # carries are refreshed below; the rest are kept but must be
+        # verified (they may have died while we were down).
+        cached = {p.node_id.value: p for p in ctx.peer_list} if recovering else {}
         ctx.level = level
         ctx.peer_list.retarget(level)
         ctx.peer_list.add(ctx.self_pointer())
+        downloaded = set()
         for p in pointers:
             if p.node_id.value != ctx.node_id.value and p.node_id.shares_prefix(
                 ctx.node_id, level
             ):
+                downloaded.add(p.node_id.value)
                 ctx.peer_list.add(p.copy(last_refresh=self.runtime.now))
         ctx.top_list.merge(list(top_pointers))
         ctx.is_top = level <= top_level
@@ -147,6 +239,14 @@ class JoinService:
         # Step 4: multicast the joining event around the audience set.
         ctx.report_event(ctx.make_event(EventKind.JOIN))
         done(True)
+        if recovering:
+            unconfirmed = [
+                ctx.peer_list.get(p.node_id)
+                for value, p in cached.items()
+                if value not in downloaded and value != ctx.node_id.value
+            ]
+            # retarget() may have dropped out-of-prefix cache entries.
+            self._verify_stale([p for p in unconfirmed if p is not None])
         # Warm-up (§4.3): raise to the estimated level in the background.
         if level > target_level:
             self.runtime.schedule(0.0, self._warmup_raise, target_level)

@@ -106,7 +106,11 @@ class PeerWindowNode:
         self.failure = FailureDetector(runtime, self.ctx)
         self.levels = LevelShiftService(runtime, self.ctx)
         self.join = JoinService(
-            runtime, self.ctx, self.levels, on_joined=self._start_loops
+            runtime,
+            self.ctx,
+            self.levels,
+            on_joined=self._start_loops,
+            verify_stale=self.failure.verify,
         )
         self.maintenance = MaintenanceService(runtime, self.ctx)
         self.ctx.endpoint = runtime.register(address, self._on_message)
@@ -285,9 +289,12 @@ class PeerWindowNode:
         ctx.level = level
         ctx.peer_list.retarget(level)
         ctx.peer_list.add(ctx.self_pointer())
+        # Copy: peer-list entries are updated in place by apply_event, so
+        # a Pointer object must never be shared between nodes — shared
+        # state would leak event ordering across logical processes.
         for p in pointers:
             if p.node_id.value != ctx.node_id.value:
-                ctx.peer_list.add(p)
+                ctx.peer_list.add(p.copy())
         ctx.top_list.merge(top_pointers)
         ctx.is_top = is_top
         ctx.alive = True
@@ -339,6 +346,33 @@ class PeerWindowNode:
         self.ctx.alive = False
         self.ctx.cancel_loops()
         self._disconnect()
+
+    def recover_via(
+        self,
+        bootstrap_address: Hashable,
+        on_done: Optional[Callable[[bool], None]] = None,
+    ) -> None:
+        """Rejoin after a crash, keeping the pre-crash peer-list cache.
+
+        Runs the ordinary §4.3 handshake, but the download *reconciles*
+        against the cached list instead of replacing it (see JoinService);
+        cached entries the snapshot does not confirm are probed by the
+        failure detector and evicted with obituaries if truly dead.
+
+        The event sequence number jumps by 2 past its crash-time value so
+        the recovery JOIN outruns any obituary the network multicast while
+        we were down (an obituary's seq is at most our crash seq + 1 —
+        detectors use their pointer's ``last_event_seq + 1``).
+        """
+        ctx = self.ctx
+        if ctx.alive:
+            raise NotAliveError(f"{ctx.address!r} is still alive; cannot recover")
+        if self.runtime.is_alive(ctx.address):
+            raise NotAliveError(f"{ctx.address!r} is still registered")
+        ctx.endpoint = self.runtime.register(ctx.address, self._on_message)
+        ctx.seq += 2
+        ctx.recovering = True
+        self.join.join_via(bootstrap_address, on_done=on_done)
 
     def _disconnect(self) -> None:
         if self.runtime.is_alive(self.ctx.address):

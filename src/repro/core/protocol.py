@@ -77,9 +77,10 @@ class PeerWindowNetwork:
         ``N`` logical processes of a
         :class:`~repro.core.runtime.PartitionedRuntime` (nodes are assigned
         by ``node_id % N``).  Requires a topology with a pure
-        ``pair_latency`` (default: :class:`~repro.net.latency.PairwiseLatencyModel`)
-        and ``loss_rate=0``; a fixed-seed run produces bit-for-bit the same
-        results as the sequential engine.  ``lookahead`` defaults to the
+        ``pair_latency`` (default: :class:`~repro.net.latency.PairwiseLatencyModel`);
+        a fixed-seed run produces bit-for-bit the same results as the
+        sequential engine — including under ``loss_rate > 0``, whose drop
+        decisions are hash-derived per message rather than RNG-drawn.  ``lookahead`` defaults to the
         topology's minimum latency; ``threads=True`` runs each epoch's LPs
         on a thread pool."""
         self.config = config if config is not None else ProtocolConfig()
@@ -99,6 +100,7 @@ class PeerWindowNetwork:
                 lookahead=lookahead,
                 threads=threads,
                 loss_rate=loss_rate,
+                loss_seed=master_seed,
             )
             # No single event queue exists in partitioned mode; code that
             # needs the clock uses ``self.now``.
@@ -116,6 +118,7 @@ class PeerWindowNetwork:
                 self.topology,
                 loss_rate=loss_rate,
                 rng=self.streams.get("transport"),
+                loss_seed=master_seed,
             )
             self.runtime = SimRuntime(self.sim, self.transport)
         self.nodes: Dict[Hashable, PeerWindowNode] = {}
@@ -223,8 +226,28 @@ class PeerWindowNetwork:
     def leave(self, key: Hashable) -> None:
         self.nodes[key].leave()
 
-    def crash(self, key: Hashable) -> None:
-        self.nodes[key].crash()
+    def crash(self, key: Hashable) -> PeerWindowNode:
+        """Crash ``key``; returns the node object so a chaos harness can
+        later hand it to :meth:`recover_node`."""
+        node = self.nodes[key]
+        node.crash()
+        return node
+
+    def recover_node(
+        self,
+        node: PeerWindowNode,
+        bootstrap: Hashable,
+        on_done: Optional[Callable[[bool], None]] = None,
+    ) -> Hashable:
+        """Rejoin a previously crashed ``node`` through ``bootstrap``,
+        reconciling its stale cached peer list against the downloaded
+        snapshot (see :meth:`PeerWindowNode.recover_via`).  Returns the
+        node's key immediately; the handshake completes asynchronously."""
+        if node.address in self.nodes:
+            raise ValueError(f"{node.address!r} is already part of the network")
+        self.nodes[node.address] = node
+        node.recover_via(bootstrap, on_done=on_done)
+        return node.address
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         if self.parallel is not None:

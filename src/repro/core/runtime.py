@@ -30,7 +30,11 @@ correctness property conservative parallel DES must preserve, verified by
   destination-dead check happens at delivery time inside the destination
   LP where it is correctly ordered against the departure;
 * every per-node random stream is keyed by the node, so draw order within
-  a node is the node's own event order, which partitioning preserves.
+  a node is the node's own event order, which partitioning preserves;
+* no :class:`~repro.core.pointer.Pointer` object is ever shared between
+  nodes (insertion boundaries copy) — event application updates pointers
+  in place, and a shared object would be a covert channel that leaks one
+  LP's progress into another outside the message fabric.
 """
 
 from __future__ import annotations
@@ -173,9 +177,14 @@ class PartitionedRuntime:
         Run each epoch's LPs on a thread pool.  Results are identical
         either way; per-LP state isolation is what makes that safe.
     loss_rate:
-        Message loss cannot be made order-independent across LPs (the loss
-        RNG would be consumed in partition-dependent order), so only 0.0
-        is accepted.
+        Independent message loss.  Drop decisions are hash-derived from
+        ``(loss_seed, source, per-source send sequence)`` — not drawn from
+        a transport-wide RNG — so they are identical across partitionings
+        and the bit-for-bit equivalence guarantee holds with loss enabled
+        (see :mod:`repro.net.transport`).
+    loss_seed:
+        Seed of the hashed loss/duplication decision stream; must match
+        the sequential run being compared against.
     """
 
     def __init__(
@@ -186,12 +195,8 @@ class PartitionedRuntime:
         threads: bool = False,
         ewma_tau: float = 120.0,
         loss_rate: float = 0.0,
+        loss_seed: int = 0,
     ):
-        if loss_rate != 0.0:
-            raise ValueError(
-                "partitioned execution requires loss_rate=0 (loss draws are "
-                "order-dependent across partitions)"
-            )
         # Raises NotImplementedError for models without a pure pair
         # function (purity means probing with dummy keys is harmless).
         topology.pair_latency("__partition_probe_a__", "__partition_probe_b__")
@@ -207,7 +212,14 @@ class PartitionedRuntime:
         self.topology = topology
         self.psim = ParallelSimulator(nranks=nranks, lookahead=lookahead, threads=threads)
         self.transports: List[PartitionedTransport] = [
-            PartitionedTransport(lp.sim, rank=lp.rank, router=self, ewma_tau=ewma_tau)
+            PartitionedTransport(
+                lp.sim,
+                rank=lp.rank,
+                router=self,
+                loss_rate=loss_rate,
+                ewma_tau=ewma_tau,
+                loss_seed=loss_seed,
+            )
             for lp in self.psim.lps
         ]
         self._views = [

@@ -43,15 +43,21 @@ class TopNodeList:
     def merge(self, pointers: List[Pointer]) -> int:
         """Fold piggybacked pointers in, preferring the freshest entry per
         id and evicting the oldest-refreshed entries beyond capacity.
-        Returns how many new ids were added."""
+        Returns how many new ids were added.
+
+        Entries are stored as copies: with an in-memory transport the
+        pointers arriving here are often another node's live peer-list
+        objects, and those are updated in place by event application —
+        sharing them would couple two nodes' state outside the message
+        fabric."""
         added = 0
         for p in pointers:
             existing = self._pointers.get(p.node_id.value)
             if existing is None:
-                self._pointers[p.node_id.value] = p
+                self._pointers[p.node_id.value] = p.copy()
                 added += 1
             elif p.last_refresh >= existing.last_refresh:
-                self._pointers[p.node_id.value] = p
+                self._pointers[p.node_id.value] = p.copy()
         while len(self._pointers) > self.capacity:
             victim = min(self._pointers.values(), key=lambda q: (q.last_refresh, q.node_id.value))
             del self._pointers[victim.node_id.value]

@@ -1,0 +1,100 @@
+"""ChaosRunner + scenarios + the ``repro chaos`` CLI.
+
+The scenario sweeps are marked ``chaos`` (run them alone with
+``pytest -m chaos``, skip with ``-m 'not chaos'``); the smoke-scale
+determinism tests stay in the plain tier-1 set.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import SCENARIOS, ChaosRunner
+from repro.cli import main
+
+
+class TestScenarioRegistry:
+    def test_expected_scenarios_present(self):
+        assert set(SCENARIOS) == {
+            "smoke", "churn-partition", "loss-storm",
+            "zombie-latency", "recovery-stress",
+        }
+
+    def test_acceptance_scenario_shape(self):
+        s = SCENARIOS["churn-partition"]
+        assert s.default_nodes == 500
+        plan = s.build_plan(500, seed=0)
+        assert {e.kind for e in plan.events} == {"churn", "partition", "crash_recover"}
+
+    def test_partitions_stay_inside_detection_horizon(self):
+        """The pinned protocol behavior for longer cuts is permanent
+        mutual eviction; a convergent scenario must keep every partition
+        shorter than probe_misses_to_fail * probe_timeout."""
+        for s in SCENARIOS.values():
+            config = s.make_config()
+            horizon = config.probe_misses_to_fail * config.probe_timeout
+            for ev in s.build_plan(s.default_nodes, 0).events:
+                if ev.kind in ("partition", "zombie"):
+                    assert ev.get("duration") < horizon, (s.name, ev.kind)
+
+
+class TestRunnerSmokeScale:
+    def run_smoke(self, seed, n=24):
+        return ChaosRunner(SCENARIOS["smoke"], n_nodes=n, seed=seed).run()
+
+    def test_smoke_holds_all_invariants(self):
+        result = self.run_smoke(seed=0)
+        assert result.ok and result.violations == []
+        assert result.faults_injected == 4
+        assert result.convergence_checks >= 1
+        assert result.mean_error_rate == 0.0
+        assert result.trace.splitlines()[-1].lstrip("[ 0123456789.]").startswith("end ")
+
+    def test_same_seed_traces_are_byte_identical(self):
+        assert self.run_smoke(seed=5).trace == self.run_smoke(seed=5).trace
+
+    def test_different_seeds_diverge(self):
+        assert self.run_smoke(seed=5).trace != self.run_smoke(seed=6).trace
+
+    def test_trace_footer_digests_every_live_node(self):
+        result = self.run_smoke(seed=0)
+        state_lines = [ln for ln in result.trace.splitlines() if " state key=" in ln]
+        assert len(state_lines) == result.live_nodes
+
+
+@pytest.mark.chaos
+class TestScenarioSweep:
+    """Scaled-down versions of every non-smoke scenario must hold all
+    invariants; the full-size acceptance run is the CLI criterion."""
+
+    @pytest.mark.parametrize("name,n", [
+        ("churn-partition", 150),
+        ("loss-storm", 60),
+        ("zombie-latency", 45),
+        ("recovery-stress", 50),
+    ])
+    def test_scenario_converges_violation_free(self, name, n):
+        result = ChaosRunner(SCENARIOS[name], n_nodes=n, seed=0).run()
+        assert result.violations == [], result.violations[:5]
+        assert result.mean_error_rate == 0.0
+
+
+class TestCli:
+    def test_list_scenarios(self, capsys):
+        assert main(["chaos", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in SCENARIOS:
+            assert name in out
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        assert main(["chaos", "--scenario", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_smoke_run_writes_trace_and_exits_0(self, tmp_path, capsys):
+        trace = tmp_path / "trace.txt"
+        rc = main(["chaos", "--scenario", "smoke", "-n", "20",
+                   "--seed", "1", "--trace", str(trace)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "OK: all invariants held" in out
+        assert trace.read_text().startswith("[")

@@ -91,14 +91,53 @@ class TestEquivalence:
         assert par.level_histogram() == seq.level_histogram()
 
 
+class TestLossEquivalence:
+    """Message loss is hash-derived per message (loss seed + per-source
+    sequence), not RNG-drawn, so the bit-for-bit guarantee must hold with
+    ``loss_rate > 0`` — in every partitioning, threaded or not."""
+
+    @pytest.fixture(scope="class")
+    def lossy_sequential(self):
+        return run_scenario(loss_rate=0.05)
+
+    def test_loss_actually_drops(self, lossy_sequential):
+        assert lossy_sequential.stats_summary()["transport_lost"] > 0
+
+    def test_partitioned_matches_sequential_under_loss(self, lossy_sequential):
+        par = run_scenario(loss_rate=0.05, parallel=4)
+        assert par.stats_summary() == lossy_sequential.stats_summary()
+        assert par.level_histogram() == lossy_sequential.level_histogram()
+
+    def test_threaded_matches_sequential_under_loss(self, lossy_sequential):
+        thr = run_scenario(loss_rate=0.05, parallel=3, threads=True)
+        assert thr.stats_summary() == lossy_sequential.stats_summary()
+
+    def test_loss_pattern_tracks_master_seed(self, lossy_sequential):
+        """Different master seed -> different hashed drop pattern (the
+        decision stream is seeded, not constant)."""
+        other = PeerWindowNetwork(
+            config=CONFIG,
+            master_seed=12,
+            topology=PairwiseLatencyModel(),
+            loss_rate=0.05,
+        )
+        other.seed_nodes([1e9] * 30)
+        other.run(until=200.0)
+        assert (
+            other.stats_summary()["transport_lost"]
+            != lossy_sequential.stats_summary()["transport_lost"]
+            or other.stats_summary() != lossy_sequential.stats_summary()
+        )
+
+
 class TestPartitionedModeGuards:
-    def test_loss_rate_rejected(self):
+    def test_invalid_loss_rate_rejected(self):
         with pytest.raises(ValueError, match="loss_rate"):
             PeerWindowNetwork(
                 config=CONFIG,
                 topology=PairwiseLatencyModel(),
                 parallel=2,
-                loss_rate=0.1,
+                loss_rate=1.0,
             )
 
     def test_impure_topology_rejected(self):

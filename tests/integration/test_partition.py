@@ -159,3 +159,52 @@ class TestPartitionAndHeal:
         joined_view = set(node.peer_list.ids()) - {node.node_id.value}
         assert joined_view <= ids_b
         assert len(joined_view) == len(ids_b)
+
+
+class TestPartitionRacesInFlightMulticast:
+    def test_join_multicast_survives_mid_tree_cut(self):
+        """A short partition dropped onto a JOIN multicast *while its
+        tree is still forwarding* must not black-hole any subtree: the
+        unacked cross-cut edges are retried after the heal (and redirect
+        repairs any child declared unreachable), so every audience
+        member still learns the joiner."""
+        config = ProtocolConfig(
+            id_bits=16,
+            probe_interval=10.0,
+            probe_timeout=1.0,
+            probe_misses_to_fail=2,  # detection horizon 2 s > the cut
+            multicast_ack_timeout=1.0,
+            multicast_attempts=4,
+            report_timeout=2.0,
+            level_check_interval=1e6,
+            # Slow tree hops so the cut reliably lands mid-multicast.
+            multicast_processing_delay=0.3,
+        )
+        net = PeerWindowNetwork(config=config, master_seed=17)
+        keys = net.seed_nodes([1e9] * 24)
+        net.run(until=10.0)
+
+        done = []
+        new_key = net.add_node(1e9, bootstrap=keys[0], on_done=done.append)
+        start = net.sim.now
+        side_a = keys[:12] + [new_key]
+        side_b = keys[12:]
+        # Handshake takes a few tenths; the tree then forwards for
+        # ~depth * 0.3 s.  Cut at +0.8 for 1.2 s: inside the multicast,
+        # inside the detection horizon.
+        net.sim.schedule_at(start + 0.8, lambda: net.transport.partition(side_a, side_b))
+        net.sim.schedule_at(start + 2.0, net.transport.heal)
+        before_drop = net.transport.dropped_partition
+        net.run(until=start + 2.0)
+        cut_mcasts = net.transport.dropped_partition - before_drop
+        assert cut_mcasts > 0, "the cut never raced any traffic - retune the window"
+
+        net.run(until=start + 30.0)
+        assert done == [True]
+        joiner = net.node(new_key)
+        assert joiner.alive
+        jid = joiner.node_id.value
+        missing = [n.address for n in net.live_nodes()
+                   if jid not in set(n.peer_list.ids())]
+        assert missing == [], f"black-holed subtree: {missing} never saw the JOIN"
+        assert net.mean_error_rate() == 0.0
