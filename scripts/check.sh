@@ -1,23 +1,27 @@
 #!/usr/bin/env bash
 # Repo check: lint (if ruff is available) + the tier-1 test suite + a
-# fast chaos smoke scenario (< 60 s).
+# fast chaos smoke scenario (< 60 s) + an observability smoke (200-node
+# instrumented run whose span export must pass the schema validator).
 #
-#   scripts/check.sh            # lint + tests + chaos smoke
+#   scripts/check.sh            # lint + tests + chaos smoke + obs smoke
 #   scripts/check.sh --lint     # lint only
 #   scripts/check.sh --tests    # tests only
 #   scripts/check.sh --chaos    # chaos smoke only
+#   scripts/check.sh --obs      # obs smoke only
 set -u
 cd "$(dirname "$0")/.."
 
 run_lint=1
 run_tests=1
 run_chaos=1
+run_obs=1
 case "${1:-}" in
-  --lint) run_tests=0; run_chaos=0 ;;
-  --tests) run_lint=0; run_chaos=0 ;;
-  --chaos) run_lint=0; run_tests=0 ;;
+  --lint) run_tests=0; run_chaos=0; run_obs=0 ;;
+  --tests) run_lint=0; run_chaos=0; run_obs=0 ;;
+  --chaos) run_lint=0; run_tests=0; run_obs=0 ;;
+  --obs) run_lint=0; run_tests=0; run_chaos=0 ;;
   "") ;;
-  *) echo "usage: scripts/check.sh [--lint|--tests|--chaos]" >&2; exit 2 ;;
+  *) echo "usage: scripts/check.sh [--lint|--tests|--chaos|--obs]" >&2; exit 2 ;;
 esac
 
 status=0
@@ -46,6 +50,32 @@ if [ "$run_chaos" = 1 ]; then
     fi
   else
     echo "== numpy not installed; skipping chaos smoke =="
+  fi
+fi
+
+if [ "$run_obs" = 1 ]; then
+  if PYTHONPATH=src python -c "import numpy" >/dev/null 2>&1; then
+    echo "== obs smoke (200-node instrumented run + span schema check) =="
+    obs_dir="$(mktemp -d)"
+    trap 'rm -rf "$obs_dir"' EXIT
+    if command -v timeout >/dev/null 2>&1; then
+      timeout 120 env PYTHONPATH=src python -m repro obs -n 200 --duration 120 \
+        --spans "$obs_dir/spans.jsonl" || status=1
+    else
+      PYTHONPATH=src python -m repro obs -n 200 --duration 120 \
+        --spans "$obs_dir/spans.jsonl" || status=1
+    fi
+    PYTHONPATH=src python - "$obs_dir/spans.jsonl" <<'PY' || status=1
+import sys
+from repro.obs.export import validate_span_file
+problems = validate_span_file(sys.argv[1])
+for p in problems[:20]:
+    print("span schema:", p)
+print(f"span schema: {len(problems)} problem(s)")
+sys.exit(1 if problems else 0)
+PY
+  else
+    echo "== numpy not installed; skipping obs smoke =="
   fi
 fi
 

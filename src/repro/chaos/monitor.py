@@ -31,7 +31,7 @@ protocol has had the full repair budget to re-converge.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.core.audience import in_peer_list
 from repro.core.config import ProtocolConfig
@@ -66,15 +66,24 @@ def quiescence_bound(config: ProtocolConfig) -> float:
 
 @dataclass(frozen=True)
 class Violation:
-    """One invariant failure observed at one node at one instant."""
+    """One invariant failure observed at one node at one instant.
+
+    ``traces`` carries the ids of the traces with an in-flight span at
+    the violating node when the check fired (empty when the network runs
+    without observability) — the operations most likely implicated.
+    """
 
     time: float
     invariant: str
     node_key: object
     detail: str
+    traces: Tuple[str, ...] = ()
 
     def describe(self) -> str:
-        return f"t={self.time:.3f} {self.invariant} node={self.node_key}: {self.detail}"
+        base = f"t={self.time:.3f} {self.invariant} node={self.node_key}: {self.detail}"
+        if self.traces:
+            base += f" [in-flight traces: {', '.join(self.traces)}]"
+        return base
 
 
 class InvariantMonitor:
@@ -143,7 +152,11 @@ class InvariantMonitor:
         return found
 
     def _record(self, out: List[Violation], invariant: str, key, detail: str) -> None:
-        out.append(Violation(self.net.sim.now, invariant, key, detail))
+        traces: Tuple[str, ...] = ()
+        obs = getattr(self.net, "obs", None)
+        if obs is not None and obs.enabled:
+            traces = tuple(obs.open_traces(key))
+        out.append(Violation(self.net.sim.now, invariant, key, detail, traces))
 
     def _check_safety(self, out: List[Violation]) -> None:
         bits = self.net.config.id_bits

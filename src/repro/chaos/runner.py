@@ -17,13 +17,14 @@ determinism tests and the acceptance criterion check replayability.
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
 
 from repro.chaos.faults import ChaosTrace
 from repro.chaos.monitor import InvariantMonitor, Violation
 from repro.chaos.scenarios import Scenario
 from repro.core.protocol import PeerWindowNetwork
+from repro.obs.trace import Span
 
 
 @dataclass
@@ -41,6 +42,10 @@ class ChaosResult:
     convergence_checks: int
     violations: List[Violation]
     trace: str
+    #: Recorded spans (empty unless the runner was built with
+    #: ``observe=True``) and the network-wide metrics snapshot.
+    spans: List[Span] = field(default_factory=list)
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -60,16 +65,23 @@ class ChaosRunner:
         n_nodes: Optional[int] = None,
         seed: int = 0,
         monitor_interval: float = 5.0,
+        observe: bool = False,
     ):
         self.scenario = scenario
         self.n_nodes = scenario.default_nodes if n_nodes is None else int(n_nodes)
         self.seed = int(seed)
         self.monitor_interval = monitor_interval
+        #: Record spans + metrics during the run.  Tracing adds no
+        #: messages and draws no randomness, so the chaos trace (and its
+        #: determinism digest) is byte-identical with or without it.
+        self.observe = bool(observe)
 
     def run(self) -> ChaosResult:
         scenario = self.scenario
         config = scenario.make_config()
-        net = PeerWindowNetwork(config=config, master_seed=self.seed)
+        net = PeerWindowNetwork(
+            config=config, master_seed=self.seed, observability=self.observe
+        )
         net.seed_nodes([scenario.threshold_bps] * self.n_nodes)
         net.run(until=scenario.settle)
 
@@ -108,6 +120,8 @@ class ChaosRunner:
             convergence_checks=monitor.convergence_checks,
             violations=list(monitor.violations),
             trace=trace.text(),
+            spans=net.spans() if self.observe else [],
+            metrics=net.metrics_snapshot() if self.observe else {},
         )
 
     def _trace_final_state(self, net, trace: ChaosTrace,

@@ -183,6 +183,11 @@ def cmd_baselines(args) -> None:
 
 def cmd_chaos(args) -> int:
     from repro.chaos import SCENARIOS, ChaosRunner
+    from repro.obs.export import (
+        prepare_output_path,
+        write_chrome_trace,
+        write_spans_jsonl,
+    )
 
     if args.list:
         _emit(args, "chaos scenarios",
@@ -195,7 +200,18 @@ def cmd_chaos(args) -> int:
         print(f"unknown scenario {args.scenario!r}; "
               f"choose from: {', '.join(sorted(SCENARIOS))}", file=sys.stderr)
         return 2
-    runner = ChaosRunner(scenario, n_nodes=args.nodes, seed=args.seed)
+    # Validate output paths up front: a bad --trace/--spans/--chrome
+    # destination should fail before the run, not after it.
+    if args.trace:
+        prepare_output_path(args.trace, what="chaos trace")
+    if args.spans:
+        prepare_output_path(args.spans, what="span export")
+    if args.chrome:
+        prepare_output_path(args.chrome, what="Chrome trace")
+    observe = bool(args.spans or args.chrome)
+    runner = ChaosRunner(
+        scenario, n_nodes=args.nodes, seed=args.seed, observe=observe
+    )
     result = runner.run()
     _emit(
         args,
@@ -209,12 +225,17 @@ def cmd_chaos(args) -> int:
             ["live_nodes", result.live_nodes],
             ["mean_error_rate", round(result.mean_error_rate, 6)],
             ["violations", len(result.violations)],
-        ],
+        ] + ([["spans_recorded", len(result.spans)]] if observe else []),
     )
     if args.trace:
-        with open(args.trace, "w") as fh:
+        path = prepare_output_path(args.trace, what="chaos trace")
+        with open(path, "w") as fh:
             fh.write(result.trace)
-        print(f"[wrote {args.trace}]")
+        print(f"[wrote {path}]")
+    if args.spans:
+        print(f"[wrote {write_spans_jsonl(args.spans, result.spans)}]")
+    if args.chrome:
+        print(f"[wrote {write_chrome_trace(args.chrome, result.spans)}]")
     if result.violations:
         print(f"\nFAIL: {len(result.violations)} invariant violation(s); first 20:")
         for v in result.violations[:20]:
@@ -222,6 +243,85 @@ def cmd_chaos(args) -> int:
         return 1
     print("\nOK: all invariants held (safety throughout; convergence after "
           "each quiescence window)")
+    return 0
+
+
+def cmd_obs(args) -> int:
+    """An instrumented churn run: spans, metrics, profile, exporters."""
+    from repro.core.config import ProtocolConfig
+    from repro.core.protocol import PeerWindowNetwork
+    from repro.net.latency import PairwiseLatencyModel
+    from repro.obs.export import (
+        prepare_output_path,
+        profile_rows,
+        write_chrome_trace,
+        write_metrics_csv,
+        write_metrics_json,
+        write_spans_jsonl,
+    )
+    from repro.sim.rng import RandomStreams
+
+    # Validate output paths up front so a bad destination fails before
+    # the (possibly long) instrumented run.
+    for path, what in ((args.spans, "span export"),
+                       (args.chrome, "Chrome trace"),
+                       (args.metrics, "metrics JSON"),
+                       (args.metrics_csv, "metrics CSV")):
+        if path:
+            prepare_output_path(path, what=what)
+
+    config = ProtocolConfig(id_bits=16)
+    net = PeerWindowNetwork(
+        config=config,
+        topology=PairwiseLatencyModel(),
+        master_seed=args.seed,
+        parallel=args.parallel,
+        observability=True,
+    )
+    net.seed_nodes([4000.0] * args.nodes)
+    if args.profile:
+        net.enable_profiling()
+    # Deterministic churn so every instrumented path fires: a few joins
+    # (handshakes + JOIN multicasts) and leaves/timeout-driven obituaries.
+    churn_rng = RandomStreams(args.seed).get("obs-churn")
+    keys = list(net.nodes)
+    bootstrap = keys[0]
+    n_churn = max(2, args.nodes // 20)
+    for key in sorted(churn_rng.choice(keys[1:], size=n_churn, replace=False)):
+        net.leave(int(key))
+    net.run(until=args.duration / 2)
+    for _ in range(n_churn):
+        net.add_node(4000.0, bootstrap)
+    net.run(until=args.duration)
+
+    snapshot = net.metrics_snapshot()
+    spans = net.spans()
+    by_name: dict = {}
+    for s in spans:
+        by_name[s.name] = by_name.get(s.name, 0) + 1
+    _emit(
+        args,
+        f"obs run, N={args.nodes}, seed={args.seed}, "
+        f"{'parallel=' + str(args.parallel) if args.parallel else 'sequential'}",
+        ["span", "count"],
+        [[name, by_name[name]] for name in sorted(by_name)],
+    )
+    print(f"{len(spans)} spans in {len(net.traces())} traces; "
+          f"{len(snapshot['counters'])} counters, "
+          f"{len(snapshot['dists'])} distributions over "
+          f"{snapshot['nodes']} nodes")
+    if args.spans:
+        print(f"[wrote {write_spans_jsonl(args.spans, spans)}]")
+    if args.chrome:
+        print(f"[wrote {write_chrome_trace(args.chrome, spans)}]")
+    if args.metrics:
+        print(f"[wrote {write_metrics_json(args.metrics, snapshot)}]")
+    if args.metrics_csv:
+        print(f"[wrote {write_metrics_csv(args.metrics_csv, snapshot)}]")
+    if args.profile:
+        print(f"\n== profile ==")
+        print(format_table(["phase", "calls", "seconds", "mean_us"],
+                           profile_rows(net.profile_snapshot())))
     return 0
 
 
@@ -282,15 +382,41 @@ def build_parser() -> argparse.ArgumentParser:
     pch.add_argument("--seed", type=int, default=0,
                      help="master seed; same seed => byte-identical trace")
     pch.add_argument("--trace", help="write the deterministic fault/state trace here")
+    pch.add_argument("--spans", help="record observability spans and write them "
+                                     "as JSONL here (enables tracing)")
+    pch.add_argument("--chrome", help="write a Chrome trace_event file here "
+                                      "(open in about://tracing; enables tracing)")
     pch.add_argument("--list", action="store_true", help="list scenarios and exit")
     pch.set_defaults(func=cmd_chaos)
+
+    pobs = sub.add_parser("obs", parents=[common_opts],
+                          help="instrumented churn run: span tree, metrics "
+                               "registry, exporters, profiling")
+    pobs.add_argument("-n", "--nodes", type=int, default=200)
+    pobs.add_argument("--duration", type=float, default=300.0,
+                      help="simulated seconds")
+    pobs.add_argument("--seed", type=int, default=1)
+    pobs.add_argument("--parallel", type=int, default=None,
+                      help="run on N logical processes (byte-identical output)")
+    pobs.add_argument("--spans", help="write spans as JSONL here")
+    pobs.add_argument("--chrome", help="write a Chrome trace_event file here")
+    pobs.add_argument("--metrics", help="write the metrics snapshot as JSON here")
+    pobs.add_argument("--metrics-csv", dest="metrics_csv",
+                      help="write the metrics snapshot as CSV here")
+    pobs.add_argument("--profile", action="store_true",
+                      help="attach wall-clock phase profilers and print them")
+    pobs.set_defaults(func=cmd_obs)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    rc = args.func(args)
+    try:
+        rc = args.func(args)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return rc if isinstance(rc, int) else 0
 
 

@@ -25,6 +25,7 @@ from repro.core.pointer import Pointer
 from repro.core.refresh import LifetimeEstimator, RefreshManager
 from repro.core.runtime import NodeRuntime
 from repro.core.topnodes import CrossPartTopList, TopNodeList
+from repro.obs.trace import NodeObs
 from repro.sim.engine import EventHandle
 
 
@@ -65,6 +66,7 @@ class NodeContext:
         threshold_bps: float,
         rng: np.random.Generator,
         attached_info: Any = None,
+        obs: NodeObs = None,
     ):
         self.runtime = runtime
         self.config = config
@@ -73,6 +75,11 @@ class NodeContext:
         self.threshold_bps = float(threshold_bps)
         self.rng = rng
         self.attached_info = attached_info
+        #: This node's observability handle (tracer + metrics registry).
+        #: Disabled by default: every instrumentation site guards on
+        #: ``obs.enabled`` / the registry's internal flag, so the layer
+        #: costs one attribute check per potential span when off.
+        self.obs = obs if obs is not None else NodeObs(address, enabled=False)
 
         self.level = 0
         self.alive = False
@@ -108,8 +115,11 @@ class NodeContext:
         self.relayed_reports: Dict[int, int] = {}
         self.endpoint = None  # set by the coordinator after registration
         self.loop_handles: List[EventHandle] = []
-        #: Dissemination entry point, wired by the coordinator.
-        self.report_event: Callable[[EventRecord], None] = _unwired
+        #: Dissemination entry point, wired by the coordinator.  Accepts
+        #: an optional ``trace=`` keyword (a span context) so the caller's
+        #: operation — an obituary, a join, a level shift — continues as
+        #: one causal trace through the report/multicast path.
+        self.report_event: Callable[..., None] = _unwired
 
     # -- identity helpers --------------------------------------------------
 
@@ -175,5 +185,5 @@ class NodeContext:
         return delay * (1.0 + j * (2.0 * float(self.rng.random()) - 1.0))
 
 
-def _unwired(event: EventRecord) -> None:  # pragma: no cover - wiring guard
+def _unwired(event: EventRecord, **_kw: Any) -> None:  # pragma: no cover - wiring guard
     raise RuntimeError("NodeContext.report_event used before wiring")

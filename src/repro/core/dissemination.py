@@ -18,7 +18,7 @@ through :class:`~repro.core.runtime.NodeRuntime`.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.core.context import NodeContext
 from repro.core.events import EventKind, EventRecord, apply_event
@@ -26,10 +26,20 @@ from repro.core.multicast import MulticastForwarder
 from repro.core.pointer import Pointer
 from repro.core.runtime import NodeRuntime
 from repro.net.message import Message
+from repro.obs.trace import Span, SpanRef
 
 
 class MulticastService:
-    """Tree multicast + ack/redirect + report retry/fallback (§4.2, §4.5)."""
+    """Tree multicast + ack/redirect + report retry/fallback (§4.2, §4.5).
+
+    Observability: when ``ctx.obs`` is enabled, a multicast origination
+    opens an ``mcast.root`` span, each fresh relay receipt an
+    ``mcast.hop`` span parented (via ``Message.trace``) to the sender's
+    span, and redirects/obituaries become instant spans in the same
+    trace — so one dissemination reconstructs as one span tree.  All
+    hooks are attribute-check guards when disabled, and tracing never
+    adds messages or RNG draws, so enabling it cannot change behaviour.
+    """
 
     def __init__(self, runtime: NodeRuntime, ctx: NodeContext):
         self.runtime = runtime
@@ -40,9 +50,25 @@ class MulticastService:
             ctx.peer_list,
             send_fn=self._mcast_send,
             on_stale_pointer=self._stale_pointer,
+            on_redirect=self._on_redirect,
         )
 
-    def _stale_pointer(self, departed: Pointer) -> None:
+    def _on_redirect(
+        self, failed: Pointer, replacement: Pointer, bit: int, trace=None
+    ) -> None:
+        obs = self.ctx.obs
+        obs.registry.inc("mcast.redirects")
+        if obs.enabled:
+            obs.instant(
+                "mcast.redirect",
+                self.runtime.now,
+                parent=trace,
+                failed=str(failed.address),
+                replacement=str(replacement.address),
+                bit=bit,
+            )
+
+    def _stale_pointer(self, departed: Pointer, trace=None) -> None:
         """A relay target never acked and was removed (§4.2).
 
         That removal is a failure *detection*, so it must be announced
@@ -53,7 +79,18 @@ class MulticastService:
         REFRESH refutation, exactly as for probe-based detection.
         """
         ctx = self.ctx
+        obs = ctx.obs
         ctx.estimator.observe_departure(departed, self.runtime.now)
+        obs.registry.inc("mcast.stale_removed")
+        obit: Optional[Span] = None
+        if obs.enabled:
+            obit = obs.instant(
+                "obituary",
+                self.runtime.now,
+                parent=trace,
+                subject=str(departed.address),
+                via="mcast-retry",
+            )
         ctx.report_event(
             EventRecord(
                 kind=EventKind.LEAVE,
@@ -62,15 +99,18 @@ class MulticastService:
                 subject_address=departed.address,
                 seq=departed.last_event_seq + 1,
                 origin_time=self.runtime.now,
-            )
+            ),
+            trace=obit.ref() if obit is not None else None,
         )
 
     # -- relay path --------------------------------------------------------
 
     def on_mcast(self, msg: Message) -> None:
         ctx = self.ctx
+        obs = ctx.obs
         event, start_bit = msg.payload
         ctx.stats.mcasts_received += 1
+        obs.registry.inc("mcast.received")
         subject_value = event.subject_id.value
         if subject_value == ctx.node_id.value:
             self.runtime.send(
@@ -83,7 +123,7 @@ class MulticastService:
             # §4.6 refresh cycle; this is the immediate version.)
             if ctx.alive and event.kind is EventKind.LEAVE and event.seq >= ctx.seq:
                 ctx.seq = event.seq
-                self.report_event(ctx.make_event(EventKind.REFRESH))
+                self.report_event(ctx.make_event(EventKind.REFRESH), trace=msg.trace)
             return
         if ctx.seen_events.get(subject_value, -1) >= event.seq:
             # Already carried this event: our subtree is covered, so the
@@ -92,10 +132,24 @@ class MulticastService:
                 msg.make_reply("mcast-ack", size_bits=ctx.config.ack_bits)
             )
             ctx.stats.mcast_duplicates += 1
+            obs.registry.inc("mcast.duplicates")
             return
         ctx.seen_events[subject_value] = event.seq
         self.apply(event)
         self._copy_to_recent_downloads(event, self.runtime.now)
+        hop: Optional[Span] = None
+        if obs.enabled:
+            depth = msg.trace.depth if isinstance(msg.trace, SpanRef) else 0
+            hop = obs.start(
+                "mcast.hop",
+                self.runtime.now,
+                parent=msg.trace,
+                kind=event.kind.name,
+                subject=str(event.subject_address),
+                depth=depth,
+                start_bit=start_bit,
+            )
+            obs.registry.observe("mcast.depth", depth)
         # §5.1: a relay spends 1 s "receiving, calculating and sending".
         # The ack rides at the END of that window: acknowledging a fresh
         # multicast means accepting responsibility for the subtree, so a
@@ -108,14 +162,29 @@ class MulticastService:
             msg,
             event,
             start_bit,
+            hop,
         )
 
-    def _forward_and_ack(self, msg: Message, event: EventRecord, start_bit: int) -> None:
+    def _forward_and_ack(
+        self,
+        msg: Message,
+        event: EventRecord,
+        start_bit: int,
+        span: Optional[Span] = None,
+    ) -> None:
         ctx = self.ctx
+        obs = ctx.obs
         if not ctx.alive:
+            if span is not None:
+                obs.end(span, self.runtime.now, "died")
             return
         self.runtime.send(msg.make_reply("mcast-ack", size_bits=ctx.config.ack_bits))
-        self.forwarder.forward(event, start_bit)
+        trace = span.ref(span.attrs.get("depth", 0)) if span is not None else None
+        fanout = self.forwarder.forward(event, start_bit, trace=trace)
+        obs.registry.observe("mcast.fanout", fanout)
+        if span is not None:
+            span.attrs["fanout"] = fanout
+            obs.end(span, self.runtime.now)
 
     def _mcast_send(
         self,
@@ -123,39 +192,79 @@ class MulticastService:
         event: EventRecord,
         next_bit: int,
         on_result: Callable[[bool], None],
+        trace=None,
     ) -> None:
         ctx = self.ctx
+        registry = ctx.obs.registry
+        # The wire context: same trace, the sender's span as parent, the
+        # receiver's tree depth (sender depth + 1).
+        wire = (
+            SpanRef(trace.trace_id, trace.span_id, trace.depth + 1)
+            if isinstance(trace, SpanRef)
+            else None
+        )
         msg = Message(
             ctx.address,
             target.address,
             "mcast",
             payload=(event, next_bit),
             size_bits=ctx.config.event_message_bits,
+            trace=wire,
         )
+
+        def timed_out() -> None:
+            registry.inc("mcast.ack_timeouts")
+            on_result(False)
+
         self.runtime.request(
             msg,
             timeout=ctx.config.multicast_ack_timeout,
             on_reply=lambda _reply: on_result(True),
-            on_timeout=lambda: on_result(False),
+            on_timeout=timed_out,
         )
 
     # -- origination -------------------------------------------------------
 
-    def start_multicast(self, event: EventRecord) -> None:
-        """Originate a multicast as a top node (root of the tree)."""
+    def start_multicast(self, event: EventRecord, trace=None) -> None:
+        """Originate a multicast as a top node (root of the tree).
+
+        ``trace`` links the origination to the operation that caused it
+        (a served report, an obituary, our own leave); with no parent the
+        root span starts a fresh trace.
+        """
         ctx = self.ctx
+        obs = ctx.obs
         ctx.seen_events[event.subject_id.value] = event.seq
         self.apply(event)
         self._copy_to_recent_downloads(event, self.runtime.now)
+        root: Optional[Span] = None
+        if obs.enabled:
+            root = obs.start(
+                "mcast.root",
+                self.runtime.now,
+                parent=trace,
+                kind=event.kind.name,
+                subject=str(event.subject_address),
+                depth=0,
+            )
+            obs.registry.inc("mcast.originated")
         self.runtime.schedule(
-            ctx.config.multicast_processing_delay, self._root_forward, event
+            ctx.config.multicast_processing_delay, self._root_forward, event, root
         )
 
-    def _root_forward(self, event: EventRecord) -> None:
+    def _root_forward(self, event: EventRecord, span: Optional[Span] = None) -> None:
         ctx = self.ctx
+        obs = ctx.obs
         if not ctx.alive and event.subject_id.value != ctx.node_id.value:
+            if span is not None:
+                obs.end(span, self.runtime.now, "died")
             return
-        self.forwarder.forward(event, 0)
+        trace = span.ref(0) if span is not None else None
+        fanout = self.forwarder.forward(event, 0, trace=trace)
+        obs.registry.observe("mcast.fanout", fanout)
+        if span is not None:
+            span.attrs["fanout"] = fanout
+            obs.end(span, self.runtime.now)
         if (
             event.kind is EventKind.LEAVE
             and event.subject_id.value != ctx.node_id.value
@@ -168,29 +277,37 @@ class MulticastService:
             # dropped it, no multicast tree targets it again), so losing
             # the single datagram would make the eviction permanent until
             # the §4.6 refresh cycle, hours later.
-            self._copy_to_subject(event, ctx.config.multicast_attempts)
+            self._copy_to_subject(event, ctx.config.multicast_attempts, trace)
         # Part-merge bridge: forward a copy to cross-part subscribers whose
         # eigenstring covers the subject.
         for ptr in list(ctx.bridge_subscribers.values()):
             if ptr.node_id.shares_prefix(event.subject_id, ptr.level):
-                self._mcast_send(ptr, event, ctx.node_id.bits, lambda ok: None)
+                self._mcast_send(ptr, event, ctx.node_id.bits, lambda ok: None, trace)
 
-    def _copy_to_subject(self, event: EventRecord, attempts_left: int) -> None:
+    def _copy_to_subject(
+        self, event: EventRecord, attempts_left: int, trace=None
+    ) -> None:
         if attempts_left <= 0:
             return
         ctx = self.ctx
+        wire = (
+            SpanRef(trace.trace_id, trace.span_id, trace.depth + 1)
+            if isinstance(trace, SpanRef)
+            else None
+        )
         msg = Message(
             ctx.address,
             event.subject_address,
             "mcast",
             payload=(event, ctx.node_id.bits),
             size_bits=ctx.config.event_message_bits,
+            trace=wire,
         )
         self.runtime.request(
             msg,
             timeout=ctx.config.multicast_ack_timeout,
             on_reply=lambda _reply: None,
-            on_timeout=lambda: self._copy_to_subject(event, attempts_left - 1),
+            on_timeout=lambda: self._copy_to_subject(event, attempts_left - 1, trace),
         )
 
     def apply(self, event: EventRecord) -> None:
@@ -282,55 +399,89 @@ class MulticastService:
 
     # -- report path -------------------------------------------------------
 
-    def report_event(self, event: EventRecord, _attempt: int = 0) -> None:
-        """Deliver ``event`` to a top node for multicast (§4.1/§4.5)."""
+    def report_event(self, event: EventRecord, _attempt: int = 0, trace=None) -> None:
+        """Deliver ``event`` to a top node for multicast (§4.1/§4.5).
+
+        ``trace`` (optional span context) ties the report — and the
+        multicast it triggers — to the causing operation's trace.
+        """
         ctx = self.ctx
+        obs = ctx.obs
         if event.subject_id.value == ctx.node_id.value:
             ctx.stats.events_originated += 1
         if ctx.is_top:
             # A top node is its own multicast root (this also covers a top
             # node announcing its own leave: alive is already False then).
-            self.start_multicast(event)
+            self.start_multicast(event, trace=trace)
             return
         top = ctx.top_list.choose(ctx.rng)
         if top is None:
-            self._report_fallback(event, _attempt)
+            self._report_fallback(event, _attempt, trace)
             return
         ctx.stats.reports_sent += 1
+        obs.registry.inc("report.sent")
+        span: Optional[Span] = None
+        if obs.enabled:
+            span = obs.start(
+                "report",
+                self.runtime.now,
+                parent=trace,
+                kind=event.kind.name,
+                subject=str(event.subject_address),
+                top=str(top.address),
+                attempt=_attempt,
+            )
         msg = Message(
             ctx.address,
             top.address,
             "report",
             payload=event,
             size_bits=ctx.config.event_message_bits,
+            trace=span.ref() if span is not None else trace,
         )
+
+        def replied(reply: Message) -> None:
+            if span is not None:
+                obs.end(span, self.runtime.now)
+            ctx.top_list.merge(
+                [p for p in reply.payload if p.node_id.value != ctx.node_id.value]
+            )
+
+        def timed_out() -> None:
+            if span is not None:
+                obs.end(span, self.runtime.now, "timeout")
+            self._report_retry(event, top, _attempt, trace)
+
         self.runtime.request(
             msg,
             timeout=ctx.config.report_timeout,
-            on_reply=lambda reply: ctx.top_list.merge(
-                [p for p in reply.payload if p.node_id.value != ctx.node_id.value]
-            ),
-            on_timeout=lambda: self._report_retry(event, top, _attempt),
+            on_reply=replied,
+            on_timeout=timed_out,
         )
 
-    def _report_retry(self, event: EventRecord, dead_top: Pointer, attempt: int) -> None:
+    def _report_retry(
+        self, event: EventRecord, dead_top: Pointer, attempt: int, trace=None
+    ) -> None:
         ctx = self.ctx
         ctx.top_list.remove(dead_top.node_id)
         if attempt + 1 >= 3 * ctx.config.top_list_size:
             ctx.stats.reports_failed += 1
+            ctx.obs.registry.inc("report.failed")
             return
-        self.report_event(event, _attempt=attempt + 1)
+        self.report_event(event, _attempt=attempt + 1, trace=trace)
 
-    def _report_fallback(self, event: EventRecord, attempt: int) -> None:
+    def _report_fallback(self, event: EventRecord, attempt: int, trace=None) -> None:
         """§4.5: when every top-node pointer is stale, ask a peer for its
         top-node list as a substitution."""
         ctx = self.ctx
         if attempt >= 3 * ctx.config.top_list_size:
             ctx.stats.reports_failed += 1
+            ctx.obs.registry.inc("report.failed")
             return
         peers = [p for p in ctx.peer_list if p.node_id.value != ctx.node_id.value]
         if not peers:
             ctx.stats.reports_failed += 1
+            ctx.obs.registry.inc("report.failed")
             return
         peer = peers[int(ctx.rng.integers(0, len(peers)))]
         msg = Message(
@@ -343,17 +494,19 @@ class MulticastService:
                 ctx.top_list.merge(
                     [p for p in reply.payload if p.node_id.value != ctx.node_id.value]
                 ),
-                self.report_event(event, _attempt=attempt + 1),
+                self.report_event(event, _attempt=attempt + 1, trace=trace),
             ),
-            on_timeout=lambda: self._report_fallback(event, attempt + 1),
+            on_timeout=lambda: self._report_fallback(event, attempt + 1, trace),
         )
 
     # -- serving -----------------------------------------------------------
 
     def on_report(self, msg: Message) -> None:
         ctx = self.ctx
+        obs = ctx.obs
         event: EventRecord = msg.payload
         ctx.stats.reports_served += 1
+        obs.registry.inc("report.served")
         if not ctx.is_top:
             # Stale top-node pointer at the reporter: we are no longer a
             # top node.  Ack with our *current* top-node list so the
@@ -378,7 +531,18 @@ class MulticastService:
                 # tree node for this event's audience.
                 ctx.relayed_reports[subject_value] = event.seq
                 self.apply(event)
-                self.report_event(event)
+                relay: Optional[Span] = None
+                if obs.enabled:
+                    relay = obs.instant(
+                        "report.relay",
+                        self.runtime.now,
+                        parent=msg.trace,
+                        kind=event.kind.name,
+                        subject=str(event.subject_address),
+                    )
+                self.report_event(
+                    event, trace=relay.ref() if relay is not None else msg.trace
+                )
             return
         # Piggyback t-1 pointers to top nodes of the reporter's part (§4.5):
         # our own group members (we are a top node of that part).
@@ -396,7 +560,7 @@ class MulticastService:
         )
         if ctx.seen_events.get(event.subject_id.value, -1) >= event.seq:
             return
-        self.start_multicast(event)
+        self.start_multicast(event, trace=msg.trace)
 
     def on_get_topnodes(self, msg: Message) -> None:
         ctx = self.ctx

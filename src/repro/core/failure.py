@@ -14,11 +14,14 @@ probes in lockstep forever.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.core.context import NodeContext
 from repro.core.events import EventKind, EventRecord
 from repro.core.pointer import Pointer
 from repro.core.runtime import NodeRuntime
 from repro.net.message import Message
+from repro.obs.trace import Span
 
 
 class FailureDetector:
@@ -51,41 +54,75 @@ class FailureDetector:
             return
         self._probe_target(target, ctx.config.probe_misses_to_fail)
 
-    def _probe_target(self, target: Pointer, attempts_left: int) -> None:
+    def _probe_target(
+        self, target: Pointer, attempts_left: int, parent=None
+    ) -> None:
         ctx = self.ctx
+        obs = ctx.obs
         if not ctx.alive:
             return
         ctx.stats.probes_sent += 1
+        span: Optional[Span] = None
+        if obs.enabled:
+            span = obs.start(
+                "probe",
+                self.runtime.now,
+                parent=parent,
+                target=str(target.address),
+                attempts_left=attempts_left,
+            )
+        start = self.runtime.now
         msg = Message(
-            ctx.address, target.address, "probe", size_bits=ctx.config.heartbeat_bits
+            ctx.address,
+            target.address,
+            "probe",
+            size_bits=ctx.config.heartbeat_bits,
+            trace=span.ref() if span is not None else None,
         )
+
+        def replied(_r: Message) -> None:
+            obs.registry.observe("probe.rtt", self.runtime.now - start)
+            if span is not None:
+                obs.end(span, self.runtime.now)
+            self._schedule_probe(ctx.config.probe_interval)
+
+        def timed_out() -> None:
+            obs.registry.inc("probe.timeouts")
+            if span is not None:
+                obs.end(span, self.runtime.now, "timeout")
+            self._probe_miss(target, attempts_left - 1, span)
+
         self.runtime.request(
             msg,
             timeout=ctx.config.probe_timeout,
-            on_reply=lambda _r: self._schedule_probe(ctx.config.probe_interval),
-            on_timeout=lambda: self._probe_miss(target, attempts_left - 1),
+            on_reply=replied,
+            on_timeout=timed_out,
         )
 
-    def _probe_miss(self, target: Pointer, attempts_left: int) -> None:
+    def _probe_miss(
+        self, target: Pointer, attempts_left: int, parent=None
+    ) -> None:
         ctx = self.ctx
         if not ctx.alive:
             return
         if attempts_left > 0:
-            self._probe_target(target, attempts_left)
+            self._probe_target(target, attempts_left, parent)
             return
         # Failure detected: report, remove, and immediately redirect the
         # probing to the next neighbor (§4.1's concurrent-failure story).
-        self._declare_failed(target)
+        self._declare_failed(target, parent)
         nxt = ctx.peer_list.ring_successor(ctx.node_id)
         if nxt is not None:
             self._probe_target(nxt, ctx.config.probe_misses_to_fail)
         else:
             self._schedule_probe(ctx.config.probe_interval)
 
-    def _declare_failed(self, target: Pointer) -> None:
+    def _declare_failed(self, target: Pointer, parent=None) -> None:
         """Remove ``target`` and announce its obituary (§4.1)."""
         ctx = self.ctx
+        obs = ctx.obs
         ctx.stats.failures_detected += 1
+        obs.registry.inc("failures.detected")
         departed = ctx.peer_list.remove(target.node_id)
         if departed is not None:
             ctx.estimator.observe_departure(departed, self.runtime.now)
@@ -97,7 +134,16 @@ class FailureDetector:
             seq=target.last_event_seq + 1,
             origin_time=self.runtime.now,
         )
-        ctx.report_event(event)
+        obit = None
+        if obs.enabled:
+            obit = obs.instant(
+                "obituary",
+                self.runtime.now,
+                parent=parent,
+                subject=str(target.address),
+                via="ring-probe",
+            )
+        ctx.report_event(event, trace=obit.ref() if obit is not None else None)
 
     # -- reconciliation verification (crash recovery) ----------------------
 
@@ -113,26 +159,57 @@ class FailureDetector:
         for pointer in pointers:
             self._verify_target(pointer, self.ctx.config.probe_misses_to_fail)
 
-    def _verify_target(self, target: Pointer, attempts_left: int) -> None:
+    def _verify_target(
+        self, target: Pointer, attempts_left: int, parent=None
+    ) -> None:
         ctx = self.ctx
+        obs = ctx.obs
         if not ctx.alive or ctx.peer_list.get(target.node_id) is None:
             return
         ctx.stats.probes_sent += 1
+        span: Optional[Span] = None
+        if obs.enabled:
+            span = obs.start(
+                "probe.verify",
+                self.runtime.now,
+                parent=parent,
+                target=str(target.address),
+                attempts_left=attempts_left,
+            )
+        start = self.runtime.now
         msg = Message(
-            ctx.address, target.address, "probe", size_bits=ctx.config.heartbeat_bits
+            ctx.address,
+            target.address,
+            "probe",
+            size_bits=ctx.config.heartbeat_bits,
+            trace=span.ref() if span is not None else None,
         )
+
+        def replied(_r: Message) -> None:
+            obs.registry.observe("probe.rtt", self.runtime.now - start)
+            if span is not None:
+                obs.end(span, self.runtime.now)
+
+        def timed_out() -> None:
+            obs.registry.inc("probe.timeouts")
+            if span is not None:
+                obs.end(span, self.runtime.now, "timeout")
+            self._verify_miss(target, attempts_left - 1, span)
+
         self.runtime.request(
             msg,
             timeout=ctx.config.probe_timeout,
-            on_reply=lambda _r: None,
-            on_timeout=lambda: self._verify_miss(target, attempts_left - 1),
+            on_reply=replied,
+            on_timeout=timed_out,
         )
 
-    def _verify_miss(self, target: Pointer, attempts_left: int) -> None:
+    def _verify_miss(
+        self, target: Pointer, attempts_left: int, parent=None
+    ) -> None:
         ctx = self.ctx
         if not ctx.alive or ctx.peer_list.get(target.node_id) is None:
             return
         if attempts_left > 0:
-            self._verify_target(target, attempts_left)
+            self._verify_target(target, attempts_left, parent)
             return
-        self._declare_failed(target)
+        self._declare_failed(target, parent)

@@ -30,6 +30,7 @@ from repro.core.nodeid import NodeId
 from repro.core.pointer import Pointer
 from repro.core.runtime import NodeRuntime
 from repro.net.message import Message
+from repro.obs.trace import Span
 
 
 class JoinService:
@@ -52,6 +53,10 @@ class JoinService:
         #: Coordinator hook: actively probe reconciled-but-unconfirmed
         #: pointers after a crash-recovery rejoin (FailureDetector.verify).
         self._verify_stale = verify_stale if verify_stale is not None else (lambda _p: None)
+        #: Open "join" span while a handshake is in flight (one per node at
+        #: a time); the JOIN report traces back to it.
+        self._join_span: Optional[Span] = None
+        self._join_started: float = 0.0
 
     # ------------------------------------------------------------------
     # the joining handshake (§4.3)
@@ -63,7 +68,32 @@ class JoinService:
         on_done: Optional[Callable[[bool], None]] = None,
     ) -> None:
         """Run the §4.3 joining handshake through ``bootstrap_address``."""
-        done = on_done if on_done is not None else (lambda ok: None)
+        inner = on_done if on_done is not None else (lambda ok: None)
+        ctx = self.ctx
+        obs = ctx.obs
+        self._join_started = self.runtime.now
+        if obs.enabled:
+            self._join_span = obs.start(
+                "join",
+                self.runtime.now,
+                bootstrap=str(bootstrap_address),
+                recovering=ctx.recovering,
+            )
+
+        def done(ok: bool) -> None:
+            if ok:
+                obs.registry.observe(
+                    "join.latency", self.runtime.now - self._join_started
+                )
+            else:
+                obs.registry.inc("join.failures")
+            if self._join_span is not None:
+                obs.end(
+                    self._join_span, self.runtime.now, "ok" if ok else "failed"
+                )
+                self._join_span = None
+            inner(ok)
+
         self._attempt_join(bootstrap_address, done, attempt=0)
 
     def _attempt_join(
@@ -78,6 +108,7 @@ class JoinService:
             "get-top",
             payload=ctx.node_id,
             size_bits=ctx.config.ack_bits,
+            trace=self._handshake_trace(),
         )
         self.runtime.request(
             msg,
@@ -85,6 +116,10 @@ class JoinService:
             on_reply=lambda reply: self._join_got_top(reply.payload, done, fail),
             on_timeout=fail,
         )
+
+    def _handshake_trace(self):
+        """Span context riding handshake messages (``None`` when obs off)."""
+        return self._join_span.ref() if self._join_span is not None else None
 
     def _make_fail(
         self, bootstrap_address: Hashable, done: Callable[[bool], None], attempt: int
@@ -123,6 +158,7 @@ class JoinService:
             "level-query",
             payload=ctx.node_id,
             size_bits=ctx.config.ack_bits,
+            trace=self._handshake_trace(),
         )
         self.runtime.request(
             msg,
@@ -173,6 +209,7 @@ class JoinService:
             "download",
             payload=(ctx.node_id, level),
             size_bits=ctx.config.ack_bits,
+            trace=self._handshake_trace(),
         )
         self.runtime.request(
             msg,
@@ -237,7 +274,7 @@ class JoinService:
         ctx.alive = True
         self._on_joined()
         # Step 4: multicast the joining event around the audience set.
-        ctx.report_event(ctx.make_event(EventKind.JOIN))
+        ctx.report_event(ctx.make_event(EventKind.JOIN), trace=self._handshake_trace())
         done(True)
         if recovering:
             unconfirmed = [
@@ -269,6 +306,14 @@ class JoinService:
         ctx = self.ctx
         joiner_id: NodeId = msg.payload
         ctx.stats.joins_assisted += 1
+        ctx.obs.registry.inc("join.assists")
+        if ctx.obs.enabled:
+            ctx.obs.instant(
+                "join.serve.get-top",
+                self.runtime.now,
+                parent=msg.trace,
+                joiner=str(msg.src),
+            )
         same_part = joiner_id.shares_prefix(ctx.node_id, ctx.part_level())
         if same_part:
             if ctx.is_top:
@@ -332,6 +377,13 @@ class JoinService:
 
     def on_level_query(self, msg: Message) -> None:
         ctx = self.ctx
+        if ctx.obs.enabled:
+            ctx.obs.instant(
+                "join.serve.level-query",
+                self.runtime.now,
+                parent=msg.trace,
+                joiner=str(msg.src),
+            )
         piggyback = [
             p.copy() for p in ctx.top_list.pointers()[: ctx.config.top_list_size - 1]
         ]
@@ -359,6 +411,15 @@ class JoinService:
         ctx = self.ctx
         requester_id, prefix_len = msg.payload
         ctx.stats.downloads_served += 1
+        ctx.obs.registry.inc("downloads.served")
+        if ctx.obs.enabled:
+            ctx.obs.instant(
+                "join.serve.download",
+                self.runtime.now,
+                parent=msg.trace,
+                requester=str(msg.src),
+                prefix_len=prefix_len,
+            )
         if ctx.config.download_grace > 0:
             # Events we apply in the grace window are copied to the
             # requester — multicasts concurrent with the download would

@@ -21,6 +21,7 @@ from repro.core.nodeid import eigenstring
 from repro.core.pointer import Pointer
 from repro.core.runtime import NodeRuntime
 from repro.net.message import Message
+from repro.obs.trace import Span
 
 
 class LevelShiftService:
@@ -73,6 +74,16 @@ class LevelShiftService:
         ctx.level = old_level + 1
         ctx.peer_list.retarget(ctx.level)
         ctx.stats.level_lowers += 1
+        ctx.obs.registry.inc("level.lower")
+        shift = None
+        if ctx.obs.enabled:
+            shift = ctx.obs.instant(
+                "level.lower",
+                self.runtime.now,
+                old_level=old_level,
+                new_level=ctx.level,
+                was_top=was_top,
+            )
         if was_top and same_side:
             # We were a top node, so our eigenstring group was the set of
             # our part's tops; the members staying on our side of the new
@@ -95,7 +106,10 @@ class LevelShiftService:
         own = ctx.peer_list.get(ctx.node_id)
         if own is not None:
             own.level = ctx.level
-        ctx.report_event(ctx.make_event(EventKind.LEVEL_CHANGE))
+        ctx.report_event(
+            ctx.make_event(EventKind.LEVEL_CHANGE),
+            trace=shift.ref() if shift is not None else None,
+        )
 
     def initiate_raise(self, new_level: int) -> None:
         """§4.3: download the missing pointers from a stronger node, then
@@ -107,18 +121,30 @@ class LevelShiftService:
         if source is None:
             return
         ctx.raising = True
+        span: Optional[Span] = None
+        if ctx.obs.enabled:
+            span = ctx.obs.start(
+                "level.raise",
+                self.runtime.now,
+                old_level=ctx.level,
+                new_level=new_level,
+                source=str(source.address),
+            )
         msg = Message(
             ctx.address,
             source.address,
             "download",
             payload=(ctx.node_id, new_level),
             size_bits=ctx.config.ack_bits,
+            trace=span.ref() if span is not None else None,
         )
         self.runtime.request(
             msg,
             timeout=ctx.config.report_timeout,
-            on_reply=lambda reply: self._commit_raise(new_level, source, reply.payload),
-            on_timeout=lambda: self._abort_raise(source),
+            on_reply=lambda reply: self._commit_raise(
+                new_level, source, reply.payload, span
+            ),
+            on_timeout=lambda: self._abort_raise(source, span),
         )
 
     def _raise_source(self, new_level: int) -> Optional[Pointer]:
@@ -151,10 +177,18 @@ class LevelShiftService:
                     return candidates[0]
         return None
 
-    def _commit_raise(self, new_level: int, source: Pointer, payload: tuple) -> None:
+    def _commit_raise(
+        self,
+        new_level: int,
+        source: Pointer,
+        payload: tuple,
+        span: Optional[Span] = None,
+    ) -> None:
         ctx = self.ctx
         ctx.raising = False
         if not ctx.alive or new_level >= ctx.level:
+            if span is not None:
+                ctx.obs.end(span, self.runtime.now, "aborted")
             return
         pointers, tops = payload
         was_top = ctx.is_top
@@ -171,6 +205,7 @@ class LevelShiftService:
         if own is not None:
             own.level = ctx.level
         ctx.stats.level_raises += 1
+        ctx.obs.registry.inc("level.raise")
         part_level = ctx.top_list.min_level()
         if part_level is None or new_level <= part_level:
             ctx.is_top = True
@@ -184,10 +219,18 @@ class LevelShiftService:
                 "bridge-subscribe",
                 payload=(ctx.self_pointer(), True),
                 size_bits=ctx.config.pointer_bits,
+                trace=span.ref() if span is not None else None,
             )
             self.runtime.send(sub)
-        ctx.report_event(ctx.make_event(EventKind.LEVEL_CHANGE))
+        if span is not None:
+            ctx.obs.end(span, self.runtime.now)
+        ctx.report_event(
+            ctx.make_event(EventKind.LEVEL_CHANGE),
+            trace=span.ref() if span is not None else None,
+        )
 
-    def _abort_raise(self, source: Pointer) -> None:
+    def _abort_raise(self, source: Pointer, span: Optional[Span] = None) -> None:
         self.ctx.raising = False
+        if span is not None:
+            self.ctx.obs.end(span, self.runtime.now, "timeout")
         self.ctx.peer_list.remove(source.node_id)

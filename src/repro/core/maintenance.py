@@ -45,7 +45,14 @@ class MaintenanceService:
             return
         ctx.stats.refreshes_sent += 1
         ctx.refresh_mgr.refreshes_sent += 1
-        ctx.report_event(ctx.make_event(EventKind.REFRESH))
+        ctx.obs.registry.inc("refresh.sent")
+        root = None
+        if ctx.obs.enabled:
+            root = ctx.obs.instant("refresh", self.runtime.now, level=ctx.level)
+        ctx.report_event(
+            ctx.make_event(EventKind.REFRESH),
+            trace=root.ref() if root is not None else None,
+        )
         ctx.track(
             self.runtime.schedule(
                 ctx.jittered(ctx.refresh_mgr.refresh_due_interval(ctx.level)),
@@ -58,6 +65,8 @@ class MaintenanceService:
         if not ctx.alive:
             return
         expired = ctx.refresh_mgr.sweep(ctx.peer_list, self.runtime.now)
+        if expired:
+            ctx.obs.registry.inc("sweep.expired", len(expired))
         for p in expired:
             if p.node_id.value == ctx.node_id.value:
                 # Never expire ourselves.

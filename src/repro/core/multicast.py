@@ -152,20 +152,26 @@ class MulticastForwarder:
         config: ProtocolConfig,
         local_id: NodeId,
         peer_list: PeerList,
-        send_fn: Callable[[Pointer, EventRecord, int, Callable[[bool], None]], None],
-        on_stale_pointer: Optional[Callable[[Pointer], None]] = None,
+        send_fn: Callable[
+            [Pointer, EventRecord, int, Callable[[bool], None], Optional[tuple]], None
+        ],
+        on_stale_pointer: Optional[Callable[[Pointer, Optional[tuple]], None]] = None,
+        on_redirect: Optional[
+            Callable[[Pointer, Pointer, int, Optional[tuple]], None]
+        ] = None,
     ):
         self.config = config
         self.local_id = local_id
         self.peer_list = peer_list
         self._send_fn = send_fn
         self._on_stale = on_stale_pointer
+        self._on_redirect = on_redirect
         # Statistics
         self.forwards = 0
         self.redirects = 0
         self.stale_removed = 0
 
-    def forward(self, event: EventRecord, start_bit: int) -> int:
+    def forward(self, event: EventRecord, start_bit: int, trace=None) -> int:
         """Forward ``event`` for all bit positions from ``start_bit``.
 
         With ``multicast_redundancy`` r > 1, each bit position gets up to
@@ -173,6 +179,11 @@ class MulticastForwarder:
         sequence, so redundancy costs bandwidth but covers relay failures
         mid-dissemination (§2's ``r`` knob).  Returns the number of sends
         initiated (the out-degree).
+
+        ``trace`` is the forwarding node's span context (a
+        ``repro.obs.trace.SpanRef`` or ``None``), threaded through every
+        send, stale-removal, and redirect so the owner can attribute them
+        to the multicast's causal tree.  It never influences forwarding.
         """
         out_degree = 0
         excluded: set = set()
@@ -183,7 +194,7 @@ class MulticastForwarder:
                 out_degree += 1
                 excluded.add(target.node_id.value)
                 self._reliable_send(
-                    event, bit, target, self.config.multicast_attempts, excluded
+                    event, bit, target, self.config.multicast_attempts, excluded, trace
                 )
         return out_degree
 
@@ -213,6 +224,7 @@ class MulticastForwarder:
         target: Pointer,
         attempts_left: int,
         excluded: set,
+        trace=None,
     ) -> None:
         self.forwards += 1
 
@@ -220,7 +232,9 @@ class MulticastForwarder:
             if ok:
                 return
             if attempts_left > 1:
-                self._reliable_send(event, bit, target, attempts_left - 1, excluded)
+                self._reliable_send(
+                    event, bit, target, attempts_left - 1, excluded, trace
+                )
                 return
             # Stale pointer: remove and redirect (§4.2).
             removed = self.peer_list.remove(target.node_id)
@@ -228,12 +242,15 @@ class MulticastForwarder:
             if removed is not None:
                 self.stale_removed += 1
                 if self._on_stale is not None:
-                    self._on_stale(removed)
+                    self._on_stale(removed, trace)
             replacement = self._choose(event, bit, excluded)
             if replacement is not None:
                 self.redirects += 1
+                if self._on_redirect is not None:
+                    self._on_redirect(target, replacement, bit, trace)
                 self._reliable_send(
-                    event, bit, replacement, self.config.multicast_attempts, excluded
+                    event, bit, replacement, self.config.multicast_attempts,
+                    excluded, trace,
                 )
 
-        self._send_fn(target, event, bit + 1, on_result)
+        self._send_fn(target, event, bit + 1, on_result, trace)

@@ -74,6 +74,7 @@ class PeerWindowNode:
         attached_info: Any = None,
         on_left: Optional[Callable[["PeerWindowNode"], None]] = None,
         runtime: Optional[NodeRuntime] = None,
+        obs: Any = None,
     ):
         if runtime is None:
             if sim is None or transport is None:
@@ -98,6 +99,7 @@ class PeerWindowNode:
             threshold_bps,
             rng,
             attached_info=attached_info,
+            obs=obs,
         )
         self.dissemination = MulticastService(runtime, self.ctx)
         # The report path is the capability every other service needs;
@@ -259,8 +261,8 @@ class PeerWindowNode:
     def _raise_source(self, new_level: int) -> Optional[Pointer]:
         return self.levels._raise_source(new_level)
 
-    def report_event(self, event: EventRecord, _attempt: int = 0) -> None:
-        self.dissemination.report_event(event, _attempt=_attempt)
+    def report_event(self, event: EventRecord, _attempt: int = 0, trace=None) -> None:
+        self.dissemination.report_event(event, _attempt=_attempt, trace=trace)
 
     # ------------------------------------------------------------------
     # lifecycle: bootstrap / join / leave / crash

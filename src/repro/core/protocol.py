@@ -31,6 +31,7 @@ from repro.core.seeding import SeedSpec, seed_network
 from repro.net.latency import PairwiseLatencyModel, UniformLatencyModel
 from repro.net.topology import Topology
 from repro.net.transport import Transport
+from repro.obs.trace import Observability, Span
 from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
 
@@ -66,6 +67,7 @@ class PeerWindowNetwork:
         parallel: Optional[int] = None,
         lookahead: Optional[float] = None,
         threads: bool = False,
+        observability: bool = False,
     ):
         """``sim`` lets a caller embed the network in an externally-owned
         simulator — e.g. one logical process of the ONSP-style
@@ -86,6 +88,12 @@ class PeerWindowNetwork:
         self.config = config if config is not None else ProtocolConfig()
         self.streams = RandomStreams(master_seed)
         self.parallel = parallel
+        #: Causal tracing + per-node metric registries (repro.obs).  Off
+        #: by default: enabled mode records spans/metrics but never sends
+        #: messages, draws randomness, or alters timing, so protocol
+        #: behavior is identical either way (and, with it off, sequential
+        #: and partitioned runs stay bit-for-bit equivalent).
+        self.obs = Observability(enabled=observability)
         if parallel is not None:
             if parallel < 1:
                 raise ValueError("parallel must be >= 1")
@@ -167,6 +175,7 @@ class PeerWindowNetwork:
             rng=self.streams.spawn("node", key),
             attached_info=attached_info,
             on_left=self._node_left,
+            obs=self.obs.view(key),
         )
         self.nodes[key] = node
         return node
@@ -329,6 +338,82 @@ class PeerWindowNetwork:
             if isinstance(value, (int, float)):
                 totals[f"transport_{key}"] = value
         return totals
+
+    # -- observability ----------------------------------------------------
+
+    def spans(self) -> List[Span]:
+        """All recorded spans network-wide, deterministically ordered (see
+        :meth:`repro.obs.trace.Observability.spans`).  Empty when the
+        network was built without ``observability=True``."""
+        return self.obs.spans()
+
+    def traces(self) -> Dict[str, List[Span]]:
+        """Spans grouped by trace id — each value is one causal tree
+        (a multicast's hops, a join handshake, a probe chain)."""
+        return self.obs.traces()
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """The network-wide metrics aggregate.
+
+        Before folding the per-node registries this refreshes the sampled
+        gauges (peer-list size and population per level, from live state)
+        and injects the transport's byte/message counters per message
+        kind, so the one snapshot carries everything the
+        :mod:`repro.core.analytic` cost-model comparison needs.
+        """
+        if self.obs.enabled:
+            # Clear previous samples everywhere (departed nodes included):
+            # a node that changed level — or left — since the last snapshot
+            # must not keep contributing stale gauges to the aggregate.
+            for view in self.obs.views().values():
+                view.registry.gauges = {
+                    k: v
+                    for k, v in view.registry.gauges.items()
+                    if not k.startswith(("peers.size.level.", "nodes.level."))
+                }
+            for node in self.live_nodes():
+                reg = node.ctx.obs.registry
+                reg.set_gauge(f"peers.size.level.{node.level}", len(node.peer_list))
+                reg.set_gauge(f"nodes.level.{node.level}", 1)
+        snapshot = self.obs.metrics_snapshot()
+        transport_stats = (
+            self.runtime.transport_stats()
+            if self.parallel is not None
+            else self.transport.stats()
+        )
+        counters = snapshot["counters"]
+        for kind, count in sorted(transport_stats.get("by_kind", {}).items()):
+            counters[f"transport.msgs.{kind}"] = count
+        for kind, bits in sorted(transport_stats.get("bytes_by_kind", {}).items()):
+            counters[f"transport.bits.{kind}"] = bits
+        return snapshot
+
+    def enable_profiling(self) -> None:
+        """Attach wall-clock phase profilers to the execution engine
+        (event dispatch + transport delivery; in partitioned mode also the
+        epoch-barrier orchestration).  Diagnostics only — wall-clock never
+        feeds back into simulated behavior."""
+        from repro.obs.profile import PhaseProfiler
+
+        if self.parallel is not None:
+            self.runtime.enable_profiling()
+            return
+        prof = PhaseProfiler()
+        self.sim.profiler = prof
+        self.transport.profiler = prof
+        self._profiler = prof
+
+    def profile_snapshot(self) -> Dict[str, Any]:
+        """Profiling snapshot (phase -> calls/seconds/mean_us); empty
+        when :meth:`enable_profiling` was never called."""
+        if self.parallel is not None:
+            return self.runtime.profile_snapshot()
+        prof = getattr(self, "_profiler", None)
+        if prof is None:
+            from repro.obs.profile import PhaseProfiler
+
+            prof = PhaseProfiler()
+        return prof.snapshot()
 
     # -- live monitoring --------------------------------------------------
 

@@ -282,13 +282,41 @@ class PartitionedRuntime:
         """Per-LP transport counters summed — comparable field-for-field
         with a sequential :meth:`~repro.net.transport.Transport.stats`."""
         totals: Dict[str, Any] = {}
-        by_kind: Dict[str, int] = {}
         for tr in self.transports:
             for key, value in tr.stats().items():
-                if key == "by_kind":
+                if isinstance(value, dict):
+                    merged = totals.setdefault(key, {})
                     for kind, count in value.items():
-                        by_kind[kind] = by_kind.get(kind, 0) + count
+                        merged[kind] = merged.get(kind, 0) + count
                 else:
                     totals[key] = totals.get(key, 0) + value
-        totals["by_kind"] = by_kind
         return totals
+
+    # -- profiling ---------------------------------------------------------
+
+    def enable_profiling(self) -> None:
+        """Attach wall-clock phase profilers: one per LP (event dispatch +
+        transport delivery, thread-confined to that LP's worker) plus a
+        coordinator profiler for epoch orchestration (LP run vs barrier).
+
+        Wall-clock numbers are diagnostics only — they never feed back
+        into the simulation, so determinism is unaffected."""
+        from repro.obs.profile import PhaseProfiler
+
+        self._lp_profilers: List[PhaseProfiler] = []
+        for lp, tr in zip(self.psim.lps, self.transports):
+            prof = PhaseProfiler()
+            lp.sim.profiler = prof
+            tr.profiler = prof
+            self._lp_profilers.append(prof)
+        self.psim.profiler = PhaseProfiler()
+
+    def profile_snapshot(self) -> Dict[str, Any]:
+        """Merged profiling snapshot across LP profilers + coordinator.
+        Empty dicts when :meth:`enable_profiling` was never called."""
+        from repro.obs.profile import merge_profiles
+
+        profilers = list(getattr(self, "_lp_profilers", []))
+        if getattr(self.psim, "profiler", None) is not None:
+            profilers.append(self.psim.profiler)
+        return merge_profiles(profilers).snapshot()

@@ -44,3 +44,12 @@ def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[Any]
     text = f"\n== {title} ==\n" + format_table(headers, rows)
     print(text)
     return text
+
+
+def format_metrics(snapshot: dict) -> str:
+    """Render a :meth:`~repro.core.protocol.PeerWindowNetwork.metrics_snapshot`
+    as one aligned ``kind | name | value`` table (dists expanded to their
+    count/mean/min/max rows)."""
+    from repro.obs.metrics import flatten_snapshot
+
+    return format_table(["kind", "name", "value"], flatten_snapshot(snapshot))

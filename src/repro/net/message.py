@@ -36,6 +36,13 @@ class Message:
         Arbitrary model-level payload (not serialized; sizes are explicit).
     size_bits:
         Wire size used for bandwidth accounting.
+    trace:
+        Optional causal-trace context (a ``repro.obs.trace.SpanRef``,
+        i.e. a ``(trace_id, span_id, depth)`` tuple).  Metadata only: it
+        never affects routing, sizing, or protocol decisions, and is
+        ``None`` whenever observability is off — a real implementation
+        would carry it as an optional header, so the wire format stays
+        compatible (see PROTOCOL.md).
     """
 
     src: Hashable
@@ -45,13 +52,18 @@ class Message:
     size_bits: int = EVENT_MESSAGE_BITS
     msg_id: int = field(default_factory=lambda: next(_msg_ids))
     reply_to: Optional[int] = None
+    trace: Optional[tuple] = None
 
     def __post_init__(self) -> None:
         if self.size_bits < 0:
             raise ValueError("size_bits must be non-negative")
 
     def make_reply(self, kind: str, payload: Any = None, size_bits: int = ACK_BITS) -> "Message":
-        """Construct the reply message (dst/src swapped, linked by id)."""
+        """Construct the reply message (dst/src swapped, linked by id).
+
+        The request's trace context is carried back on the reply, so the
+        requester can parent follow-up spans without a correlation table.
+        """
         return Message(
             src=self.dst,
             dst=self.src,
@@ -59,4 +71,5 @@ class Message:
             payload=payload,
             size_bits=size_bits,
             reply_to=self.msg_id,
+            trace=self.trace,
         )

@@ -139,6 +139,10 @@ class Transport:
         self.dropped_partition = 0
         self.dropped_zombie = 0
         self.by_kind: Dict[str, int] = {}
+        self.bytes_by_kind: Dict[str, int] = {}
+        #: Optional :class:`repro.obs.profile.PhaseProfiler` timing the
+        #: receiver-handler phase (wall clock; see ``repro.obs``).
+        self.profiler = None
 
     # -- registration -------------------------------------------------------
 
@@ -298,6 +302,9 @@ class Transport:
         self._send_seq[msg.src] = seq + 1
         self.sent += 1
         self.by_kind[msg.kind] = self.by_kind.get(msg.kind, 0) + 1
+        self.bytes_by_kind[msg.kind] = (
+            self.bytes_by_kind.get(msg.kind, 0) + msg.size_bits
+        )
         if self._zombies and msg.src in self._zombies:
             # A hung process emits nothing (its timers still fire, but the
             # traffic never leaves the host).
@@ -377,10 +384,16 @@ class Transport:
             pending = self._pending.pop(msg.reply_to, None)
             if pending is not None:
                 pending.timeout_handle.cancel()
-                pending.on_reply(msg)
+                if self.profiler is not None:
+                    self.profiler.time("transport.deliver", pending.on_reply, msg)
+                else:
+                    pending.on_reply(msg)
                 return
             # Late reply after timeout: fall through to the endpoint handler
             # so protocols can still use the information (stale-ack path).
+        if self.profiler is not None:
+            self.profiler.time("transport.deliver", ep.handler, msg)
+            return
         ep.handler(msg)
 
     # -- request/response -------------------------------------------------------
@@ -418,6 +431,7 @@ class Transport:
             "dropped_zombie": self.dropped_zombie,
             "pending_requests": len(self._pending),
             "by_kind": dict(self.by_kind),
+            "bytes_by_kind": dict(self.bytes_by_kind),
         }
 
 

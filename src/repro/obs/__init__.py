@@ -1,0 +1,55 @@
+"""repro.obs — deterministic observability for the PeerWindow simulator.
+
+Three concerns, one package:
+
+* :mod:`repro.obs.trace` — causal span trees over protocol operations,
+  propagated across nodes via ``Message.trace`` (sim-clock timestamps,
+  deterministic ids);
+* :mod:`repro.obs.metrics` — per-node counter/gauge/distribution
+  registry with exact network-wide aggregation;
+* :mod:`repro.obs.profile` — wall-clock phase timers for the engines
+  (explicitly non-deterministic, excluded from equivalence checks);
+* :mod:`repro.obs.export` — JSONL / Chrome trace_event / JSON / CSV
+  writers plus the span schema validator.
+
+Everything is disabled by default and adds no messages, no RNG draws,
+and no timing changes when enabled — sequential/parallel equivalence
+and chaos replay determinism hold with observability on or off.
+"""
+
+from repro.obs.export import (
+    prepare_output_path,
+    spans_to_chrome,
+    spans_to_jsonl,
+    validate_span_file,
+    validate_span_lines,
+    write_chrome_trace,
+    write_metrics_csv,
+    write_metrics_json,
+    write_spans_jsonl,
+)
+from repro.obs.metrics import Dist, MetricsRegistry, aggregate_snapshots, flatten_snapshot
+from repro.obs.profile import PhaseProfiler, merge_profiles
+from repro.obs.trace import NodeObs, Observability, Span, SpanRef
+
+__all__ = [
+    "Dist",
+    "MetricsRegistry",
+    "NodeObs",
+    "Observability",
+    "PhaseProfiler",
+    "Span",
+    "SpanRef",
+    "aggregate_snapshots",
+    "flatten_snapshot",
+    "merge_profiles",
+    "prepare_output_path",
+    "spans_to_chrome",
+    "spans_to_jsonl",
+    "validate_span_file",
+    "validate_span_lines",
+    "write_chrome_trace",
+    "write_metrics_csv",
+    "write_metrics_json",
+    "write_spans_jsonl",
+]

@@ -1,0 +1,184 @@
+"""Protocol metrics: deterministic counters, gauges, and distributions.
+
+Each node owns a :class:`MetricsRegistry` (reachable as
+``ctx.obs.registry``); the instrumentation sites record the signals the
+paper's cost model predicts — multicast fan-out and depth, redirect
+rate, ack timeouts, probe RTT, join latency, peer-list size per level,
+bytes by message kind — and :func:`aggregate_snapshots` folds all node
+registries into one network-wide view for comparison against
+``repro.core.analytic``.
+
+Design constraints (shared with :mod:`repro.obs.trace`):
+
+* a **disabled** registry turns every ``inc``/``observe`` into a single
+  ``if`` — the default for all simulations, keeping the no-op overhead
+  within the benchmarked budget;
+* everything is exact arithmetic on the recorded values — no sampling,
+  no RNG, no wall clock — so snapshots are byte-identical between
+  sequential and partitioned runs of the same seed;
+* distributions are moment accumulators (count/sum/sumsq/min/max)
+  rather than binned histograms: mergeable across nodes without a
+  pre-agreed bin layout, and enough to report mean/stdev/extremes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+
+class Dist:
+    """A mergeable moment accumulator for one distribution-valued signal."""
+
+    __slots__ = ("count", "total", "sumsq", "min", "max")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.sumsq = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.sumsq += value * value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def merge(self, other: "Dist") -> None:
+        if other.count == 0:
+            return
+        self.count += other.count
+        self.total += other.total
+        self.sumsq += other.sumsq
+        if self.min is None or (other.min is not None and other.min < self.min):
+            self.min = other.min
+        if self.max is None or (other.max is not None and other.max > self.max):
+            self.max = other.max
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def stdev(self) -> float:
+        if self.count < 2:
+            return 0.0
+        var = self.sumsq / self.count - self.mean ** 2
+        return math.sqrt(var) if var > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "sumsq": self.sumsq,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "mean": self.mean,
+            "stdev": self.stdev,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, float]) -> "Dist":
+        dist = cls()
+        dist.count = int(d.get("count", 0))
+        dist.total = float(d.get("sum", 0.0))
+        dist.sumsq = float(d.get("sumsq", 0.0))
+        if dist.count:
+            dist.min = float(d.get("min", 0.0))
+            dist.max = float(d.get("max", 0.0))
+        return dist
+
+
+class MetricsRegistry:
+    """Per-node counters, gauges, and :class:`Dist` accumulators.
+
+    Keys are flat dotted strings (``"mcast.redirects"``,
+    ``"peers.level.3"``); the flat namespace keeps snapshots trivially
+    mergeable and CSV-exportable.
+    """
+
+    __slots__ = ("enabled", "counters", "gauges", "dists")
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.dists: Dict[str, Dist] = {}
+
+    def inc(self, name: str, value: float = 1) -> None:
+        if not self.enabled:
+            return
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        if not self.enabled:
+            return
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        if not self.enabled:
+            return
+        dist = self.dists.get(name)
+        if dist is None:
+            dist = self.dists[name] = Dist()
+        dist.observe(value)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-compatible snapshot with deterministic key order."""
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "dists": {k: self.dists[k].as_dict() for k in sorted(self.dists)},
+        }
+
+
+def aggregate_snapshots(snapshots: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Fold per-node snapshots into one network-wide snapshot.
+
+    Counters and gauges sum (a summed gauge like ``peers.level.3`` reads
+    as the network-wide total, which is what the cost-model comparison
+    wants); dists merge exactly.  ``nodes`` counts contributors.
+    """
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    dists: Dict[str, Dist] = {}
+    n = 0
+    for snap in snapshots:
+        n += 1
+        for k, v in snap.get("counters", {}).items():
+            counters[k] = counters.get(k, 0) + v
+        for k, v in snap.get("gauges", {}).items():
+            gauges[k] = gauges.get(k, 0) + v
+        for k, d in snap.get("dists", {}).items():
+            dist = dists.get(k)
+            if dist is None:
+                dist = dists[k] = Dist()
+            dist.merge(Dist.from_dict(d))
+    return {
+        "nodes": n,
+        "counters": {k: counters[k] for k in sorted(counters)},
+        "gauges": {k: gauges[k] for k in sorted(gauges)},
+        "dists": {k: dists[k].as_dict() for k in sorted(dists)},
+    }
+
+
+def flatten_snapshot(snapshot: Dict[str, Any]) -> List[Tuple[str, str, float]]:
+    """``(kind, name, value)`` rows for tables/CSV, deterministic order.
+
+    Dists expand into ``name.count`` / ``name.mean`` / ``name.min`` /
+    ``name.max`` rows.
+    """
+    rows: List[Tuple[str, str, float]] = []
+    for name, value in snapshot.get("counters", {}).items():
+        rows.append(("counter", name, value))
+    for name, value in snapshot.get("gauges", {}).items():
+        rows.append(("gauge", name, value))
+    for name, d in snapshot.get("dists", {}).items():
+        for stat in ("count", "mean", "min", "max"):
+            rows.append(("dist", f"{name}.{stat}", d[stat]))
+    return rows

@@ -1,0 +1,66 @@
+"""Wall-clock phase profiling for the simulation engines.
+
+Unlike tracing and metrics (which record *simulated* behaviour and must
+be deterministic), the profiler answers a host-machine question — where
+does real CPU time go? — so it uses ``time.perf_counter`` and its output
+is explicitly non-deterministic.  It is therefore kept out of every
+equivalence check and never written into chaos traces.
+
+Hook points (installed by ``PeerWindowNetwork.enable_profiling``):
+
+* ``sim.dispatch`` — event-callback execution in ``Simulator.step``;
+* ``transport.deliver`` — receiver-handler execution in
+  ``Transport._deliver``;
+* ``parallel.lp_run`` / ``parallel.barrier`` — per-epoch LP execution
+  and synchronization in ``ParallelSimulator.run``.
+
+Each logical process gets its **own** profiler (thread-confined, like
+span buffers); :func:`merge_profiles` folds them for reporting.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable
+
+
+class PhaseProfiler:
+    """Accumulates ``calls`` and total wall seconds per named phase."""
+
+    __slots__ = ("calls", "seconds")
+
+    def __init__(self):
+        self.calls: Dict[str, int] = {}
+        self.seconds: Dict[str, float] = {}
+
+    def add(self, phase: str, elapsed: float, calls: int = 1) -> None:
+        self.calls[phase] = self.calls.get(phase, 0) + calls
+        self.seconds[phase] = self.seconds.get(phase, 0.0) + elapsed
+
+    def time(self, phase: str, fn, *args):
+        """Run ``fn(*args)`` and attribute its wall time to ``phase``."""
+        t0 = time.perf_counter()
+        try:
+            return fn(*args)
+        finally:
+            self.add(phase, time.perf_counter() - t0)
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        return {
+            phase: {
+                "calls": self.calls[phase],
+                "seconds": self.seconds[phase],
+                "mean_us": (self.seconds[phase] / self.calls[phase] * 1e6
+                            if self.calls[phase] else 0.0),
+            }
+            for phase in sorted(self.seconds)
+        }
+
+
+def merge_profiles(profilers: Iterable[PhaseProfiler]) -> PhaseProfiler:
+    """Fold per-LP profilers into one (for the network-wide report)."""
+    merged = PhaseProfiler()
+    for prof in profilers:
+        for phase, secs in prof.seconds.items():
+            merged.add(phase, secs, prof.calls.get(phase, 0))
+    return merged

@@ -176,6 +176,9 @@ class Simulator:
         self._seq = 0
         self._events_executed = 0
         self._running = False
+        #: Optional :class:`repro.obs.profile.PhaseProfiler` timing event
+        #: dispatch (wall clock; never affects simulated behaviour).
+        self.profiler = None
 
     # -- clock ---------------------------------------------------------------
 
@@ -282,7 +285,10 @@ class Simulator:
             self._now = time
             handle.done = True
             self._events_executed += 1
-            handle.callback(*handle.args)
+            if self.profiler is not None:
+                self.profiler.time("sim.dispatch", handle.callback, *handle.args)
+            else:
+                handle.callback(*handle.args)
             return True
 
     def peek(self) -> Optional[float]:

@@ -26,6 +26,7 @@ must preserve).
 
 from __future__ import annotations
 
+import time as _time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -104,6 +105,11 @@ class ParallelSimulator:
         self.threads = threads
         self._now = 0.0
         self.epochs_run = 0
+        #: Optional :class:`repro.obs.profile.PhaseProfiler` attributing
+        #: wall time to LP execution vs. barrier synchronization.  Only
+        #: touched from the coordinating thread (per-LP dispatch timing
+        #: lives on each LP's own ``sim.profiler``).
+        self.profiler = None
 
     @property
     def nranks(self) -> int:
@@ -130,6 +136,7 @@ class ParallelSimulator:
         try:
             while self._now < until:
                 epoch_end = min(self._now + self.lookahead, until)
+                t0 = _time.perf_counter() if self.profiler is not None else 0.0
                 if pool is not None:
                     futures = [
                         pool.submit(lp._run_epoch, epoch_end) for lp in self.lps
@@ -139,6 +146,10 @@ class ParallelSimulator:
                 else:
                     for lp in self.lps:
                         lp._run_epoch(epoch_end)
+                if self.profiler is not None:
+                    t1 = _time.perf_counter()
+                    self.profiler.add("parallel.lp_run", t1 - t0)
+                    t0 = t1
                 # Barrier: exchange cross-LP messages.  Deterministic order:
                 # by source rank, then send order (outbox is FIFO).
                 for src in self.lps:
@@ -146,6 +157,9 @@ class ParallelSimulator:
                         dest = self.lps[dest_rank]
                         dest.messages_received += 1
                         dest.sim.schedule_at(max(t, epoch_end), handler, *args)
+                if self.profiler is not None:
+                    self.profiler.add("parallel.barrier",
+                                      _time.perf_counter() - t0)
                 self._now = epoch_end
                 self.epochs_run += 1
         finally:

@@ -38,7 +38,7 @@ class FakeSender:
         self.behaviour = behaviour
         self.sent: List[tuple] = []
 
-    def __call__(self, target, event, next_bit, on_result):
+    def __call__(self, target, event, next_bit, on_result, trace=None):
         self.sent.append((target.address, next_bit))
         on_result(self.behaviour.get(target.address, "ok") == "ok")
 
@@ -83,7 +83,8 @@ class TestForward:
     def test_retries_then_removes_stale(self, forwarder_setup):
         stale = []
         fwd, sender, pl = forwarder_setup(
-            behaviour={"1000": "fail"}, on_stale=stale.append
+            behaviour={"1000": "fail"},
+            on_stale=lambda departed, trace=None: stale.append(departed),
         )
         fwd.forward(make_event("0011"), 0)
         attempts_to_1000 = [s for s in sender.sent if s[0] == "1000"]

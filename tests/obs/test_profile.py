@@ -1,0 +1,38 @@
+"""PhaseProfiler unit tests."""
+
+import pytest
+
+from repro.obs.profile import PhaseProfiler, merge_profiles
+
+
+class TestPhaseProfiler:
+    def test_time_returns_value_and_attributes(self):
+        prof = PhaseProfiler()
+        assert prof.time("p", lambda a, b: a + b, 2, 3) == 5
+        assert prof.calls["p"] == 1
+        assert prof.seconds["p"] >= 0.0
+
+    def test_time_attributes_even_on_exception(self):
+        prof = PhaseProfiler()
+        with pytest.raises(RuntimeError):
+            prof.time("p", lambda: (_ for _ in ()).throw(RuntimeError("x")).__next__())
+        assert prof.calls["p"] == 1
+
+    def test_snapshot_mean(self):
+        prof = PhaseProfiler()
+        prof.add("p", 0.2, calls=1)
+        prof.add("p", 0.4, calls=1)
+        snap = prof.snapshot()
+        assert snap["p"]["calls"] == 2
+        assert snap["p"]["seconds"] == pytest.approx(0.6)
+        assert snap["p"]["mean_us"] == pytest.approx(0.3e6)
+
+    def test_merge(self):
+        a, b = PhaseProfiler(), PhaseProfiler()
+        a.add("x", 1.0)
+        b.add("x", 2.0)
+        b.add("y", 0.5)
+        merged = merge_profiles([a, b])
+        assert merged.seconds["x"] == pytest.approx(3.0)
+        assert merged.calls["x"] == 2
+        assert merged.seconds["y"] == pytest.approx(0.5)

@@ -1,0 +1,105 @@
+"""Span/NodeObs/Observability unit tests: ids, parenting, determinism."""
+
+from repro.obs.trace import NodeObs, Observability, Span, SpanRef
+
+
+class TestNodeObs:
+    def test_disabled_by_default_and_cheap(self):
+        obs = NodeObs("n0")
+        assert obs.enabled is False
+        assert obs.registry.enabled is False
+
+    def test_span_ids_are_per_node_counters(self):
+        obs = NodeObs("n7", enabled=True)
+        a = obs.start("op", 1.0)
+        b = obs.start("op", 2.0)
+        assert a.span_id == "n7.1"
+        assert b.span_id == "n7.2"
+
+    def test_rootless_span_roots_its_own_trace(self):
+        obs = NodeObs("n0", enabled=True)
+        root = obs.start("mcast.root", 0.0)
+        assert root.trace_id == root.span_id
+        assert root.parent_id is None
+
+    def test_parenting_by_span_and_by_ref(self):
+        obs = NodeObs("n0", enabled=True)
+        root = obs.start("root", 0.0)
+        child = obs.start("child", 1.0, parent=root)
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        # Cross-node: the wire form is a SpanRef.
+        other = NodeObs("n1", enabled=True)
+        hop = other.start("hop", 2.0, parent=child.ref(depth=3))
+        assert hop.trace_id == root.trace_id
+        assert hop.parent_id == child.span_id
+
+    def test_ref_carries_depth(self):
+        span = Span("t", "s", None, "x", "n0", 0.0)
+        ref = span.ref(depth=4)
+        assert ref == SpanRef("t", "s", 4)
+        assert span.ref() == SpanRef("t", "s", 0)
+
+    def test_end_sets_status_and_duration(self):
+        obs = NodeObs("n0", enabled=True)
+        span = obs.start("op", 1.0)
+        assert span.duration is None
+        obs.end(span, 3.5, "timeout")
+        assert span.duration == 2.5
+        assert span.status == "timeout"
+
+    def test_instant_is_zero_duration(self):
+        obs = NodeObs("n0", enabled=True)
+        span = obs.instant("obituary", 4.0, subject="n9")
+        assert span.duration == 0.0
+        assert span.attrs == {"subject": "n9"}
+
+    def test_open_traces_tracks_in_flight_only(self):
+        obs = NodeObs("n0", enabled=True)
+        a = obs.start("a", 0.0)
+        b = obs.start("b", 0.0, parent=a)
+        c = obs.start("c", 0.0)
+        assert obs.open_traces() == [a.trace_id, c.trace_id]
+        obs.end(a, 1.0)
+        obs.end(b, 1.0)
+        assert obs.open_traces() == [c.trace_id]
+        assert obs.open_spans() == [c]
+
+
+class TestObservability:
+    def test_view_is_cached_and_inherits_enabled(self):
+        root = Observability(enabled=True)
+        v = root.view("k")
+        assert v is root.view("k")
+        assert v.enabled and v.registry.enabled
+
+    def test_merged_spans_sorted_by_start_then_node(self):
+        root = Observability(enabled=True)
+        b = root.view("b")
+        a = root.view("a")
+        sb = b.start("x", 5.0)
+        sa1 = a.start("x", 5.0)
+        sa2 = a.start("x", 1.0)
+        # same start: sorted node order breaks the tie deterministically
+        assert root.spans() == [sa2, sa1, sb]
+
+    def test_traces_group_by_trace_id(self):
+        root = Observability(enabled=True)
+        v = root.view("n")
+        r = v.start("root", 0.0)
+        v.start("child", 1.0, parent=r)
+        v.start("other", 2.0)
+        groups = root.traces()
+        assert len(groups) == 2
+        assert len(groups[r.trace_id]) == 2
+
+    def test_open_traces_for_unknown_node_is_empty(self):
+        assert Observability(enabled=True).open_traces("nope") == []
+
+    def test_metrics_snapshot_aggregates_views(self):
+        root = Observability(enabled=True)
+        root.view("a").registry.inc("x", 2)
+        root.view("b").registry.inc("x", 3)
+        snap = root.metrics_snapshot()
+        assert snap["nodes"] == 2
+        assert snap["counters"]["x"] == 5

@@ -18,6 +18,13 @@ class TestCounter:
     def test_rate_before_any_time_elapsed(self):
         assert Counter(t0=5.0).rate(now=5.0) == 0.0
 
+    def test_rate_with_clock_before_t0(self):
+        """now < t0 (e.g. a reset timestamped in the future of a stale
+        query) must yield 0.0, never a negative or divide-by-zero rate."""
+        c = Counter(t0=10.0)
+        c.add(5)
+        assert c.rate(now=7.5) == 0.0
+
     def test_negative_add_rejected(self):
         with pytest.raises(ValueError):
             Counter().add(-1)
