@@ -1,27 +1,32 @@
 #!/usr/bin/env bash
-# Repo check: lint (if ruff is available) + the tier-1 test suite + a
-# fast chaos smoke scenario (< 60 s) + an observability smoke (200-node
+# Repo check: lint (if ruff is available) + mypy (if installed) + the
+# detlint static analysis gate + the tier-1 test suite + a fast chaos
+# smoke scenario (< 60 s) + an observability smoke (200-node
 # instrumented run whose span export must pass the schema validator).
 #
-#   scripts/check.sh            # lint + tests + chaos smoke + obs smoke
-#   scripts/check.sh --lint     # lint only
-#   scripts/check.sh --tests    # tests only
-#   scripts/check.sh --chaos    # chaos smoke only
-#   scripts/check.sh --obs      # obs smoke only
+#   scripts/check.sh             # everything below
+#   scripts/check.sh --lint      # ruff + mypy only
+#   scripts/check.sh --analysis  # detlint gate only (no NEW findings vs
+#                                # detlint-baseline.json)
+#   scripts/check.sh --tests     # tests only
+#   scripts/check.sh --chaos     # chaos smoke only
+#   scripts/check.sh --obs       # obs smoke only
 set -u
 cd "$(dirname "$0")/.."
 
 run_lint=1
+run_analysis=1
 run_tests=1
 run_chaos=1
 run_obs=1
 case "${1:-}" in
-  --lint) run_tests=0; run_chaos=0; run_obs=0 ;;
-  --tests) run_lint=0; run_chaos=0; run_obs=0 ;;
-  --chaos) run_lint=0; run_tests=0; run_obs=0 ;;
-  --obs) run_lint=0; run_tests=0; run_chaos=0 ;;
+  --lint) run_analysis=0; run_tests=0; run_chaos=0; run_obs=0 ;;
+  --analysis) run_lint=0; run_tests=0; run_chaos=0; run_obs=0 ;;
+  --tests) run_lint=0; run_analysis=0; run_chaos=0; run_obs=0 ;;
+  --chaos) run_lint=0; run_analysis=0; run_tests=0; run_obs=0 ;;
+  --obs) run_lint=0; run_analysis=0; run_tests=0; run_chaos=0 ;;
   "") ;;
-  *) echo "usage: scripts/check.sh [--lint|--tests|--chaos|--obs]" >&2; exit 2 ;;
+  *) echo "usage: scripts/check.sh [--lint|--analysis|--tests|--chaos|--obs]" >&2; exit 2 ;;
 esac
 
 status=0
@@ -33,6 +38,18 @@ if [ "$run_lint" = 1 ]; then
   else
     echo "== ruff not installed; skipping lint (pip install ruff) =="
   fi
+  if command -v mypy >/dev/null 2>&1; then
+    echo "== mypy (strict on repro.analysis) =="
+    mypy src/repro || status=1
+  else
+    echo "== mypy not installed; skipping type check (pip install mypy) =="
+  fi
+fi
+
+if [ "$run_analysis" = 1 ]; then
+  echo "== detlint (determinism & LP-isolation static analysis) =="
+  PYTHONPATH=src python -m repro lint src/repro \
+    --baseline detlint-baseline.json || status=1
 fi
 
 if [ "$run_tests" = 1 ]; then

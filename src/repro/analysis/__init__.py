@@ -1,0 +1,42 @@
+"""repro.analysis — detlint, the determinism & LP-isolation analyzer.
+
+A small AST-walking lint framework plus a rule pack encoding this
+repository's correctness contracts (DESIGN.md §13):
+
+======  ==============================================================
+DET001  no wall-clock reads outside ``repro.obs.profile``/benchmarks
+DET002  no process-global or unseeded RNG outside ``repro.sim.rng``
+DET003  no set/``dict.keys()`` iteration feeding protocol decisions
+ISO001  message payload objects are copied, never aliased, into state
+ISO002  services touch peer state only through the ``NodeContext``
+OBS001  every span opened with ``start()`` is ended on all paths
+======  ==============================================================
+
+Run it as ``repro lint src/repro`` (see ``repro lint --help``); findings
+can be suppressed per line (``# detlint: ignore[RULE]``) or
+grandfathered in ``detlint-baseline.json`` so CI gates only on *new*
+findings.
+"""
+
+from repro.analysis.core import (
+    FileContext,
+    Rule,
+    all_rules,
+    lint_source,
+    register,
+    rule_catalog,
+    run_lint,
+)
+from repro.analysis.findings import Baseline, Finding
+
+__all__ = [
+    "Baseline",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "all_rules",
+    "lint_source",
+    "register",
+    "rule_catalog",
+    "run_lint",
+]

@@ -1,0 +1,172 @@
+"""The finding model: what a lint rule reports, and the baseline file.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+identity for baselining purposes is the :attr:`fingerprint` — a hash of
+``(rule, path, snippet)`` that deliberately excludes the line number, so
+grandfathered findings survive unrelated edits that shift code up or
+down.  Two identical lines in one file share a fingerprint; the baseline
+therefore stores a *count* per fingerprint and absorbs up to that many
+occurrences.
+
+The JSON forms (``Finding.to_dict`` / ``Baseline`` files) are the
+contract the ``repro lint --format json`` output and the committed
+``detlint-baseline.json`` follow; ``tests/analysis`` round-trips them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Tuple
+
+
+def _fingerprint(rule: str, path: str, snippet: str) -> str:
+    digest = hashlib.sha256(
+        f"{rule}\x00{path}\x00{snippet}".encode("utf-8")
+    ).hexdigest()
+    return digest[:16]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    #: The stripped source line the finding anchors to (baseline identity).
+    snippet: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        return _fingerprint(self.rule, self.path, self.snippet)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def describe(self) -> str:
+        return f"{self.location()}: {self.rule}: {self.message}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+        }
+
+    @classmethod
+    def from_dict(cls, obj: Dict[str, Any]) -> "Finding":
+        return cls(
+            rule=str(obj["rule"]),
+            path=str(obj["path"]),
+            line=int(obj["line"]),
+            col=int(obj["col"]),
+            message=str(obj["message"]),
+            snippet=str(obj.get("snippet", "")),
+        )
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Grandfathered findings: fingerprint -> allowed occurrence count.
+
+    The CI gate is "no *new* findings": a current finding is absorbed if
+    its fingerprint still has budget in the baseline.  Fixing a
+    grandfathered site never breaks the gate (the budget simply goes
+    unused); regenerate with ``repro lint --write-baseline`` to shrink
+    the file as debt is paid down.
+    """
+
+    counts: Dict[str, int] = field(default_factory=dict)
+    #: Human-readable context per fingerprint, for reviewing the file.
+    notes: Dict[str, Dict[str, str]] = field(default_factory=dict)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        baseline = cls()
+        for f in findings:
+            fp = f.fingerprint
+            baseline.counts[fp] = baseline.counts.get(fp, 0) + 1
+            baseline.notes.setdefault(
+                fp, {"rule": f.rule, "path": f.path, "snippet": f.snippet}
+            )
+        return baseline
+
+    def split(
+        self, findings: Iterable[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Partition into (new, baselined), consuming baseline budget in
+        input order."""
+        budget = dict(self.counts)
+        new: List[Finding] = []
+        grandfathered: List[Finding] = []
+        for f in findings:
+            fp = f.fingerprint
+            if budget.get(fp, 0) > 0:
+                budget[fp] -= 1
+                grandfathered.append(f)
+            else:
+                new.append(f)
+        return new, grandfathered
+
+    def to_dict(self) -> Dict[str, Any]:
+        entries = []
+        for fp in sorted(self.counts):
+            entry: Dict[str, Any] = {"fingerprint": fp, "count": self.counts[fp]}
+            entry.update(self.notes.get(fp, {}))
+            entries.append(entry)
+        return {"version": BASELINE_VERSION, "findings": entries}
+
+    @classmethod
+    def from_dict(cls, obj: Dict[str, Any]) -> "Baseline":
+        version = obj.get("version")
+        if version != BASELINE_VERSION:
+            raise ValueError(f"unsupported baseline version {version!r}")
+        baseline = cls()
+        for entry in obj.get("findings", []):
+            fp = str(entry["fingerprint"])
+            baseline.counts[fp] = baseline.counts.get(fp, 0) + int(
+                entry.get("count", 1)
+            )
+            baseline.notes.setdefault(
+                fp,
+                {
+                    k: str(entry[k])
+                    for k in ("rule", "path", "snippet")
+                    if k in entry
+                },
+            )
+        return baseline
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def loads(cls, text: str) -> "Baseline":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str) -> str:
+        from repro.paths import prepare_output_path
+
+        prepare_output_path(path, what="detlint baseline")
+        with open(path, "w") as fh:
+            fh.write(self.dumps())
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path) as fh:
+            return cls.loads(fh.read())

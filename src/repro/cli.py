@@ -8,6 +8,7 @@
     python -m repro common -n 100000        # figures 5-8 in one run
     python -m repro predict -n 100000       # closed-form predictions
     python -m repro baselines               # the intro comparison table
+    python -m repro lint src/repro          # detlint static analysis
 
 Every command prints the same table the corresponding benchmark prints
 and optionally writes it as CSV (``--csv out.csv``).
@@ -17,6 +18,7 @@ from __future__ import annotations
 
 import argparse
 import csv
+import os
 import sys
 from dataclasses import replace
 from typing import Iterable, List, Optional, Sequence
@@ -319,10 +321,76 @@ def cmd_obs(args) -> int:
     if args.metrics_csv:
         print(f"[wrote {write_metrics_csv(args.metrics_csv, snapshot)}]")
     if args.profile:
-        print(f"\n== profile ==")
+        print("\n== profile ==")
         print(format_table(["phase", "calls", "seconds", "mean_us"],
                            profile_rows(net.profile_snapshot())))
     return 0
+
+
+def cmd_lint(args) -> int:
+    """detlint: the determinism & LP-isolation static analyzer."""
+    import json as _json
+
+    from repro.analysis import Baseline, all_rules, run_lint
+    from repro.paths import prepare_output_path
+
+    rules = all_rules()
+    if args.rules:
+        _emit(args, "detlint rules", ["rule", "title"],
+              [[r.id, r.title] for r in rules])
+        if args.explain:
+            for r in rules:
+                print(f"\n{r.id} — {r.title}\n  {r.rationale}")
+        return 0
+    # Validate report/baseline destinations before the (possibly long) walk.
+    if args.report:
+        prepare_output_path(args.report, what="lint report")
+    if args.write_baseline:
+        prepare_output_path(args.baseline, what="detlint baseline")
+
+    paths = args.paths or ["src/repro"]
+    findings = run_lint(paths, rules=rules)
+
+    if args.write_baseline:
+        baseline = Baseline.from_findings(findings)
+        print(f"[wrote {baseline.save(args.baseline)}: "
+              f"{len(findings)} grandfathered finding(s)]")
+        return 0
+
+    baseline = Baseline()
+    if args.baseline and os.path.exists(args.baseline):
+        baseline = Baseline.load(args.baseline)
+    new, grandfathered = baseline.split(findings)
+
+    if args.format == "json":
+        doc = {
+            "findings": [f.to_dict() for f in new],
+            "baselined": len(grandfathered),
+            "checked_rules": [r.id for r in rules],
+        }
+        text = _json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        if args.report:
+            with open(args.report, "w") as fh:
+                fh.write(text)
+            print(f"[wrote {args.report}]")
+        else:
+            print(text, end="")
+    else:
+        lines = [f.describe() for f in new]
+        summary = (
+            f"{len(new)} finding(s)"
+            + (f", {len(grandfathered)} baselined" if grandfathered else "")
+            + f" across {len(rules)} rules"
+        )
+        if args.report:
+            with open(args.report, "w") as fh:
+                fh.write("\n".join(lines + [summary]) + "\n")
+            print(f"[wrote {args.report}]")
+        else:
+            for line in lines:
+                print(line)
+            print(summary)
+    return 1 if new else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -406,6 +474,28 @@ def build_parser() -> argparse.ArgumentParser:
     pobs.add_argument("--profile", action="store_true",
                       help="attach wall-clock phase profilers and print them")
     pobs.set_defaults(func=cmd_obs)
+
+    plint = sub.add_parser(
+        "lint", parents=[common_opts],
+        help="detlint: statically check the determinism & LP-isolation "
+             "contracts (DET*/ISO*/OBS* rules)")
+    plint.add_argument("paths", nargs="*",
+                       help="files or directories (default: src/repro)")
+    plint.add_argument("--format", choices=("text", "json"), default="text",
+                       help="finding output format")
+    plint.add_argument("--baseline", default="detlint-baseline.json",
+                       help="baseline file of grandfathered findings "
+                            "(missing file = empty baseline)")
+    plint.add_argument("--write-baseline", action="store_true",
+                       help="write current findings to the baseline file "
+                            "and exit 0")
+    plint.add_argument("--report", help="write findings to this file "
+                                        "instead of stdout")
+    plint.add_argument("--rules", action="store_true",
+                       help="list the rule catalog and exit")
+    plint.add_argument("--explain", action="store_true",
+                       help="with --rules: include each rule's rationale")
+    plint.set_defaults(func=cmd_lint)
     return parser
 
 

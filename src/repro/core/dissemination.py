@@ -576,7 +576,11 @@ class MulticastService:
         ctx = self.ctx
         ptr, propagate = msg.payload
         fresh = ptr.node_id.value not in ctx.bridge_subscribers
-        ctx.bridge_subscribers[ptr.node_id.value] = ptr
+        # Copy: with an in-memory transport ``ptr`` is the subscriber's
+        # live Pointer object; storing it directly would couple the two
+        # nodes' state outside the message fabric (the PR 2 shared-Pointer
+        # bug class, now caught statically by ISO001).
+        ctx.bridge_subscribers[ptr.node_id.value] = ptr.copy()
         self.runtime.send(msg.make_reply("bridge-ack", size_bits=ctx.config.ack_bits))
         if propagate and fresh:
             # Every top of this part roots multicasts, so the whole top

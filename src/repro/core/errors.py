@@ -2,6 +2,15 @@
 
 from __future__ import annotations
 
+__all__ = [
+    "PeerWindowError",
+    "ConfigError",
+    "NodeIdError",
+    "MembershipError",
+    "JoinError",
+    "NotAliveError",
+]
+
 
 class PeerWindowError(Exception):
     """Base class for all PeerWindow protocol errors."""

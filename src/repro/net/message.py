@@ -9,16 +9,16 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Hashable, Optional
+from typing import Any, Hashable, Iterator, Optional, Tuple
 
-_msg_ids = itertools.count()
+_msg_ids: Iterator[int] = itertools.count()
 
 #: Default sizes (bits) from the paper's experiment setup (§5.1) and the
 #: introduction's probing example.
-EVENT_MESSAGE_BITS = 1000
-HEARTBEAT_BITS = 500
-ACK_BITS = 100
-POINTER_BITS = 500  # one pointer entry during peer-list download
+EVENT_MESSAGE_BITS: int = 1000
+HEARTBEAT_BITS: int = 500
+ACK_BITS: int = 100
+POINTER_BITS: int = 500  # one pointer entry during peer-list download
 
 
 @dataclass
@@ -52,7 +52,9 @@ class Message:
     size_bits: int = EVENT_MESSAGE_BITS
     msg_id: int = field(default_factory=lambda: next(_msg_ids))
     reply_to: Optional[int] = None
-    trace: Optional[tuple] = None
+    #: Structurally a ``repro.obs.trace.SpanRef``; typed as a plain tuple
+    #: so the wire layer stays import-independent of the obs layer.
+    trace: Optional[Tuple[str, str, int]] = None
 
     def __post_init__(self) -> None:
         if self.size_bits < 0:

@@ -15,10 +15,25 @@ from __future__ import annotations
 import csv
 import io
 import json
-import os
 from typing import Any, Dict, Iterable, List, Sequence
 
 from repro.obs.trace import Span
+from repro.paths import prepare_output_path
+
+__all__ = [
+    "SPAN_REQUIRED_FIELDS",
+    "prepare_output_path",
+    "profile_rows",
+    "span_to_dict",
+    "spans_to_chrome",
+    "spans_to_jsonl",
+    "validate_span_file",
+    "validate_span_lines",
+    "write_chrome_trace",
+    "write_metrics_csv",
+    "write_metrics_json",
+    "write_spans_jsonl",
+]
 
 #: Field -> allowed JSON types for one exported span object.
 SPAN_REQUIRED_FIELDS: Dict[str, tuple] = {
@@ -32,29 +47,6 @@ SPAN_REQUIRED_FIELDS: Dict[str, tuple] = {
     "status": (str,),
     "attrs": (dict,),
 }
-
-
-def prepare_output_path(path: str, what: str = "output") -> str:
-    """Make ``path`` writable: create parent dirs, verify access.
-
-    Raises :class:`OSError` with an actionable message (which path, what
-    failed) rather than letting ``open`` raise a bare
-    ``FileNotFoundError``/``PermissionError`` later.
-    """
-    parent = os.path.dirname(os.path.abspath(path))
-    try:
-        os.makedirs(parent, exist_ok=True)
-    except OSError as exc:
-        raise OSError(
-            f"cannot create directory {parent!r} for {what} file {path!r}: "
-            f"{exc.strerror or exc}"
-        ) from exc
-    if os.path.isdir(path):
-        raise OSError(f"{what} path {path!r} is a directory, not a file")
-    probe = path if os.path.exists(path) else parent
-    if not os.access(probe, os.W_OK):
-        raise OSError(f"{what} path {path!r} is not writable")
-    return path
 
 
 def span_to_dict(span: Span) -> Dict[str, Any]:

@@ -1,0 +1,124 @@
+"""Good/bad fixture pairs for OBS001 (span lifecycle)."""
+
+from repro.analysis import lint_source
+
+SRC = "src/repro/core/fixture.py"
+
+
+def rules_fired(src, rel_path=SRC):
+    return sorted({f.rule for f in lint_source(src, rel_path=rel_path)})
+
+
+def test_obs001_flags_discarded_open():
+    src = (
+        "def handle(self, obs):\n"
+        "    obs.start('join.serve', self.runtime.now)\n"
+    )
+    assert rules_fired(src) == ["OBS001"]
+
+
+def test_obs001_flags_span_never_ended():
+    src = (
+        "def handle(self, obs):\n"
+        "    span = obs.start('probe', self.runtime.now)\n"
+        "    self.counter += 1\n"
+    )
+    assert rules_fired(src) == ["OBS001"]
+
+
+def test_obs001_flags_early_return_before_end():
+    src = (
+        "def handle(self, obs, ok):\n"
+        "    span = obs.start('probe', self.runtime.now)\n"
+        "    if not ok:\n"
+        "        return None\n"
+        "    obs.end(span, self.runtime.now)\n"
+    )
+    assert rules_fired(src) == ["OBS001"]
+
+
+def test_obs001_accepts_end_on_both_branches():
+    src = (
+        "def handle(self, obs, ok):\n"
+        "    span = obs.start('probe', self.runtime.now)\n"
+        "    if not ok:\n"
+        "        obs.end(span, self.runtime.now, 'timeout')\n"
+        "        return None\n"
+        "    obs.end(span, self.runtime.now)\n"
+    )
+    assert rules_fired(src) == []
+
+
+def test_obs001_understands_enabled_guard_idiom():
+    src = (
+        "def handle(self, ctx):\n"
+        "    obs = ctx.obs\n"
+        "    span = None\n"
+        "    if obs.enabled:\n"
+        "        span = obs.start('refresh', self.runtime.now)\n"
+        "    self.do_work()\n"
+        "    if span is not None:\n"
+        "        obs.end(span, self.runtime.now)\n"
+    )
+    assert rules_fired(src) == []
+
+
+def test_obs001_accepts_escape_into_scheduled_continuation():
+    # The repo's continuation-passing idiom: the span rides to the
+    # callback that ends it (statically untrackable, so accepted).
+    src = (
+        "def on_mcast(self, obs):\n"
+        "    span = obs.start('mcast.hop', self.runtime.now)\n"
+        "    self.runtime.schedule(1.0, self._forward_and_ack, span)\n"
+    )
+    assert rules_fired(src) == []
+
+
+def test_obs001_accepts_closure_that_ends_the_span():
+    src = (
+        "def request(self, obs):\n"
+        "    span = obs.start('report', self.runtime.now)\n"
+        "    self.runtime.request(\n"
+        "        self.msg,\n"
+        "        on_reply=lambda r: obs.end(span, self.runtime.now),\n"
+        "    )\n"
+    )
+    assert rules_fired(src) == []
+
+
+def test_obs001_raise_paths_are_exempt():
+    # An exception is the "run stopped mid-operation" case end=None
+    # exists to represent.
+    src = (
+        "def handle(self, obs, ok):\n"
+        "    span = obs.start('probe', self.runtime.now)\n"
+        "    if not ok:\n"
+        "        raise RuntimeError('nope')\n"
+        "    obs.end(span, self.runtime.now)\n"
+    )
+    assert rules_fired(src) == []
+
+
+def test_obs001_self_attr_span_must_be_ended_somewhere_in_module():
+    leaked = (
+        "class JoinService:\n"
+        "    def begin(self, obs):\n"
+        "        self._join_span = obs.start('join', self.runtime.now)\n"
+    )
+    assert rules_fired(leaked) == ["OBS001"]
+    closed = (
+        "class JoinService:\n"
+        "    def begin(self, obs):\n"
+        "        self._join_span = obs.start('join', self.runtime.now)\n"
+        "    def done(self, obs):\n"
+        "        obs.end(self._join_span, self.runtime.now)\n"
+    )
+    assert rules_fired(closed) == []
+
+
+def test_obs001_instant_needs_no_end():
+    src = (
+        "def note(self, obs):\n"
+        "    obs.instant('mcast.redirect', self.runtime.now)\n"
+    )
+    assert rules_fired(src) == []
