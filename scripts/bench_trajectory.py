@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Regenerate BENCH_health.json, the committed health-trajectory point.
+
+Replays the fixed seed matrix from ``benchmarks.bench_health`` (chaos
+run -> span analytics -> SLO verdicts per cell) and writes the result
+as sorted, indented JSON.  Every cell is a pure function of
+``(scenario, n_nodes, seed)``, so rerunning on the same tree is
+byte-identical: a diff in the committed file means protocol behaviour
+moved, and review sees exactly which signal moved where.
+
+Usage (from the repo root)::
+
+    python scripts/bench_trajectory.py            # rewrite BENCH_health.json
+    python scripts/bench_trajectory.py --check    # compare, don't write
+    python scripts/bench_trajectory.py --quick    # smoke cells only
+
+Exit status: 0 when every cell is healthy (and, under ``--check``, the
+file matches); 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+sys.path.insert(0, ROOT)
+
+from benchmarks.bench_health import (  # noqa: E402
+    MATRIX,
+    TRAJECTORY_PATH,
+    build_trajectory,
+)
+
+
+def render(doc) -> str:
+    return json.dumps(doc, sort_keys=True, indent=2) + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=TRAJECTORY_PATH,
+                        help="output path (default: repo-root BENCH_health.json)")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the existing file instead of writing")
+    parser.add_argument("--quick", action="store_true",
+                        help="run only the smoke cells (fast sanity pass)")
+    args = parser.parse_args(argv)
+
+    matrix = tuple(c for c in MATRIX if c[0] == "smoke") if args.quick else MATRIX
+    for scenario, n, seed in matrix:
+        print(f"cell {scenario} n={n} seed={seed} ...", flush=True)
+    doc = build_trajectory(matrix)
+    for cell in doc["matrix"]:
+        state = "healthy" if cell["healthy"] else (
+            "UNHEALTHY: " + ", ".join(cell["breaches"]))
+        print(f"  {cell['scenario']} n={cell['n_nodes']} "
+              f"seed={cell['seed']}: {state} "
+              f"(completeness "
+              f"{cell['signals']['mcast.tree_completeness']:.4f})")
+
+    text = render(doc)
+    if args.check:
+        try:
+            with open(args.out, "r", encoding="utf-8") as fh:
+                current = fh.read()
+        except OSError:
+            print(f"missing {args.out}; run without --check to create it")
+            return 1
+        if current != text:
+            print(f"{args.out} is stale; regenerate with "
+                  f"python scripts/bench_trajectory.py")
+            return 1
+        print(f"{args.out} is current")
+    else:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.out} ({doc['summary']['cells']} cells)")
+    return 0 if doc["summary"]["healthy"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

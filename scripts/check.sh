@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Repo check: lint (if ruff is available) + mypy (if installed) + the
 # detlint static analysis gate + the tier-1 test suite + a fast chaos
-# smoke scenario (< 60 s) + an observability smoke (200-node
-# instrumented run whose span export must pass the schema validator).
+# smoke scenario (< 60 s, SLO-judged via --health default) + an
+# observability smoke (200-node instrumented run whose span export must
+# pass the schema validator) + a health smoke (200-node run -> span
+# analytics -> `repro obs report` must come back HEALTHY).
 #
 #   scripts/check.sh             # everything below
 #   scripts/check.sh --lint      # ruff + mypy only
@@ -11,6 +13,7 @@
 #   scripts/check.sh --tests     # tests only
 #   scripts/check.sh --chaos     # chaos smoke only
 #   scripts/check.sh --obs       # obs smoke only
+#   scripts/check.sh --health    # health smoke only
 set -u
 cd "$(dirname "$0")/.."
 
@@ -19,14 +22,16 @@ run_analysis=1
 run_tests=1
 run_chaos=1
 run_obs=1
+run_health=1
 case "${1:-}" in
-  --lint) run_analysis=0; run_tests=0; run_chaos=0; run_obs=0 ;;
-  --analysis) run_lint=0; run_tests=0; run_chaos=0; run_obs=0 ;;
-  --tests) run_lint=0; run_analysis=0; run_chaos=0; run_obs=0 ;;
-  --chaos) run_lint=0; run_analysis=0; run_tests=0; run_obs=0 ;;
-  --obs) run_lint=0; run_analysis=0; run_tests=0; run_chaos=0 ;;
+  --lint) run_analysis=0; run_tests=0; run_chaos=0; run_obs=0; run_health=0 ;;
+  --analysis) run_lint=0; run_tests=0; run_chaos=0; run_obs=0; run_health=0 ;;
+  --tests) run_lint=0; run_analysis=0; run_chaos=0; run_obs=0; run_health=0 ;;
+  --chaos) run_lint=0; run_analysis=0; run_tests=0; run_obs=0; run_health=0 ;;
+  --obs) run_lint=0; run_analysis=0; run_tests=0; run_chaos=0; run_health=0 ;;
+  --health) run_lint=0; run_analysis=0; run_tests=0; run_chaos=0; run_obs=0 ;;
   "") ;;
-  *) echo "usage: scripts/check.sh [--lint|--analysis|--tests|--chaos|--obs]" >&2; exit 2 ;;
+  *) echo "usage: scripts/check.sh [--lint|--analysis|--tests|--chaos|--obs|--health]" >&2; exit 2 ;;
 esac
 
 status=0
@@ -59,11 +64,13 @@ fi
 
 if [ "$run_chaos" = 1 ]; then
   if PYTHONPATH=src python -c "import numpy" >/dev/null 2>&1; then
-    echo "== chaos smoke (deterministic fault injection) =="
+    echo "== chaos smoke (deterministic fault injection, SLO-judged) =="
     if command -v timeout >/dev/null 2>&1; then
-      timeout 60 env PYTHONPATH=src python -m repro chaos --scenario smoke --seed 0 || status=1
+      timeout 60 env PYTHONPATH=src python -m repro chaos --scenario smoke \
+        --seed 0 --health default || status=1
     else
-      PYTHONPATH=src python -m repro chaos --scenario smoke --seed 0 || status=1
+      PYTHONPATH=src python -m repro chaos --scenario smoke --seed 0 \
+        --health default || status=1
     fi
   else
     echo "== numpy not installed; skipping chaos smoke =="
@@ -74,12 +81,12 @@ if [ "$run_obs" = 1 ]; then
   if PYTHONPATH=src python -c "import numpy" >/dev/null 2>&1; then
     echo "== obs smoke (200-node instrumented run + span schema check) =="
     obs_dir="$(mktemp -d)"
-    trap 'rm -rf "$obs_dir"' EXIT
+    trap 'rm -rf "${obs_dir:-}" "${health_dir:-}"' EXIT
     if command -v timeout >/dev/null 2>&1; then
-      timeout 120 env PYTHONPATH=src python -m repro obs -n 200 --duration 120 \
+      timeout 120 env PYTHONPATH=src python -m repro obs run -n 200 --duration 120 \
         --spans "$obs_dir/spans.jsonl" || status=1
     else
-      PYTHONPATH=src python -m repro obs -n 200 --duration 120 \
+      PYTHONPATH=src python -m repro obs run -n 200 --duration 120 \
         --spans "$obs_dir/spans.jsonl" || status=1
     fi
     PYTHONPATH=src python - "$obs_dir/spans.jsonl" <<'PY' || status=1
@@ -93,6 +100,32 @@ sys.exit(1 if problems else 0)
 PY
   else
     echo "== numpy not installed; skipping obs smoke =="
+  fi
+fi
+
+if [ "$run_health" = 1 ]; then
+  if PYTHONPATH=src python -c "import numpy" >/dev/null 2>&1; then
+    echo "== health smoke (200-node run -> analytics -> SLO report) =="
+    health_dir="$(mktemp -d)"
+    trap 'rm -rf "${obs_dir:-}" "${health_dir:-}"' EXIT
+    if command -v timeout >/dev/null 2>&1; then
+      timeout 120 env PYTHONPATH=src python -m repro obs run -n 200 --duration 120 \
+        --seed 1 --spans "$health_dir/spans.jsonl" \
+        --metrics "$health_dir/metrics.json" || status=1
+    else
+      PYTHONPATH=src python -m repro obs run -n 200 --duration 120 \
+        --seed 1 --spans "$health_dir/spans.jsonl" \
+        --metrics "$health_dir/metrics.json" || status=1
+    fi
+    PYTHONPATH=src python -m repro obs analyze "$health_dir/spans.jsonl" \
+      --metrics "$health_dir/metrics.json" || status=1
+    PYTHONPATH=src python -m repro obs report "$health_dir/spans.jsonl" \
+      --metrics "$health_dir/metrics.json" \
+      --out "$health_dir/report.md" || status=1
+    grep -q 'Status: HEALTHY' "$health_dir/report.md" || {
+      echo "health smoke: report is not HEALTHY"; status=1; }
+  else
+    echo "== numpy not installed; skipping health smoke =="
   fi
 fi
 

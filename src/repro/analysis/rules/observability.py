@@ -1,4 +1,4 @@
-"""Observability rule: OBS001 — every span opened is closed on all paths.
+"""Observability rules: OBS001 span lifecycle, OBS002 metric-name hygiene.
 
 The tracer's export invariant (DESIGN.md §12) is that an ``end=None``
 span means *the run stopped mid-operation* — never that an instrumented
@@ -352,4 +352,85 @@ class SpanLifecycleRule(Rule):
     def _stmt_ends(self, stmt: ast.stmt, name: str) -> bool:
         if isinstance(stmt, ast.Expr):
             return _is_end_call_on(stmt.value, name)
+        return False
+
+
+# -- OBS002: no ad-hoc metric-name literals at call sites ------------------
+
+_METRIC_METHODS = ("inc", "observe", "set_gauge")
+
+
+def _is_registry_receiver(node: ast.AST) -> bool:
+    """Names a :class:`MetricsRegistry` handle: ``registry``, ``reg``,
+    ``obs.registry``, ``self._registry``...  Deliberately narrow — other
+    ``observe``/``inc`` methods (``LifetimeEstimator.observe``,
+    ``Dist.observe``) live on receivers named otherwise."""
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    else:
+        return False
+    return name in ("registry", "reg") or name.endswith("registry")
+
+
+@register
+class MetricNameRule(Rule):
+    """OBS002 — metric names must come from the declared catalog."""
+
+    id = "OBS002"
+    title = "ad-hoc metric-name string literal at a registry call site"
+    rationale = (
+        "Metric names recorded via MetricsRegistry.inc/observe/set_gauge "
+        "must be constants declared through "
+        "repro.obs.metrics.declare_metric (which enforces the "
+        "subsystem.noun_verb convention and uniqueness).  A literal at "
+        "the call site can typo silently — the series just comes out "
+        "empty — and leaves the name invisible to the catalog the "
+        "health SLOs and exporters are built from.  Per-key names "
+        "(peers.size.level.<l>) interpolate onto a declared per_key "
+        "prefix constant: f\"{PEERS_SIZE_LEVEL}.{level}\"."
+    )
+    #: The catalog itself declares the names; its literals are the point.
+    exempt_modules = ("repro.obs.metrics",)
+
+    def check(self, ctx: FileContext) -> None:
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _METRIC_METHODS
+                and _is_registry_receiver(node.func.value)
+                and node.args
+            ):
+                continue
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                ctx.report(
+                    self,
+                    node,
+                    f"metric name {first.value!r} is an ad-hoc literal; "
+                    f"declare it via repro.obs.metrics.declare_metric and "
+                    f"import the constant",
+                )
+            elif isinstance(first, ast.JoinedStr) and self._literal_prefixed(
+                first
+            ):
+                ctx.report(
+                    self,
+                    node,
+                    "per-key metric name starts with a literal prefix; "
+                    "interpolate a declared per_key constant instead "
+                    '(f"{PREFIX}.{key}")',
+                )
+
+    @staticmethod
+    def _literal_prefixed(joined: ast.JoinedStr) -> bool:
+        """An f-string whose *first* piece is literal text (the ad-hoc
+        prefix case).  ``f"{CONST}.{key}"`` starts with a FormattedValue
+        and passes."""
+        for value in joined.values:
+            if isinstance(value, ast.Constant):
+                return bool(str(value.value))
+            return False
         return False

@@ -24,6 +24,7 @@ from repro.chaos.faults import ChaosTrace
 from repro.chaos.monitor import InvariantMonitor, Violation
 from repro.chaos.scenarios import Scenario
 from repro.core.protocol import PeerWindowNetwork
+from repro.obs.health import HealthSpec, LiveHealthMonitor, Verdict, evaluate
 from repro.obs.trace import Span
 
 
@@ -46,10 +47,19 @@ class ChaosResult:
     #: ``observe=True``) and the network-wide metrics snapshot.
     spans: List[Span] = field(default_factory=list)
     metrics: Dict[str, Any] = field(default_factory=dict)
+    #: SLO verdicts (empty unless built with ``health_spec=...``):
+    #: breaches the live monitor recorded during the run, plus one
+    #: post-hoc evaluation over the whole span log at the end.
+    health_verdicts: List[Verdict] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return not self.violations
+
+    @property
+    def healthy(self) -> bool:
+        """No SLO breach (vacuously true when health was not evaluated)."""
+        return all(v.ok for v in self.health_verdicts)
 
 
 class ChaosRunner:
@@ -66,6 +76,7 @@ class ChaosRunner:
         seed: int = 0,
         monitor_interval: float = 5.0,
         observe: bool = False,
+        health_spec: Optional[HealthSpec] = None,
     ):
         self.scenario = scenario
         self.n_nodes = scenario.default_nodes if n_nodes is None else int(n_nodes)
@@ -74,7 +85,9 @@ class ChaosRunner:
         #: Record spans + metrics during the run.  Tracing adds no
         #: messages and draws no randomness, so the chaos trace (and its
         #: determinism digest) is byte-identical with or without it.
-        self.observe = bool(observe)
+        #: A health spec needs the instrumentation, so it forces this on.
+        self.health_spec = health_spec
+        self.observe = bool(observe) or health_spec is not None
 
     def run(self) -> ChaosResult:
         scenario = self.scenario
@@ -92,6 +105,19 @@ class ChaosRunner:
                                f"nodes={self.n_nodes} seed={self.seed}")
         plan.install(net, trace, on_disruption=monitor.note_disruption)
         monitor.start()
+        health_mon: Optional[LiveHealthMonitor] = None
+        if self.health_spec is not None:
+            # Breaches only count while the network is quiescent: the SLOs
+            # judge what the protocol *recovers to*, not the injected chaos
+            # itself.  The EWMA still folds mid-fault samples in, so a
+            # network that never recovers breaches as soon as it settles.
+            health_mon = LiveHealthMonitor(
+                net,
+                self.health_spec,
+                interval=self.monitor_interval * 4,
+                gate=lambda: monitor.quiescent,
+            )
+            health_mon.start()
 
         net.run(until=scenario.settle + plan.horizon + monitor.quiescence + self.MARGIN)
         # Late async disruptions (recovery completions, retried joins)
@@ -106,6 +132,12 @@ class ChaosRunner:
         monitor.check()  # one forced, quiescent, full check
         if not monitor.quiescent:  # pragma: no cover - runner bug guard
             raise RuntimeError("chaos run ended before quiescence")
+
+        health_verdicts: List[Verdict] = []
+        if health_mon is not None:
+            health_mon.stop()
+            health_verdicts.extend(health_mon.breaches)
+            health_verdicts.extend(self._posthoc_health(net, config))
 
         self._trace_final_state(net, trace, monitor)
         return ChaosResult(
@@ -122,7 +154,26 @@ class ChaosRunner:
             trace=trace.text(),
             spans=net.spans() if self.observe else [],
             metrics=net.metrics_snapshot() if self.observe else {},
+            health_verdicts=health_verdicts,
         )
+
+    def _posthoc_health(self, net, config) -> List[Verdict]:
+        """One authoritative spec evaluation over the quiesced end state:
+        full span-log analytics plus metrics-derived signals."""
+        from repro.obs.analyze import analyze_spans
+        from repro.obs.health import metrics_signals
+
+        report = analyze_spans(net.spans())
+        signals = dict(report.signals())
+        signals.update(
+            metrics_signals(
+                net.metrics_snapshot(),
+                config,
+                meta={"mean_error_rate": net.mean_error_rate()},
+            )
+        )
+        assert self.health_spec is not None
+        return evaluate(self.health_spec, signals, now=net.sim.now)
 
     def _trace_final_state(self, net, trace: ChaosTrace,
                            monitor: InvariantMonitor) -> None:

@@ -188,6 +188,7 @@ def cmd_chaos(args) -> int:
     from repro.obs.export import (
         prepare_output_path,
         write_chrome_trace,
+        write_metrics_json,
         write_spans_jsonl,
     )
 
@@ -210,9 +211,21 @@ def cmd_chaos(args) -> int:
         prepare_output_path(args.spans, what="span export")
     if args.chrome:
         prepare_output_path(args.chrome, what="Chrome trace")
-    observe = bool(args.spans or args.chrome)
+    if args.metrics:
+        prepare_output_path(args.metrics, what="metrics JSON")
+    health_spec = None
+    if args.health:
+        from repro.obs.health import HealthSpec
+
+        if args.health == "default":
+            n = args.nodes if args.nodes is not None else scenario.default_nodes
+            health_spec = HealthSpec.default(scenario.make_config(), n)
+        else:
+            health_spec = HealthSpec.load(args.health)
+    observe = bool(args.spans or args.chrome or args.metrics)
     runner = ChaosRunner(
-        scenario, n_nodes=args.nodes, seed=args.seed, observe=observe
+        scenario, n_nodes=args.nodes, seed=args.seed, observe=observe,
+        health_spec=health_spec,
     )
     result = runner.run()
     _emit(
@@ -238,17 +251,38 @@ def cmd_chaos(args) -> int:
         print(f"[wrote {write_spans_jsonl(args.spans, result.spans)}]")
     if args.chrome:
         print(f"[wrote {write_chrome_trace(args.chrome, result.spans)}]")
+    if args.metrics:
+        meta = {
+            "scenario": result.scenario,
+            "n_nodes": result.n_nodes,
+            "seed": result.seed,
+            "duration": result.duration,
+            "mean_error_rate": result.mean_error_rate,
+            "config": scenario.make_config().describe(),
+        }
+        print(f"[wrote {write_metrics_json(args.metrics, result.metrics, meta=meta)}]")
+    rc = 0
     if result.violations:
         print(f"\nFAIL: {len(result.violations)} invariant violation(s); first 20:")
         for v in result.violations[:20]:
             print("  " + v.describe())
-        return 1
-    print("\nOK: all invariants held (safety throughout; convergence after "
-          "each quiescence window)")
-    return 0
+        rc = 1
+    else:
+        print("\nOK: all invariants held (safety throughout; convergence after "
+              "each quiescence window)")
+    if health_spec is not None:
+        breaches = [v for v in result.health_verdicts if not v.ok]
+        if breaches:
+            print(f"UNHEALTHY: {len(breaches)} SLO breach(es):")
+            for v in breaches:
+                print("  " + v.describe())
+            rc = 1
+        else:
+            print(f"HEALTHY: {len(result.health_verdicts)} SLO verdict(s) ok")
+    return rc
 
 
-def cmd_obs(args) -> int:
+def cmd_obs_run(args) -> int:
     """An instrumented churn run: spans, metrics, profile, exporters."""
     from repro.core.config import ProtocolConfig
     from repro.core.protocol import PeerWindowNetwork
@@ -317,7 +351,19 @@ def cmd_obs(args) -> int:
     if args.chrome:
         print(f"[wrote {write_chrome_trace(args.chrome, spans)}]")
     if args.metrics:
-        print(f"[wrote {write_metrics_json(args.metrics, snapshot)}]")
+        # meta records what produced the snapshot so `repro obs health`
+        # can rebuild the matching default spec.  The execution mode
+        # (parallel=N) is deliberately omitted: it is an implementation
+        # detail, and including it would break the byte-identity of
+        # sequential-vs-partitioned reports.
+        meta = {
+            "n_nodes": args.nodes,
+            "seed": args.seed,
+            "duration": args.duration,
+            "mean_error_rate": net.mean_error_rate(),
+            "config": config.describe(),
+        }
+        print(f"[wrote {write_metrics_json(args.metrics, snapshot, meta=meta)}]")
     if args.metrics_csv:
         print(f"[wrote {write_metrics_csv(args.metrics_csv, snapshot)}]")
     if args.profile:
@@ -325,6 +371,135 @@ def cmd_obs(args) -> int:
         print(format_table(["phase", "calls", "seconds", "mean_us"],
                            profile_rows(net.profile_snapshot())))
     return 0
+
+
+def _health_inputs(spans_path: str, metrics_path: Optional[str],
+                   spec_path: Optional[str]):
+    """Shared loader for ``obs analyze|health|report``: the analysis
+    report, the combined signal dict, the health spec (loaded or derived
+    from the run's recorded config), and the run meta."""
+    from repro.core.config import ProtocolConfig
+    from repro.obs.analyze import analyze_file, load_metrics
+    from repro.obs.health import HealthSpec, metrics_signals
+
+    report = analyze_file(spans_path)
+    signals = dict(report.signals())
+    meta: dict = {}
+    config = ProtocolConfig(id_bits=16)
+    if metrics_path:
+        snapshot = load_metrics(metrics_path)
+        raw_meta = snapshot.get("meta")
+        if isinstance(raw_meta, dict):
+            meta = raw_meta
+        if isinstance(meta.get("config"), dict):
+            config = ProtocolConfig(**meta["config"])
+        signals.update(metrics_signals(snapshot, config, meta=meta))
+    if spec_path:
+        spec = HealthSpec.load(spec_path)
+    else:
+        spec = HealthSpec.default(config, int(meta.get("n_nodes", report.nodes)))
+    return report, signals, spec, meta
+
+
+def cmd_obs_analyze(args) -> int:
+    """Reconstruct span trees from a JSONL export and print aggregates."""
+    import json as _json
+
+    from repro.paths import prepare_output_path
+
+    if args.json:
+        prepare_output_path(args.json, what="analysis JSON")
+    report, signals, _spec, _meta = _health_inputs(
+        args.spans, args.metrics, None
+    )
+    doc = report.to_dict()
+    m = doc["multicast"]
+    _emit(
+        args,
+        f"span analytics: {args.spans}",
+        ["metric", "value"],
+        [
+            ["spans", doc["spans_total"]],
+            ["nodes", doc["nodes"]],
+            ["mcast.trees", m["trees"]],
+            ["mcast.tree_completeness", round(m["tree_completeness"], 6)],
+            ["mcast.orphan_hops", m["orphan_hops"]],
+            ["mcast.max_depth", m["max_depth"]],
+            ["mcast.mean_fanout", round(m["fanout"]["mean"], 3)],
+            ["mcast.mean_latency_s", round(m["completion_latency"]["mean"], 3)],
+            ["mcast.redirect_rate", round(m["redirect_rate"], 6)],
+            ["join.ok", doc["join"]["ok"]],
+            ["join.failed", doc["join"]["failed"]],
+            ["join.warmup_mean_s", round(doc["join"]["warmup"]["mean"], 3)],
+            ["probe.count", doc["probe"]["count"]],
+            ["probe.timeout_rate", round(doc["probe"]["timeout_rate"], 6)],
+            ["obituary.false_positives", doc["obituaries"]["false_positives"]],
+        ],
+    )
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(_json.dumps(doc, sort_keys=True, indent=2) + "\n")
+        print(f"[wrote {args.json}]")
+    return 0
+
+
+def cmd_obs_health(args) -> int:
+    """Judge a recorded run against a health spec; exit 1 on breach."""
+    from repro.obs.health import evaluate
+
+    _report, signals, spec, _meta = _health_inputs(
+        args.spans, args.metrics, args.spec
+    )
+    verdicts = evaluate(spec, signals)
+    _emit(
+        args,
+        f"health: {args.spans} vs spec '{spec.name}'",
+        ["slo", "value", "lo", "hi", "ok"],
+        [
+            [v.slo, round(v.value, 6),
+             "-" if v.lo is None else v.lo,
+             "-" if v.hi is None else v.hi,
+             "ok" if v.ok else "BREACH"]
+            for v in verdicts
+        ],
+    )
+    breaches = [v for v in verdicts if not v.ok]
+    if breaches:
+        print(f"\nUNHEALTHY: {len(breaches)} SLO breach(es)")
+        for v in breaches:
+            print("  " + v.describe())
+        return 1
+    print(f"\nHEALTHY: {len(verdicts)} SLO(s) ok")
+    return 0
+
+
+def cmd_obs_report(args) -> int:
+    """The full health report: markdown to stdout/--out, JSON via --json."""
+    from repro.obs.health import evaluate
+    from repro.obs.report import build_report, render_json, render_markdown
+    from repro.paths import prepare_output_path
+
+    for path, what in ((args.out, "markdown report"),
+                       (args.json, "JSON report")):
+        if path:
+            prepare_output_path(path, what=what)
+    report, signals, spec, meta = _health_inputs(
+        args.spans, args.metrics, args.spec
+    )
+    verdicts = evaluate(spec, signals)
+    doc = build_report(report, verdicts, signals=signals, meta=meta)
+    markdown = render_markdown(doc)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(markdown)
+        print(f"[wrote {args.out}]")
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(render_json(doc))
+        print(f"[wrote {args.json}]")
+    if not args.out and not args.json:
+        print(markdown, end="")
+    return 0 if doc["healthy"] else 1
 
 
 def cmd_lint(args) -> int:
@@ -454,26 +629,68 @@ def build_parser() -> argparse.ArgumentParser:
                                      "as JSONL here (enables tracing)")
     pch.add_argument("--chrome", help="write a Chrome trace_event file here "
                                       "(open in about://tracing; enables tracing)")
+    pch.add_argument("--health", metavar="SPEC",
+                     help="evaluate SLOs live + post-hoc and fail (exit 1) "
+                          "on breach; SPEC is a HealthSpec JSON path or "
+                          "'default' (derived from the scenario config)")
+    pch.add_argument("--metrics", help="write the run's metrics snapshot "
+                                       "as JSON here (enables tracing)")
     pch.add_argument("--list", action="store_true", help="list scenarios and exit")
     pch.set_defaults(func=cmd_chaos)
 
-    pobs = sub.add_parser("obs", parents=[common_opts],
-                          help="instrumented churn run: span tree, metrics "
-                               "registry, exporters, profiling")
-    pobs.add_argument("-n", "--nodes", type=int, default=200)
-    pobs.add_argument("--duration", type=float, default=300.0,
-                      help="simulated seconds")
-    pobs.add_argument("--seed", type=int, default=1)
-    pobs.add_argument("--parallel", type=int, default=None,
-                      help="run on N logical processes (byte-identical output)")
-    pobs.add_argument("--spans", help="write spans as JSONL here")
-    pobs.add_argument("--chrome", help="write a Chrome trace_event file here")
-    pobs.add_argument("--metrics", help="write the metrics snapshot as JSON here")
-    pobs.add_argument("--metrics-csv", dest="metrics_csv",
-                      help="write the metrics snapshot as CSV here")
-    pobs.add_argument("--profile", action="store_true",
-                      help="attach wall-clock phase profilers and print them")
-    pobs.set_defaults(func=cmd_obs)
+    pobs = sub.add_parser("obs",
+                          help="observability: instrumented runs, span-tree "
+                               "analytics, SLO health checks, reports")
+    obs_sub = pobs.add_subparsers(dest="obs_command", required=True)
+
+    porun = obs_sub.add_parser(
+        "run", parents=[common_opts],
+        help="instrumented churn run: span tree, metrics registry, "
+             "exporters, profiling")
+    porun.add_argument("-n", "--nodes", type=int, default=200)
+    porun.add_argument("--duration", type=float, default=300.0,
+                       help="simulated seconds")
+    porun.add_argument("--seed", type=int, default=1)
+    porun.add_argument("--parallel", type=int, default=None,
+                       help="run on N logical processes (byte-identical output)")
+    porun.add_argument("--spans", help="write spans as JSONL here")
+    porun.add_argument("--chrome", help="write a Chrome trace_event file here")
+    porun.add_argument("--metrics", help="write the metrics snapshot as JSON here")
+    porun.add_argument("--metrics-csv", dest="metrics_csv",
+                       help="write the metrics snapshot as CSV here")
+    porun.add_argument("--profile", action="store_true",
+                       help="attach wall-clock phase profilers and print them")
+    porun.set_defaults(func=cmd_obs_run)
+
+    poana = obs_sub.add_parser(
+        "analyze", parents=[common_opts],
+        help="reconstruct multicast/join/probe trees from a span JSONL "
+             "export and print per-operation aggregates")
+    poana.add_argument("spans", help="span JSONL file (from `obs run --spans`)")
+    poana.add_argument("--metrics", help="metrics JSON from the same run")
+    poana.add_argument("--json", help="write the full analysis document here")
+    poana.set_defaults(func=cmd_obs_analyze)
+
+    pohealth = obs_sub.add_parser(
+        "health", parents=[common_opts],
+        help="judge a recorded run against paper-derived SLOs "
+             "(exit 1 on breach)")
+    pohealth.add_argument("spans", help="span JSONL file")
+    pohealth.add_argument("--metrics", help="metrics JSON from the same run "
+                                            "(enables bandwidth/error SLOs)")
+    pohealth.add_argument("--spec", help="HealthSpec JSON (default: derived "
+                                         "from the run's recorded config)")
+    pohealth.set_defaults(func=cmd_obs_health)
+
+    porep = obs_sub.add_parser(
+        "report", parents=[common_opts],
+        help="full markdown/JSON health report (exit 1 when unhealthy)")
+    porep.add_argument("spans", help="span JSONL file")
+    porep.add_argument("--metrics", help="metrics JSON from the same run")
+    porep.add_argument("--spec", help="HealthSpec JSON")
+    porep.add_argument("--out", help="write markdown here (default: stdout)")
+    porep.add_argument("--json", help="write the report document as JSON here")
+    porep.set_defaults(func=cmd_obs_report)
 
     plint = sub.add_parser(
         "lint", parents=[common_opts],
@@ -500,11 +717,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.obs.analyze import SchemaError
+
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         rc = args.func(args)
-    except OSError as exc:
+    except (OSError, SchemaError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     return rc if isinstance(rc, int) else 0

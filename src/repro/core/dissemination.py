@@ -26,6 +26,7 @@ from repro.core.multicast import MulticastForwarder
 from repro.core.pointer import Pointer
 from repro.core.runtime import NodeRuntime
 from repro.net.message import Message
+from repro.obs import metrics as m
 from repro.obs.trace import Span, SpanRef
 
 
@@ -57,7 +58,7 @@ class MulticastService:
         self, failed: Pointer, replacement: Pointer, bit: int, trace=None
     ) -> None:
         obs = self.ctx.obs
-        obs.registry.inc("mcast.redirects")
+        obs.registry.inc(m.MCAST_REDIRECTS)
         if obs.enabled:
             obs.instant(
                 "mcast.redirect",
@@ -81,7 +82,7 @@ class MulticastService:
         ctx = self.ctx
         obs = ctx.obs
         ctx.estimator.observe_departure(departed, self.runtime.now)
-        obs.registry.inc("mcast.stale_removed")
+        obs.registry.inc(m.MCAST_STALE_REMOVED)
         obit: Optional[Span] = None
         if obs.enabled:
             obit = obs.instant(
@@ -110,7 +111,7 @@ class MulticastService:
         obs = ctx.obs
         event, start_bit = msg.payload
         ctx.stats.mcasts_received += 1
-        obs.registry.inc("mcast.received")
+        obs.registry.inc(m.MCAST_RECEIVED)
         subject_value = event.subject_id.value
         if subject_value == ctx.node_id.value:
             self.runtime.send(
@@ -132,7 +133,7 @@ class MulticastService:
                 msg.make_reply("mcast-ack", size_bits=ctx.config.ack_bits)
             )
             ctx.stats.mcast_duplicates += 1
-            obs.registry.inc("mcast.duplicates")
+            obs.registry.inc(m.MCAST_DUPLICATES)
             return
         ctx.seen_events[subject_value] = event.seq
         self.apply(event)
@@ -149,7 +150,7 @@ class MulticastService:
                 depth=depth,
                 start_bit=start_bit,
             )
-            obs.registry.observe("mcast.depth", depth)
+            obs.registry.observe(m.MCAST_DEPTH, depth)
         # §5.1: a relay spends 1 s "receiving, calculating and sending".
         # The ack rides at the END of that window: acknowledging a fresh
         # multicast means accepting responsibility for the subtree, so a
@@ -181,7 +182,7 @@ class MulticastService:
         self.runtime.send(msg.make_reply("mcast-ack", size_bits=ctx.config.ack_bits))
         trace = span.ref(span.attrs.get("depth", 0)) if span is not None else None
         fanout = self.forwarder.forward(event, start_bit, trace=trace)
-        obs.registry.observe("mcast.fanout", fanout)
+        obs.registry.observe(m.MCAST_FANOUT, fanout)
         if span is not None:
             span.attrs["fanout"] = fanout
             obs.end(span, self.runtime.now)
@@ -213,7 +214,7 @@ class MulticastService:
         )
 
         def timed_out() -> None:
-            registry.inc("mcast.ack_timeouts")
+            registry.inc(m.MCAST_ACK_TIMEOUTS)
             on_result(False)
 
         self.runtime.request(
@@ -247,7 +248,7 @@ class MulticastService:
                 subject=str(event.subject_address),
                 depth=0,
             )
-            obs.registry.inc("mcast.originated")
+            obs.registry.inc(m.MCAST_ORIGINATED)
         self.runtime.schedule(
             ctx.config.multicast_processing_delay, self._root_forward, event, root
         )
@@ -261,7 +262,7 @@ class MulticastService:
             return
         trace = span.ref(0) if span is not None else None
         fanout = self.forwarder.forward(event, 0, trace=trace)
-        obs.registry.observe("mcast.fanout", fanout)
+        obs.registry.observe(m.MCAST_FANOUT, fanout)
         if span is not None:
             span.attrs["fanout"] = fanout
             obs.end(span, self.runtime.now)
@@ -419,7 +420,7 @@ class MulticastService:
             self._report_fallback(event, _attempt, trace)
             return
         ctx.stats.reports_sent += 1
-        obs.registry.inc("report.sent")
+        obs.registry.inc(m.REPORT_SENT)
         span: Optional[Span] = None
         if obs.enabled:
             span = obs.start(
@@ -466,7 +467,7 @@ class MulticastService:
         ctx.top_list.remove(dead_top.node_id)
         if attempt + 1 >= 3 * ctx.config.top_list_size:
             ctx.stats.reports_failed += 1
-            ctx.obs.registry.inc("report.failed")
+            ctx.obs.registry.inc(m.REPORT_FAILED)
             return
         self.report_event(event, _attempt=attempt + 1, trace=trace)
 
@@ -476,12 +477,12 @@ class MulticastService:
         ctx = self.ctx
         if attempt >= 3 * ctx.config.top_list_size:
             ctx.stats.reports_failed += 1
-            ctx.obs.registry.inc("report.failed")
+            ctx.obs.registry.inc(m.REPORT_FAILED)
             return
         peers = [p for p in ctx.peer_list if p.node_id.value != ctx.node_id.value]
         if not peers:
             ctx.stats.reports_failed += 1
-            ctx.obs.registry.inc("report.failed")
+            ctx.obs.registry.inc(m.REPORT_FAILED)
             return
         peer = peers[int(ctx.rng.integers(0, len(peers)))]
         msg = Message(
@@ -506,7 +507,7 @@ class MulticastService:
         obs = ctx.obs
         event: EventRecord = msg.payload
         ctx.stats.reports_served += 1
-        obs.registry.inc("report.served")
+        obs.registry.inc(m.REPORT_SERVED)
         if not ctx.is_top:
             # Stale top-node pointer at the reporter: we are no longer a
             # top node.  Ack with our *current* top-node list so the

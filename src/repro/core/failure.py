@@ -21,6 +21,7 @@ from repro.core.events import EventKind, EventRecord
 from repro.core.pointer import Pointer
 from repro.core.runtime import NodeRuntime
 from repro.net.message import Message
+from repro.obs import metrics as m
 from repro.obs.trace import Span
 
 
@@ -81,13 +82,13 @@ class FailureDetector:
         )
 
         def replied(_r: Message) -> None:
-            obs.registry.observe("probe.rtt", self.runtime.now - start)
+            obs.registry.observe(m.PROBE_RTT, self.runtime.now - start)
             if span is not None:
                 obs.end(span, self.runtime.now)
             self._schedule_probe(ctx.config.probe_interval)
 
         def timed_out() -> None:
-            obs.registry.inc("probe.timeouts")
+            obs.registry.inc(m.PROBE_TIMEOUTS)
             if span is not None:
                 obs.end(span, self.runtime.now, "timeout")
             self._probe_miss(target, attempts_left - 1, span)
@@ -122,7 +123,7 @@ class FailureDetector:
         ctx = self.ctx
         obs = ctx.obs
         ctx.stats.failures_detected += 1
-        obs.registry.inc("failures.detected")
+        obs.registry.inc(m.FAILURES_DETECTED)
         departed = ctx.peer_list.remove(target.node_id)
         if departed is not None:
             ctx.estimator.observe_departure(departed, self.runtime.now)
@@ -186,12 +187,12 @@ class FailureDetector:
         )
 
         def replied(_r: Message) -> None:
-            obs.registry.observe("probe.rtt", self.runtime.now - start)
+            obs.registry.observe(m.PROBE_RTT, self.runtime.now - start)
             if span is not None:
                 obs.end(span, self.runtime.now)
 
         def timed_out() -> None:
-            obs.registry.inc("probe.timeouts")
+            obs.registry.inc(m.PROBE_TIMEOUTS)
             if span is not None:
                 obs.end(span, self.runtime.now, "timeout")
             self._verify_miss(target, attempts_left - 1, span)

@@ -30,6 +30,7 @@ from repro.core.nodeid import NodeId
 from repro.core.pointer import Pointer
 from repro.core.runtime import NodeRuntime
 from repro.net.message import Message
+from repro.obs import metrics as m
 from repro.obs.trace import Span
 
 
@@ -83,10 +84,10 @@ class JoinService:
         def done(ok: bool) -> None:
             if ok:
                 obs.registry.observe(
-                    "join.latency", self.runtime.now - self._join_started
+                    m.JOIN_LATENCY, self.runtime.now - self._join_started
                 )
             else:
-                obs.registry.inc("join.failures")
+                obs.registry.inc(m.JOIN_FAILURES)
             if self._join_span is not None:
                 obs.end(
                     self._join_span, self.runtime.now, "ok" if ok else "failed"
@@ -306,7 +307,7 @@ class JoinService:
         ctx = self.ctx
         joiner_id: NodeId = msg.payload
         ctx.stats.joins_assisted += 1
-        ctx.obs.registry.inc("join.assists")
+        ctx.obs.registry.inc(m.JOIN_ASSISTS)
         if ctx.obs.enabled:
             ctx.obs.instant(
                 "join.serve.get-top",
@@ -411,7 +412,7 @@ class JoinService:
         ctx = self.ctx
         requester_id, prefix_len = msg.payload
         ctx.stats.downloads_served += 1
-        ctx.obs.registry.inc("downloads.served")
+        ctx.obs.registry.inc(m.DOWNLOADS_SERVED)
         if ctx.obs.enabled:
             ctx.obs.instant(
                 "join.serve.download",

@@ -21,6 +21,7 @@ from repro.core.nodeid import eigenstring
 from repro.core.pointer import Pointer
 from repro.core.runtime import NodeRuntime
 from repro.net.message import Message
+from repro.obs import metrics as m
 from repro.obs.trace import Span
 
 
@@ -74,7 +75,7 @@ class LevelShiftService:
         ctx.level = old_level + 1
         ctx.peer_list.retarget(ctx.level)
         ctx.stats.level_lowers += 1
-        ctx.obs.registry.inc("level.lower")
+        ctx.obs.registry.inc(m.LEVEL_LOWER)
         shift = None
         if ctx.obs.enabled:
             shift = ctx.obs.instant(
@@ -205,7 +206,7 @@ class LevelShiftService:
         if own is not None:
             own.level = ctx.level
         ctx.stats.level_raises += 1
-        ctx.obs.registry.inc("level.raise")
+        ctx.obs.registry.inc(m.LEVEL_RAISE)
         part_level = ctx.top_list.min_level()
         if part_level is None or new_level <= part_level:
             ctx.is_top = True

@@ -18,6 +18,7 @@ from __future__ import annotations
 from repro.core.context import NodeContext
 from repro.core.events import EventKind
 from repro.core.runtime import NodeRuntime
+from repro.obs import metrics as m
 
 
 class MaintenanceService:
@@ -45,7 +46,7 @@ class MaintenanceService:
             return
         ctx.stats.refreshes_sent += 1
         ctx.refresh_mgr.refreshes_sent += 1
-        ctx.obs.registry.inc("refresh.sent")
+        ctx.obs.registry.inc(m.REFRESH_SENT)
         root = None
         if ctx.obs.enabled:
             root = ctx.obs.instant("refresh", self.runtime.now, level=ctx.level)
@@ -66,7 +67,7 @@ class MaintenanceService:
             return
         expired = ctx.refresh_mgr.sweep(ctx.peer_list, self.runtime.now)
         if expired:
-            ctx.obs.registry.inc("sweep.expired", len(expired))
+            ctx.obs.registry.inc(m.SWEEP_EXPIRED, len(expired))
         for p in expired:
             if p.node_id.value == ctx.node_id.value:
                 # Never expire ourselves.

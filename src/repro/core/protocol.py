@@ -31,6 +31,7 @@ from repro.core.seeding import SeedSpec, seed_network
 from repro.net.latency import PairwiseLatencyModel, UniformLatencyModel
 from repro.net.topology import Topology
 from repro.net.transport import Transport
+from repro.obs import metrics as m
 from repro.obs.trace import Observability, Span
 from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
@@ -369,12 +370,12 @@ class PeerWindowNetwork:
                 view.registry.gauges = {
                     k: v
                     for k, v in view.registry.gauges.items()
-                    if not k.startswith(("peers.size.level.", "nodes.level."))
+                    if not k.startswith((m.PEERS_SIZE_LEVEL + ".", m.NODES_LEVEL + "."))
                 }
             for node in self.live_nodes():
                 reg = node.ctx.obs.registry
-                reg.set_gauge(f"peers.size.level.{node.level}", len(node.peer_list))
-                reg.set_gauge(f"nodes.level.{node.level}", 1)
+                reg.set_gauge(f"{m.PEERS_SIZE_LEVEL}.{node.level}", len(node.peer_list))
+                reg.set_gauge(f"{m.NODES_LEVEL}.{node.level}", 1)
         snapshot = self.obs.metrics_snapshot()
         transport_stats = (
             self.runtime.transport_stats()
@@ -383,9 +384,9 @@ class PeerWindowNetwork:
         )
         counters = snapshot["counters"]
         for kind, count in sorted(transport_stats.get("by_kind", {}).items()):
-            counters[f"transport.msgs.{kind}"] = count
+            counters[f"{m.TRANSPORT_MSGS}.{kind}"] = count
         for kind, bits in sorted(transport_stats.get("bytes_by_kind", {}).items()):
-            counters[f"transport.bits.{kind}"] = bits
+            counters[f"{m.TRANSPORT_BITS}.{kind}"] = bits
         return snapshot
 
     def enable_profiling(self) -> None:

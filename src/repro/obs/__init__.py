@@ -18,7 +18,10 @@ and chaos replay determinism hold with observability on or off.
 """
 
 from repro.obs.export import (
+    METRICS_SCHEMA_VERSION,
+    SPAN_SCHEMA_VERSION,
     prepare_output_path,
+    span_from_dict,
     spans_to_chrome,
     spans_to_jsonl,
     validate_span_file,
@@ -28,13 +31,31 @@ from repro.obs.export import (
     write_metrics_json,
     write_spans_jsonl,
 )
-from repro.obs.metrics import Dist, MetricsRegistry, aggregate_snapshots, flatten_snapshot
+from repro.obs.metrics import (
+    METRIC_CATALOG,
+    METRIC_NAME_RE,
+    Dist,
+    MetricSpec,
+    MetricsRegistry,
+    aggregate_snapshots,
+    declare_metric,
+    flatten_snapshot,
+    known_metric,
+)
 from repro.obs.profile import PhaseProfiler, merge_profiles
 from repro.obs.trace import NodeObs, Observability, Span, SpanRef
 
 __all__ = [
+    "METRIC_CATALOG",
+    "METRIC_NAME_RE",
+    "METRICS_SCHEMA_VERSION",
+    "SPAN_SCHEMA_VERSION",
+    "span_from_dict",
     "Dist",
+    "MetricSpec",
     "MetricsRegistry",
+    "declare_metric",
+    "known_metric",
     "NodeObs",
     "Observability",
     "PhaseProfiler",

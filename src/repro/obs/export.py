@@ -8,6 +8,14 @@ instead of a raw ``FileNotFoundError`` deep in ``open``.
 The JSONL span format is one object per line with the fields listed in
 ``SPAN_REQUIRED_FIELDS``; :func:`validate_span_lines` is the schema
 check used by the test suite and the ``scripts/check.sh`` smoke step.
+
+Versioning: :func:`write_spans_jsonl` stamps a header line — a JSON
+object carrying ``schema_version`` (and no ``span_id``) — before the
+span records, and :func:`write_metrics_json` stamps ``schema_version``
+into the snapshot document.  Loaders (``repro.obs.analyze``) treat a
+headerless file as version 0 and upconvert; anything newer than the
+versions declared here is rejected with a clear error rather than
+silently misread.
 """
 
 from __future__ import annotations
@@ -21,9 +29,13 @@ from repro.obs.trace import Span
 from repro.paths import prepare_output_path
 
 __all__ = [
+    "METRICS_SCHEMA_VERSION",
     "SPAN_REQUIRED_FIELDS",
+    "SPAN_SCHEMA_VERSION",
     "prepare_output_path",
     "profile_rows",
+    "span_from_dict",
+    "span_header_line",
     "span_to_dict",
     "spans_to_chrome",
     "spans_to_jsonl",
@@ -34,6 +46,14 @@ __all__ = [
     "write_metrics_json",
     "write_spans_jsonl",
 ]
+
+#: Version of the span JSONL format written by :func:`write_spans_jsonl`.
+#: Bump on any breaking change to ``SPAN_REQUIRED_FIELDS`` or the
+#: header; version 0 means "headerless PR 3 export".
+SPAN_SCHEMA_VERSION = 1
+
+#: Version of the metrics JSON snapshot document.
+METRICS_SCHEMA_VERSION = 1
 
 #: Field -> allowed JSON types for one exported span object.
 SPAN_REQUIRED_FIELDS: Dict[str, tuple] = {
@@ -72,10 +92,38 @@ def spans_to_jsonl(spans: Iterable[Span]) -> str:
     return out.getvalue()
 
 
+def span_from_dict(obj: Dict[str, Any]) -> Span:
+    """Rebuild a :class:`Span` from one exported JSONL object."""
+    span = Span(
+        trace_id=obj["trace_id"],
+        span_id=obj["span_id"],
+        parent_id=obj["parent_id"],
+        name=obj["name"],
+        node=obj["node"],
+        start=obj["start"],
+        attrs=dict(obj["attrs"]),
+    )
+    span.end = obj["end"]
+    span.status = obj["status"]
+    return span
+
+
+def span_header_line() -> str:
+    """The version header written as the first line of a span JSONL
+    export.  It is an ordinary JSON object — but has no ``span_id`` —
+    so version-unaware line consumers can skip it cheaply."""
+    return json.dumps(
+        {"schema": "repro.span", "schema_version": SPAN_SCHEMA_VERSION},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
 def write_spans_jsonl(path: str, spans: Iterable[Span]) -> str:
     prepare_output_path(path, "span JSONL")
     text = spans_to_jsonl(spans)
     with open(path, "w") as fh:
+        fh.write(span_header_line() + "\n")
         fh.write(text)
     return path
 
@@ -120,10 +168,18 @@ def write_chrome_trace(path: str, spans: Iterable[Span]) -> str:
     return path
 
 
-def write_metrics_json(path: str, snapshot: Dict[str, Any]) -> str:
+def write_metrics_json(
+    path: str, snapshot: Dict[str, Any], meta: Dict[str, Any] | None = None
+) -> str:
+    """Write a metrics snapshot, stamped with ``schema_version`` (and an
+    optional ``meta`` block describing the run that produced it)."""
+    doc = dict(snapshot)
+    doc["schema_version"] = METRICS_SCHEMA_VERSION
+    if meta is not None:
+        doc["meta"] = meta
     prepare_output_path(path, "metrics JSON")
     with open(path, "w") as fh:
-        json.dump(snapshot, fh, sort_keys=True, indent=2)
+        json.dump(doc, fh, sort_keys=True, indent=2)
         fh.write("\n")
     return path
 
@@ -159,6 +215,16 @@ def validate_span_lines(lines: Iterable[str]) -> List[str]:
             continue
         if not isinstance(obj, dict):
             problems.append(f"line {i}: expected an object")
+            continue
+        if "schema_version" in obj and "span_id" not in obj:
+            # The version header.  Headerless files (version 0) are
+            # accepted here; the loader decides upconvert-vs-reject.
+            version = obj["schema_version"]
+            if not isinstance(version, int) or version > SPAN_SCHEMA_VERSION:
+                problems.append(
+                    f"line {i}: unsupported schema_version {version!r} "
+                    f"(this build reads <= {SPAN_SCHEMA_VERSION})"
+                )
             continue
         for field, types in SPAN_REQUIRED_FIELDS.items():
             if field not in obj:

@@ -24,7 +24,118 @@ Design constraints (shared with :mod:`repro.obs.trace`):
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+import re
+from typing import Any, Dict, Iterable, List, NamedTuple, Optional, Tuple
+
+#: The documented metric-name convention: lowercase dotted
+#: ``subsystem.noun_verb`` segments (``mcast.ack_timeouts``,
+#: ``join.latency``).  detlint's OBS002 enforces it statically; the
+#: catalog below enforces it at declaration time.
+METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
+
+_METRIC_KINDS = ("counter", "gauge", "dist")
+
+
+class MetricSpec(NamedTuple):
+    """One declared metric: its canonical name, kind, and meaning."""
+
+    name: str
+    kind: str
+    help: str
+    #: Prefix metrics gain a dynamic final segment at record time
+    #: (``peers.size.level`` -> ``peers.size.level.3``).
+    per_key: bool = False
+
+
+#: Every metric the instrumentation may record, keyed by canonical name.
+#: Call sites import the declared constants instead of retyping string
+#: literals (detlint OBS002 flags ad-hoc literals), so a typo'd name is a
+#: NameError at import instead of a silently empty series.
+METRIC_CATALOG: Dict[str, MetricSpec] = {}
+
+
+def declare_metric(name: str, kind: str, help: str, per_key: bool = False) -> str:
+    """Register one metric in :data:`METRIC_CATALOG`; returns ``name`` so
+    declarations double as the constants call sites import."""
+    if not METRIC_NAME_RE.match(name):
+        raise ValueError(
+            f"metric name {name!r} violates the subsystem.noun_verb "
+            f"convention ({METRIC_NAME_RE.pattern})"
+        )
+    if kind not in _METRIC_KINDS:
+        raise ValueError(f"metric kind {kind!r} not one of {_METRIC_KINDS}")
+    if name in METRIC_CATALOG:
+        raise ValueError(f"metric {name!r} declared twice")
+    METRIC_CATALOG[name] = MetricSpec(name, kind, help, per_key)
+    return name
+
+
+def known_metric(name: str) -> bool:
+    """Whether ``name`` is declared — directly, or as ``prefix.key`` of a
+    ``per_key`` declaration."""
+    spec = METRIC_CATALOG.get(name)
+    if spec is not None:
+        return not spec.per_key
+    prefix = name.rsplit(".", 1)[0] if "." in name else name
+    spec = METRIC_CATALOG.get(prefix)
+    return spec is not None and spec.per_key
+
+
+# -- the catalog -----------------------------------------------------------
+
+PROBE_RTT = declare_metric(
+    "probe.rtt", "dist", "round-trip seconds of answered §4.1 ring probes")
+PROBE_TIMEOUTS = declare_metric(
+    "probe.timeouts", "counter", "ring/verify probes that got no ack in time")
+FAILURES_DETECTED = declare_metric(
+    "failures.detected", "counter", "probe-based failure declarations (§4.1)")
+JOIN_LATENCY = declare_metric(
+    "join.latency", "dist", "seconds from join_via to installed state (§4.3)")
+JOIN_FAILURES = declare_metric(
+    "join.failures", "counter", "joining handshakes that exhausted retries")
+JOIN_ASSISTS = declare_metric(
+    "join.assists", "counter", "get-top handshake requests served")
+DOWNLOADS_SERVED = declare_metric(
+    "downloads.served", "counter", "§4.3 peer-list downloads served")
+LEVEL_LOWER = declare_metric(
+    "level.lower", "counter", "autonomic level lowers (list shrink)")
+LEVEL_RAISE = declare_metric(
+    "level.raise", "counter", "autonomic level raises (list growth)")
+REFRESH_SENT = declare_metric(
+    "refresh.sent", "counter", "§4.6 self-refresh events originated")
+SWEEP_EXPIRED = declare_metric(
+    "sweep.expired", "counter", "pointers expired by the §4.6 sweep")
+MCAST_ORIGINATED = declare_metric(
+    "mcast.originated", "counter", "multicast trees rooted (top nodes)")
+MCAST_RECEIVED = declare_metric(
+    "mcast.received", "counter", "multicast messages received (fresh + dup)")
+MCAST_DUPLICATES = declare_metric(
+    "mcast.duplicates", "counter", "multicast receipts acked as duplicates")
+MCAST_REDIRECTS = declare_metric(
+    "mcast.redirects", "counter", "§4.2 stale-pointer redirects while relaying")
+MCAST_STALE_REMOVED = declare_metric(
+    "mcast.stale_removed", "counter", "pointers removed after 3 unacked sends")
+MCAST_ACK_TIMEOUTS = declare_metric(
+    "mcast.ack_timeouts", "counter", "multicast send attempts that timed out")
+MCAST_DEPTH = declare_metric(
+    "mcast.depth", "dist", "tree depth at which fresh multicasts arrive")
+MCAST_FANOUT = declare_metric(
+    "mcast.fanout", "dist", "targets contacted per relay/root forward")
+REPORT_SENT = declare_metric(
+    "report.sent", "counter", "§4.5 event reports sent toward a top node")
+REPORT_FAILED = declare_metric(
+    "report.failed", "counter", "reports abandoned after every retry")
+REPORT_SERVED = declare_metric(
+    "report.served", "counter", "report messages served (top or relay)")
+PEERS_SIZE_LEVEL = declare_metric(
+    "peers.size.level", "gauge", "peer-list size, sampled per level",
+    per_key=True)
+NODES_LEVEL = declare_metric(
+    "nodes.level", "gauge", "live-node population per level", per_key=True)
+TRANSPORT_MSGS = declare_metric(
+    "transport.msgs", "counter", "messages sent, per wire kind", per_key=True)
+TRANSPORT_BITS = declare_metric(
+    "transport.bits", "counter", "bits sent, per wire kind", per_key=True)
 
 
 class Dist:
@@ -102,27 +213,42 @@ class MetricsRegistry:
     mergeable and CSV-exportable.
     """
 
-    __slots__ = ("enabled", "counters", "gauges", "dists")
+    __slots__ = ("enabled", "strict", "counters", "gauges", "dists")
 
-    def __init__(self, enabled: bool = False):
+    def __init__(self, enabled: bool = False, strict: bool = False):
         self.enabled = enabled
+        #: When set, recording an undeclared name raises — an opt-in
+        #: runtime complement to detlint OBS002 (tests and ad-hoc
+        #: experiments keep the permissive default).
+        self.strict = strict
         self.counters: Dict[str, float] = {}
         self.gauges: Dict[str, float] = {}
         self.dists: Dict[str, Dist] = {}
 
+    def _check(self, name: str) -> None:
+        if self.strict and not known_metric(name):
+            raise ValueError(
+                f"metric {name!r} is not declared in METRIC_CATALOG "
+                f"(declare_metric it, or record through a declared "
+                f"per-key prefix)"
+            )
+
     def inc(self, name: str, value: float = 1) -> None:
         if not self.enabled:
             return
+        self._check(name)
         self.counters[name] = self.counters.get(name, 0) + value
 
     def set_gauge(self, name: str, value: float) -> None:
         if not self.enabled:
             return
+        self._check(name)
         self.gauges[name] = value
 
     def observe(self, name: str, value: float) -> None:
         if not self.enabled:
             return
+        self._check(name)
         dist = self.dists.get(name)
         if dist is None:
             dist = self.dists[name] = Dist()

@@ -1,0 +1,173 @@
+"""The health report: one JSON/markdown document per analyzed run.
+
+Combines an :class:`~repro.obs.analyze.AnalysisReport` (span-tree
+aggregates), the metrics-derived signals, and the
+:class:`~repro.obs.health.HealthSpec` verdicts into a single document —
+the artifact ``repro obs report`` writes and ``scripts/check.sh
+--health`` asserts on.
+
+Determinism contract: both renderings are pure functions of their
+inputs — identical span/metrics exports produce byte-identical output
+(pinned by ``tests/obs/test_report.py`` across sequential and
+``parallel=4`` runs of the same seed).  Nothing here reads the clock or
+the filesystem beyond what it is handed.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.obs.analyze import AnalysisReport
+from repro.obs.health import Verdict
+
+__all__ = ["build_report", "render_markdown", "render_json"]
+
+#: Version stamp for the report document itself.
+REPORT_VERSION = 1
+
+
+def build_report(
+    analysis: AnalysisReport,
+    verdicts: List[Verdict],
+    signals: Optional[Dict[str, float]] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble the JSON-stable report document."""
+    return {
+        "schema_version": REPORT_VERSION,
+        "meta": dict(sorted((meta or {}).items())),
+        "healthy": all(v.ok for v in verdicts),
+        "verdicts": [v.to_dict() for v in verdicts],
+        "signals": dict(sorted((signals or analysis.signals()).items())),
+        "analysis": analysis.to_dict(),
+    }
+
+
+def render_json(doc: Dict[str, Any]) -> str:
+    return json.dumps(doc, sort_keys=True, indent=2) + "\n"
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _dist_row(name: str, d: Dict[str, float]) -> str:
+    return (
+        f"| {name} | {int(d['count'])} | {_fmt(d['mean'])} | "
+        f"{_fmt(d['min'])} | {_fmt(d['max'])} |"
+    )
+
+
+def render_markdown(doc: Dict[str, Any]) -> str:
+    """Render the report document as deterministic markdown."""
+    a = doc["analysis"]
+    m = a["multicast"]
+    lines: List[str] = []
+    add = lines.append
+
+    add("# PeerWindow protocol health report")
+    add("")
+    state = "HEALTHY" if doc["healthy"] else "UNHEALTHY"
+    add(f"**Status: {state}** "
+        f"({sum(1 for v in doc['verdicts'] if v['ok'])}/"
+        f"{len(doc['verdicts'])} SLOs ok)")
+    add("")
+    if doc["meta"]:
+        add("## Run")
+        add("")
+        add("| key | value |")
+        add("|---|---|")
+        for key in sorted(doc["meta"]):
+            add(f"| {key} | {_fmt(doc['meta'][key])} |")
+        add("")
+
+    add("## SLO verdicts")
+    add("")
+    add("| slo | value | band | ok |")
+    add("|---|---|---|---|")
+    for v in doc["verdicts"]:
+        lo = "-inf" if v["lo"] is None else _fmt(v["lo"])
+        hi = "inf" if v["hi"] is None else _fmt(v["hi"])
+        mark = "ok" if v["ok"] else "**BREACH**"
+        add(f"| {v['slo']} | {_fmt(v['value'])} | [{lo}, {hi}] | {mark} |")
+    breached = [v for v in doc["verdicts"] if not v["ok"]]
+    if breached:
+        add("")
+        add("### Breaches")
+        add("")
+        for v in breached:
+            add(f"- `{v['slo']}` = {_fmt(v['value'])}: {v['detail']}")
+            if v["traces"]:
+                add(f"  - implicated traces: "
+                    f"{', '.join('`' + t + '`' for t in v['traces'][:8])}")
+    add("")
+
+    add("## Multicast (§4.2)")
+    add("")
+    add(f"- trees reconstructed: {m['trees']} over {m['spans']} spans "
+        f"({_fmt(m['tree_completeness'] * 100)}% in complete trees, "
+        f"{m['orphan_hops']} orphan hops)")
+    add(f"- non-delivery rate: {_fmt(m['non_delivery_rate'])}; redirects: "
+        f"{m['redirects']} ({_fmt(m['redirect_rate'])}/span)")
+    add(f"- max depth: {m['max_depth']}")
+    add("")
+    add("| dist | count | mean | min | max |")
+    add("|---|---|---|---|---|")
+    add(_dist_row("depth", m["depth"]))
+    add(_dist_row("fanout", m["fanout"]))
+    add(_dist_row("completion latency (s)", m["completion_latency"]))
+    add("")
+    if m["per_kind"]:
+        add("### Per event kind")
+        add("")
+        add("| kind | trees | mean depth | mean latency (s) |")
+        add("|---|---|---|---|")
+        for kind in sorted(m["per_kind"]):
+            k = m["per_kind"][kind]
+            add(f"| {kind} | {k['trees']} | {_fmt(k['depth']['mean'])} | "
+                f"{_fmt(k['completion_latency']['mean'])} |")
+        add("")
+    if m["per_depth"]:
+        add("### Per tree level")
+        add("")
+        add("| depth | spans |")
+        add("|---|---|")
+        for depth in sorted(m["per_depth"], key=int):
+            add(f"| {depth} | {m['per_depth'][depth]} |")
+        add("")
+
+    add("## Join (§4.3)")
+    add("")
+    j = a["join"]
+    add(f"- handshakes: {j['ok']} ok, {j['failed']} failed "
+        f"(failure rate {_fmt(j['failure_rate'])})")
+    add("")
+    add("| dist | count | mean | min | max |")
+    add("|---|---|---|---|---|")
+    add(_dist_row("warm-up (s)", j["warmup"]))
+    add("")
+
+    add("## Failure detection (§4.1)")
+    add("")
+    p = a["probe"]
+    o = a["obituaries"]
+    add(f"- probes: {p['count']} ({p['timeouts']} timeouts, rate "
+        f"{_fmt(p['timeout_rate'])})")
+    vias = ", ".join(
+        f"{via}: {count}" for via, count in sorted(o["by_via"].items())
+    ) or "none"
+    add(f"- obituaries: {vias}")
+    add(f"- false positives: {o['false_positives']} "
+        f"(rate {_fmt(o['false_positive_rate'])})")
+    add("")
+
+    add("## Log")
+    add("")
+    add(f"- {a['spans_total']} spans from {a['nodes']} nodes, simulated "
+        f"interval [{_fmt(a['sim_span'][0])}, {_fmt(a['sim_span'][1])}] s, "
+        f"span schema v{a['schema_version']}")
+    add("")
+    return "\n".join(lines)

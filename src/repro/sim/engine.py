@@ -176,6 +176,7 @@ class Simulator:
         self._seq = 0
         self._events_executed = 0
         self._running = False
+        self._stop_requested = False
         #: Optional :class:`repro.obs.profile.PhaseProfiler` timing event
         #: dispatch (wall clock; never affects simulated behaviour).
         self.profiler = None
@@ -309,6 +310,17 @@ class Simulator:
             self._queue.push(*entry)
             return entry[0]
 
+    def stop(self) -> None:
+        """Request that the current (or next) :meth:`run` return after the
+        event being dispatched completes.
+
+        This is the cooperative halt used by in-simulation monitors — e.g.
+        a live health monitor breaching an SLO — to end a run early
+        without unwinding the dispatch stack; pending events stay queued,
+        so a later ``run()`` continues from where the halt left off.
+        """
+        self._stop_requested = True
+
     def run(
         self,
         until: Optional[float] = None,
@@ -323,6 +335,7 @@ class Simulator:
         if self._running:
             raise SimulationError("run() re-entered")
         self._running = True
+        self._stop_requested = False
         try:
             executed = 0
             while True:
@@ -340,6 +353,8 @@ class Simulator:
                 if not self.step():
                     break
                 executed += 1
+                if self._stop_requested:
+                    break
             if until is not None and self._now < until and self._queue.peek_time() is None:
                 self._now = until
             return self._now

@@ -17,6 +17,7 @@ def rule_ids():
 def test_registry_has_the_full_rule_pack():
     assert rule_ids() == [
         "DET001", "DET002", "DET003", "ISO001", "ISO002", "OBS001",
+        "OBS002",
     ]
 
 

@@ -122,3 +122,61 @@ def test_obs001_instant_needs_no_end():
         "    obs.instant('mcast.redirect', self.runtime.now)\n"
     )
     assert rules_fired(src) == []
+
+
+# -- OBS002: metric-name hygiene -------------------------------------------
+
+
+def test_obs002_flags_literal_metric_name():
+    src = (
+        "def record(self, obs):\n"
+        "    obs.registry.inc('probe.timeouts')\n"
+    )
+    assert rules_fired(src) == ["OBS002"]
+
+
+def test_obs002_flags_literal_on_bare_registry_names():
+    for recv in ("registry", "reg", "self.registry"):
+        src = f"def record(self):\n    {recv}.observe('probe.rtt', 0.5)\n"
+        assert rules_fired(src) == ["OBS002"], recv
+
+
+def test_obs002_flags_fstring_with_literal_prefix():
+    src = (
+        "def record(self, node, reg):\n"
+        "    reg.set_gauge(f'peers.size.level.{node.level}', 7)\n"
+    )
+    assert rules_fired(src) == ["OBS002"]
+
+
+def test_obs002_accepts_catalog_constant():
+    src = (
+        "from repro.obs import metrics as m\n"
+        "def record(self, obs):\n"
+        "    obs.registry.inc(m.PROBE_TIMEOUTS)\n"
+    )
+    assert rules_fired(src) == []
+
+
+def test_obs002_accepts_per_key_constant_interpolation():
+    src = (
+        "from repro.obs import metrics as m\n"
+        "def record(self, node, reg):\n"
+        "    reg.set_gauge(f'{m.PEERS_SIZE_LEVEL}.{node.level}', 7)\n"
+    )
+    assert rules_fired(src) == []
+
+
+def test_obs002_ignores_non_registry_observe():
+    src = (
+        "def note(self):\n"
+        "    self.estimator.observe('whatever')\n"
+        "    dist.observe(0.5)\n"
+        "    self.observe('departure')\n"
+    )
+    assert rules_fired(src) == []
+
+
+def test_obs002_exempts_the_catalog_module():
+    src = "PROBE_RTT = declare_metric('probe.rtt', 'dist', 'x')\n"
+    assert rules_fired(src, rel_path="src/repro/obs/metrics.py") == []

@@ -1,0 +1,77 @@
+"""Chaos + health: live SLO gating, post-hoc verdicts, the CLI exit code."""
+
+from __future__ import annotations
+
+from repro.chaos import SCENARIOS, ChaosRunner
+from repro.cli import main
+from repro.obs.health import HealthSpec, Slo
+
+
+def run_smoke(seed=0, n=24, **kwargs):
+    return ChaosRunner(SCENARIOS["smoke"], n_nodes=n, seed=seed, **kwargs).run()
+
+
+def default_spec(n=24):
+    return HealthSpec.default(SCENARIOS["smoke"].make_config(), n)
+
+
+class TestRunnerHealth:
+    def test_no_spec_means_vacuously_healthy(self):
+        result = run_smoke()
+        assert result.health_verdicts == []
+        assert result.healthy is True
+
+    def test_spec_forces_observability_and_judges_posthoc(self):
+        result = run_smoke(health_spec=default_spec())
+        assert result.spans, "a health spec must force span recording on"
+        assert result.metrics
+        assert result.health_verdicts, "post-hoc evaluation always appended"
+        assert result.healthy, [v.describe() for v in result.health_verdicts]
+        judged = {v.slo for v in result.health_verdicts}
+        assert "mcast.tree_completeness" in judged
+        assert "bandwidth.model_ratio" in judged
+        assert "peerlist.error_rate" in judged
+
+    def test_health_run_keeps_the_chaos_trace_deterministic(self):
+        """Health monitoring draws no randomness and sends no messages:
+        the determinism digest must match an unmonitored same-seed run."""
+        plain = run_smoke(seed=5)
+        judged = run_smoke(seed=5, health_spec=default_spec())
+        assert plain.trace == judged.trace
+
+    def test_impossible_slo_breaches_and_names_the_signal(self):
+        spec = HealthSpec(
+            name="impossible",
+            slos=[Slo("peerlist.error_rate",
+                      "no network satisfies a negative bound", hi=-1.0)],
+        )
+        result = run_smoke(health_spec=spec)
+        assert not result.healthy
+        breaches = [v for v in result.health_verdicts if not v.ok]
+        assert breaches
+        assert {v.slo for v in breaches} == {"peerlist.error_rate"}
+        # The live monitor's gated breaches carry timestamps from inside
+        # the run; the post-hoc verdict is stamped at the end.
+        assert any(v.time <= result.duration for v in breaches)
+
+
+class TestChaosHealthCli:
+    def test_chaos_health_default_exits_zero_when_healthy(self, capsys):
+        rc = main(["chaos", "--scenario", "smoke", "-n", "24",
+                   "--seed", "0", "--health", "default"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "HEALTHY" in out
+
+    def test_chaos_health_breach_exits_one(self, tmp_path, capsys):
+        spec_path = str(tmp_path / "impossible.json")
+        HealthSpec(
+            name="impossible",
+            slos=[Slo("peerlist.error_rate", "always breached", hi=-1.0)],
+        ).save(spec_path)
+        rc = main(["chaos", "--scenario", "smoke", "-n", "24",
+                   "--seed", "0", "--health", spec_path])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "UNHEALTHY" in out
+        assert "peerlist.error_rate" in out

@@ -7,6 +7,7 @@ import os
 import pytest
 
 from repro.obs.export import (
+    SPAN_SCHEMA_VERSION,
     prepare_output_path,
     profile_rows,
     spans_to_chrome,
@@ -66,10 +67,19 @@ class TestWriters:
         write_spans_jsonl(str(path), sample_spans())
         assert validate_span_file(str(path)) == []
         lines = path.read_text().splitlines()
-        assert len(lines) == 3
-        first = json.loads(lines[0])
+        assert len(lines) == 4  # version header + 3 spans
+        header = json.loads(lines[0])
+        assert header == {"schema": "repro.span",
+                          "schema_version": SPAN_SCHEMA_VERSION}
+        first = json.loads(lines[1])
         assert first["name"] == "mcast.root"
         assert first["attrs"] == {"kind": "JOIN"}
+
+    def test_validator_rejects_future_schema_version(self):
+        header = json.dumps({"schema": "repro.span",
+                             "schema_version": SPAN_SCHEMA_VERSION + 1})
+        problems = validate_span_lines([header])
+        assert any("unsupported schema_version" in p for p in problems)
 
     def test_chrome_export_shape(self, tmp_path):
         doc = spans_to_chrome(sample_spans())

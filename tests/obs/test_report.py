@@ -1,0 +1,88 @@
+"""Report determinism: byte-identical output, sequential vs partitioned."""
+
+from repro.cli import main
+from repro.core.config import ProtocolConfig
+from repro.obs.health import HealthSpec, evaluate
+from repro.obs.report import build_report, render_json, render_markdown
+
+from .test_analyze import golden_tree_spans
+
+
+def _run_and_report(tmp_path, tag, extra_run_args):
+    spans = str(tmp_path / f"spans-{tag}.jsonl")
+    metrics = str(tmp_path / f"metrics-{tag}.json")
+    out = str(tmp_path / f"report-{tag}.md")
+    json_out = str(tmp_path / f"report-{tag}.json")
+    rc = main(["obs", "run", "-n", "60", "--duration", "80", "--seed", "7",
+               "--spans", spans, "--metrics", metrics] + extra_run_args)
+    assert rc == 0
+    rc = main(["obs", "report", spans, "--metrics", metrics,
+               "--out", out, "--json", json_out])
+    assert rc == 0, "seed-7 run should be healthy"
+    with open(out) as fh_md, open(json_out) as fh_js:
+        return fh_md.read(), fh_js.read()
+
+
+def test_report_byte_identical_sequential_vs_parallel(tmp_path):
+    """The acceptance determinism contract: a partitioned (parallel=4)
+    run of the same seed yields the exact same health report bytes."""
+    seq_md, seq_js = _run_and_report(tmp_path, "seq", [])
+    par_md, par_js = _run_and_report(tmp_path, "par", ["--parallel", "4"])
+    assert seq_md == par_md
+    assert seq_js == par_js
+    assert "**Status: HEALTHY**" in seq_md
+
+
+def test_report_byte_identical_across_repeat_runs(tmp_path):
+    seq1_md, seq1_js = _run_and_report(tmp_path, "a", [])
+    seq2_md, seq2_js = _run_and_report(tmp_path, "b", [])
+    assert seq1_md == seq2_md
+    assert seq1_js == seq2_js
+
+
+def _golden_doc():
+    from repro.obs.analyze import analyze_spans
+
+    analysis = analyze_spans(golden_tree_spans())
+    spec = HealthSpec.default(ProtocolConfig(id_bits=16), n_nodes=8)
+    verdicts = evaluate(spec, analysis.signals(), now=11.0)
+    return build_report(analysis, verdicts, meta={"seed": 7, "n_nodes": 8})
+
+
+def test_markdown_rendering_is_pure_and_structured():
+    doc = _golden_doc()
+    md = render_markdown(doc)
+    assert md == render_markdown(doc)  # pure function of the doc
+    assert "# PeerWindow protocol health report" in md
+    assert "**Status: HEALTHY**" in md
+    assert "| mcast.tree_completeness | 1 |" in md
+    assert "## Multicast (§4.2)" in md
+    assert "- max depth: 3" in md
+    assert "| 3 | 1 |" in md  # per-level table: depth 3 has one span
+    assert "### Breaches" not in md
+
+
+def test_markdown_surfaces_breaches_with_traces():
+    from repro.obs.analyze import analyze_spans
+
+    analysis = analyze_spans(golden_tree_spans())
+    spec = HealthSpec(slos=[HealthSpec.default(
+        ProtocolConfig(id_bits=16), 8).get("mcast.tree_completeness")])
+    verdicts = evaluate(
+        spec, {"mcast.tree_completeness": 0.5},
+        traces={"mcast.tree_completeness": ("t-golden",)},
+    )
+    doc = build_report(analysis, verdicts)
+    md = render_markdown(doc)
+    assert "**Status: UNHEALTHY**" in md
+    assert "### Breaches" in md
+    assert "`t-golden`" in md
+
+
+def test_json_rendering_is_sorted_and_stable():
+    doc = _golden_doc()
+    js = render_json(doc)
+    assert js == render_json(doc)
+    assert js.endswith("\n")
+    # sort_keys: "analysis" precedes "healthy" precedes "verdicts".
+    assert js.index('"analysis"') < js.index('"healthy"') < js.index('"verdicts"')
