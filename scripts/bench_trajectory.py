@@ -13,6 +13,14 @@ Usage (from the repo root)::
     python scripts/bench_trajectory.py            # rewrite BENCH_health.json
     python scripts/bench_trajectory.py --check    # compare, don't write
     python scripts/bench_trajectory.py --quick    # smoke cells only
+    python scripts/bench_trajectory.py --perf     # also print perf rows
+
+``--perf`` appends machine-dependent engine-cost rows (wall-clock ns per
+simulator event and the process's peak RSS) for a fixed reference
+workload.  Those numbers never go into BENCH_health.json — the committed
+trajectory stays a pure byte-identical function of the seed matrix —
+but printing them next to the health cells gives each trajectory point
+an engine-cost coordinate on the machine that produced it.
 
 Exit status: 0 when every cell is healthy (and, under ``--check``, the
 file matches); 1 otherwise.
@@ -23,7 +31,9 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import resource
 import sys
+import time
 
 ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(ROOT, "src"))
@@ -40,6 +50,57 @@ def render(doc) -> str:
     return json.dumps(doc, sort_keys=True, indent=2) + "\n"
 
 
+#: (n_nodes, sim duration) of the ``--perf`` reference workloads: a
+#: staggered-join network under the paper-scale default config.
+PERF_MATRIX = ((40, 120.0), (100, 120.0))
+
+
+def run_perf_cell(n_nodes: int, duration: float, seed: int = 0) -> dict:
+    """One engine-cost row: wall ns/event and peak RSS for a sequential
+    run of ``n_nodes`` over ``duration`` simulated seconds.
+
+    Peak RSS is process-wide and monotone (``ru_maxrss``), so later rows
+    inherit earlier rows' high-water mark; the first row is the cleanest
+    memory reading.
+    """
+    from repro.core.config import ProtocolConfig
+    from repro.core.protocol import PeerWindowNetwork
+    from repro.net.latency import PairwiseLatencyModel
+
+    t0 = time.perf_counter()
+    net = PeerWindowNetwork(
+        config=ProtocolConfig(),
+        topology=PairwiseLatencyModel(),
+        master_seed=seed,
+    )
+    bootstrap = net.add_first_node(4000.0)
+    for i in range(1, n_nodes):
+        net.sim.schedule(1.0 * i, net.add_node, 4000.0, bootstrap)
+    net.run(until=duration)
+    wall = time.perf_counter() - t0
+    events = net.sim._events_executed
+    peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return {
+        "n_nodes": n_nodes,
+        "duration": duration,
+        "events": events,
+        "wall_s": wall,
+        "ns_per_event": 1e9 * wall / max(1, events),
+        "peak_rss_mb": peak_kb / 1024.0,
+    }
+
+
+def print_perf_rows() -> None:
+    print("\nengine cost (machine-dependent; not part of BENCH_health.json):")
+    print(f"  {'n':>4} {'sim-dur':>8} {'events':>9} {'wall':>8} "
+          f"{'ns/event':>9} {'peak-RSS':>9}")
+    for n_nodes, duration in PERF_MATRIX:
+        row = run_perf_cell(n_nodes, duration)
+        print(f"  {row['n_nodes']:>4} {row['duration']:>7.0f}s "
+              f"{row['events']:>9} {row['wall_s']:>7.2f}s "
+              f"{row['ns_per_event']:>9.0f} {row['peak_rss_mb']:>7.1f}MB")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default=TRAJECTORY_PATH,
@@ -48,6 +109,9 @@ def main(argv=None) -> int:
                         help="compare against the existing file instead of writing")
     parser.add_argument("--quick", action="store_true",
                         help="run only the smoke cells (fast sanity pass)")
+    parser.add_argument("--perf", action="store_true",
+                        help="also print ns/event + peak-RSS rows for the "
+                             "fixed reference workloads (stdout only)")
     args = parser.parse_args(argv)
 
     matrix = tuple(c for c in MATRIX if c[0] == "smoke") if args.quick else MATRIX
@@ -79,6 +143,8 @@ def main(argv=None) -> int:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(text)
         print(f"wrote {args.out} ({doc['summary']['cells']} cells)")
+    if args.perf:
+        print_perf_rows()
     return 0 if doc["summary"]["healthy"] else 1
 
 

@@ -4,7 +4,10 @@
 # smoke scenario (< 60 s, SLO-judged via --health default) + an
 # observability smoke (200-node instrumented run whose span export must
 # pass the schema validator) + a health smoke (200-node run -> span
-# analytics -> `repro obs report` must come back HEALTHY).
+# analytics -> `repro obs report` must come back HEALTHY) + a live smoke
+# (small localhost UDP swarm -> merged span/metrics export -> `repro obs
+# health` must exit 0 on the same default HealthSpec the sim is judged
+# by).
 #
 #   scripts/check.sh             # everything below
 #   scripts/check.sh --lint      # ruff + mypy only
@@ -14,6 +17,7 @@
 #   scripts/check.sh --chaos     # chaos smoke only
 #   scripts/check.sh --obs       # obs smoke only
 #   scripts/check.sh --health    # health smoke only
+#   scripts/check.sh --live      # live swarm smoke only
 set -u
 cd "$(dirname "$0")/.."
 
@@ -23,15 +27,17 @@ run_tests=1
 run_chaos=1
 run_obs=1
 run_health=1
+run_live=1
 case "${1:-}" in
-  --lint) run_analysis=0; run_tests=0; run_chaos=0; run_obs=0; run_health=0 ;;
-  --analysis) run_lint=0; run_tests=0; run_chaos=0; run_obs=0; run_health=0 ;;
-  --tests) run_lint=0; run_analysis=0; run_chaos=0; run_obs=0; run_health=0 ;;
-  --chaos) run_lint=0; run_analysis=0; run_tests=0; run_obs=0; run_health=0 ;;
-  --obs) run_lint=0; run_analysis=0; run_tests=0; run_chaos=0; run_health=0 ;;
-  --health) run_lint=0; run_analysis=0; run_tests=0; run_chaos=0; run_obs=0 ;;
+  --lint) run_analysis=0; run_tests=0; run_chaos=0; run_obs=0; run_health=0; run_live=0 ;;
+  --analysis) run_lint=0; run_tests=0; run_chaos=0; run_obs=0; run_health=0; run_live=0 ;;
+  --tests) run_lint=0; run_analysis=0; run_chaos=0; run_obs=0; run_health=0; run_live=0 ;;
+  --chaos) run_lint=0; run_analysis=0; run_tests=0; run_obs=0; run_health=0; run_live=0 ;;
+  --obs) run_lint=0; run_analysis=0; run_tests=0; run_chaos=0; run_health=0; run_live=0 ;;
+  --health) run_lint=0; run_analysis=0; run_tests=0; run_chaos=0; run_obs=0; run_live=0 ;;
+  --live) run_lint=0; run_analysis=0; run_tests=0; run_chaos=0; run_obs=0; run_health=0 ;;
   "") ;;
-  *) echo "usage: scripts/check.sh [--lint|--analysis|--tests|--chaos|--obs|--health]" >&2; exit 2 ;;
+  *) echo "usage: scripts/check.sh [--lint|--analysis|--tests|--chaos|--obs|--health|--live]" >&2; exit 2 ;;
 esac
 
 status=0
@@ -126,6 +132,25 @@ if [ "$run_health" = 1 ]; then
       echo "health smoke: report is not HEALTHY"; status=1; }
   else
     echo "== numpy not installed; skipping health smoke =="
+  fi
+fi
+
+if [ "$run_live" = 1 ]; then
+  if PYTHONPATH=src python -c "import numpy" >/dev/null 2>&1; then
+    echo "== live smoke (localhost UDP swarm -> merged exports -> SLO judge) =="
+    live_dir="$(mktemp -d)"
+    trap 'rm -rf "${obs_dir:-}" "${health_dir:-}" "${live_dir:-}"' EXIT
+    if command -v timeout >/dev/null 2>&1; then
+      timeout 300 env PYTHONPATH=src python -m repro live swarm -n 6 \
+        --duration 15 --out "$live_dir" || status=1
+    else
+      PYTHONPATH=src python -m repro live swarm -n 6 --duration 15 \
+        --out "$live_dir" || status=1
+    fi
+    PYTHONPATH=src python -m repro obs health "$live_dir/spans.jsonl" \
+      --metrics "$live_dir/metrics.json" || status=1
+  else
+    echo "== numpy not installed; skipping live smoke =="
   fi
 fi
 

@@ -84,10 +84,12 @@ class WallClockRule(Rule):
         "Timestamps must come from the simulated clock (runtime.now); a "
         "host-clock read makes output depend on machine speed, breaking "
         "bit-identical sequential/partitioned/threaded replays.  Only "
-        "repro.obs.profile (whose whole job is wall-clock attribution) "
-        "and benchmarks may read host time."
+        "repro.obs.profile (whose whole job is wall-clock attribution), "
+        "repro.live.clock (the realtime backend's one sanctioned time "
+        "source — everything else in repro.live must go through its "
+        "Clock), and benchmarks may read host time."
     )
-    exempt_modules = ("repro.obs.profile",)
+    exempt_modules = ("repro.obs.profile", "repro.live.clock")
 
     def check(self, ctx: FileContext) -> None:
         imports = ImportMap(ctx.tree)

@@ -502,6 +502,109 @@ def cmd_obs_report(args) -> int:
     return 0 if doc["healthy"] else 1
 
 
+def cmd_live_node(args) -> int:
+    """One live node process (``seed`` is a node with no --via)."""
+    import asyncio
+
+    from repro.live.clock import wall_epoch
+    from repro.live.node import LiveNodeSpec, run_node
+
+    via = getattr(args, "via", None)
+    spec = LiveNodeSpec(
+        host=args.host,
+        port=args.port,
+        index=args.index,
+        n_nodes=args.swarm_size,
+        master_seed=args.seed,
+        epoch=float(args.epoch) if args.epoch is not None else wall_epoch(),
+        duration=args.duration,
+        seed_address=via,
+        join_at=args.join_at,
+        settle=args.settle,
+        request_retries=args.request_retries,
+    )
+    result = asyncio.run(run_node(spec, args.out))
+    role = "seed" if via is None else f"joined={result['joined']}"
+    print(
+        f"live node {spec.address} ({role}) level={result['level']} "
+        f"sent={result['transport']['sent']} "
+        f"delivered={result['transport']['delivered']}"
+    )
+    return 0 if result["joined"] else 1
+
+
+def cmd_live_swarm(args) -> int:
+    """Launch an N-process localhost swarm, merge its exports, and judge
+    (optionally against a sim counterpart of the same (n, config))."""
+    from repro.live.swarm import fidelity_rows, launch_swarm, run_sim_counterpart
+    from repro.obs.health import evaluate
+
+    def judge(label: str, spans_path: str, metrics_path: str):
+        report, signals, spec, _meta = _health_inputs(
+            spans_path, metrics_path, args.spec
+        )
+        verdicts = evaluate(spec, signals)
+        _emit(
+            args,
+            f"health ({label}): {spans_path} vs spec '{spec.name}'",
+            ["slo", "value", "lo", "hi", "ok"],
+            [
+                [v.slo, round(v.value, 6),
+                 "-" if v.lo is None else v.lo,
+                 "-" if v.hi is None else v.hi,
+                 "ok" if v.ok else "BREACH"]
+                for v in verdicts
+            ],
+        )
+        breaches = [v for v in verdicts if not v.ok]
+        for v in breaches:
+            print("  " + v.describe())
+        return signals, not breaches
+
+    summary = launch_swarm(
+        n=args.nodes,
+        duration=args.duration,
+        outdir=args.out,
+        base_port=args.base_port,
+        master_seed=args.seed,
+        stagger=args.stagger,
+        settle=args.settle,
+        request_retries=args.request_retries,
+    )
+    print(
+        f"swarm: {summary['joined']}/{summary['n']} nodes up; "
+        f"spans={summary['spans']} metrics={summary['metrics']}"
+    )
+    rc = 0
+    if summary["joined"] < summary["n"]:
+        print(f"WARNING: {summary['n'] - summary['joined']} node(s) failed to join")
+        rc = 1
+    live_signals = None
+    if args.health or args.compare_sim:
+        live_signals, healthy = judge("live", summary["spans"], summary["metrics"])
+        if not healthy:
+            rc = 1
+    if args.compare_sim:
+        sim_dir = os.path.join(args.out, "sim")
+        sim = run_sim_counterpart(
+            n=args.nodes,
+            duration=args.duration,
+            outdir=sim_dir,
+            master_seed=args.seed,
+            stagger=args.stagger,
+        )
+        sim_signals, healthy = judge("sim", sim["spans"], sim["metrics"])
+        if not healthy:
+            rc = 1
+        _emit(
+            args,
+            f"sim-vs-real fidelity, n={args.nodes}, seed={args.seed}",
+            ["signal", "sim", "live"],
+            fidelity_rows(sim_signals, live_signals),
+        )
+    return rc
+
+
 def cmd_lint(args) -> int:
     """detlint: the determinism & LP-isolation static analyzer."""
     import json as _json
@@ -713,6 +816,69 @@ def build_parser() -> argparse.ArgumentParser:
     plint.add_argument("--explain", action="store_true",
                        help="with --rules: include each rule's rationale")
     plint.set_defaults(func=cmd_lint)
+
+    plive = sub.add_parser(
+        "live",
+        help="realtime backend: the protocol over asyncio/UDP on localhost")
+    live_sub = plive.add_subparsers(dest="live_command", required=True)
+
+    live_node_opts = argparse.ArgumentParser(add_help=False)
+    live_node_opts.add_argument("--host", default="127.0.0.1")
+    live_node_opts.add_argument("--port", type=int, required=True,
+                                help="UDP port to bind (the node's address)")
+    live_node_opts.add_argument("--index", type=int, default=0,
+                                help="node index (seeds this node's RNG streams)")
+    live_node_opts.add_argument("--swarm-size", type=int, default=1,
+                                help="total nodes in the swarm this belongs to")
+    live_node_opts.add_argument("--seed", type=int, default=0,
+                                help="master seed shared by the whole swarm")
+    live_node_opts.add_argument("--epoch", default=None,
+                                help="shared unix-time epoch (t=0 of the run); "
+                                     "default: now")
+    live_node_opts.add_argument("--duration", type=float, default=30.0,
+                                help="epoch-relative lifetime in seconds")
+    live_node_opts.add_argument("--join-at", type=float, default=0.0,
+                                help="epoch-relative join time")
+    live_node_opts.add_argument("--settle", type=float, default=4.0,
+                                help="quiet window before export")
+    live_node_opts.add_argument("--request-retries", type=int, default=1,
+                                help="datagram retransmits per request window")
+    live_node_opts.add_argument("--out", default="live-out",
+                                help="directory for span/result exports")
+
+    pseed = live_sub.add_parser(
+        "seed", parents=[live_node_opts],
+        help="run the bootstrap (first) node of a live system")
+    pseed.set_defaults(func=cmd_live_node, via=None)
+
+    pnode = live_sub.add_parser(
+        "node", parents=[live_node_opts],
+        help="run one node; joins through --via if given")
+    pnode.add_argument("--via", default=None,
+                       help="bootstrap address host:port (omit = seed)")
+    pnode.set_defaults(func=cmd_live_node)
+
+    pswarm = live_sub.add_parser(
+        "swarm", parents=[common_opts],
+        help="launch an N-process localhost swarm and merge its exports")
+    pswarm.add_argument("-n", "--nodes", type=int, default=25)
+    pswarm.add_argument("--duration", type=float, default=30.0)
+    pswarm.add_argument("--seed", type=int, default=0)
+    pswarm.add_argument("--base-port", type=int, default=47000)
+    pswarm.add_argument("--stagger", type=float, default=0.4,
+                        help="seconds between successive joins")
+    pswarm.add_argument("--settle", type=float, default=4.0)
+    pswarm.add_argument("--request-retries", type=int, default=1)
+    pswarm.add_argument("--out", default="live-out",
+                        help="output directory (merged spans.jsonl/metrics.json)")
+    pswarm.add_argument("--health", action="store_true",
+                        help="judge the merged run against the default "
+                             "HealthSpec (exit 1 on breach)")
+    pswarm.add_argument("--compare-sim", action="store_true",
+                        help="also run the sequential-sim counterpart of the "
+                             "same (n, config) and print the fidelity table")
+    pswarm.add_argument("--spec", help="health spec JSON (default: derived)")
+    pswarm.set_defaults(func=cmd_live_swarm)
     return parser
 
 

@@ -18,7 +18,7 @@ from repro.core.errors import NodeIdError
 from repro.core.nodeid import NodeId, eigenstring
 
 
-@dataclass
+@dataclass(slots=True)
 class Pointer:
     """A peer-list entry.
 

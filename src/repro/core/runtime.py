@@ -1,9 +1,11 @@
-"""Runtime abstraction: what the protocol needs from its execution engine.
+"""Simulation-backed runtimes for the kernel's :class:`NodeRuntime`.
 
 The PeerWindow services (join, failure detection, dissemination,
 maintenance) never touch a simulator or a transport directly; they are
-written against :class:`NodeRuntime` — a clock, timers, and a message
-fabric.  Two implementations exist:
+written against :class:`repro.kernel.runtime.NodeRuntime` — a clock,
+timers, and a message fabric (re-exported here for compatibility).
+This module provides the two discrete-event instantiations (the third,
+:class:`repro.live.runtime.RealtimeRuntime`, runs over real sockets):
 
 * :class:`SimRuntime` — the classic pairing of one sequential
   :class:`~repro.sim.engine.Simulator` with one
@@ -39,81 +41,36 @@ correctness property conservative parallel DES must preserve, verified by
 
 from __future__ import annotations
 
-import abc
 from typing import Any, Callable, Dict, Hashable, List, Optional
 
+from repro.kernel.clock import SimClock
+from repro.kernel.runtime import NodeRuntime
 from repro.net.message import Message
 from repro.net.topology import Topology
 from repro.net.transport import Endpoint, PartitionedTransport, Transport
 from repro.sim.engine import EventHandle, PeriodicTask, Simulator
 from repro.sim.parallel import ParallelSimulator
 
-
-class NodeRuntime(abc.ABC):
-    """The execution surface one protocol participant runs on."""
-
-    @property
-    @abc.abstractmethod
-    def now(self) -> float:
-        """Current simulated time for this node, in seconds."""
-
-    @abc.abstractmethod
-    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
-        """Run ``callback(*args)`` after ``delay`` simulated seconds."""
-
-    @abc.abstractmethod
-    def every(
-        self,
-        interval: float,
-        callback: Callable[..., Any],
-        *args: Any,
-        start_delay: Optional[float] = None,
-        jitter: float = 0.0,
-        rng: Any = None,
-    ) -> PeriodicTask:
-        """Repeating timer (see :meth:`repro.sim.engine.Simulator.every`)."""
-
-    @abc.abstractmethod
-    def send(self, msg: Message) -> None:
-        """Fire-and-forget message send."""
-
-    @abc.abstractmethod
-    def request(
-        self,
-        msg: Message,
-        timeout: float,
-        on_reply: Callable[[Message], None],
-        on_timeout: Callable[[], None],
-    ) -> None:
-        """Correlated request/response with a timeout."""
-
-    @abc.abstractmethod
-    def is_alive(self, key: Hashable) -> bool:
-        """Whether ``key`` is a currently-registered endpoint."""
-
-    @abc.abstractmethod
-    def register(self, key: Hashable, handler: Callable[[Message], None]) -> Endpoint:
-        """Attach a message handler for ``key``; returns its endpoint."""
-
-    @abc.abstractmethod
-    def unregister(self, key: Hashable) -> None:
-        """Detach ``key`` (a departed node)."""
+__all__ = ["NodeRuntime", "PartitionedRuntime", "SimRuntime"]
 
 
 class SimRuntime(NodeRuntime):
     """A sequential Simulator + Transport pair seen through the runtime
-    interface.  All nodes of a sequential network share one instance."""
+    interface (clock duties delegated to a kernel
+    :class:`~repro.kernel.clock.SimClock`).  All nodes of a sequential
+    network share one instance."""
 
     def __init__(self, sim: Simulator, transport: Transport):
         self.sim = sim
+        self.clock = SimClock(sim)
         self.transport = transport
 
     @property
     def now(self) -> float:
-        return self.sim.now
+        return self.clock.now
 
     def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
-        return self.sim.schedule(delay, callback, *args)
+        return self.clock.schedule(delay, callback, *args)
 
     def every(
         self,
@@ -124,7 +81,7 @@ class SimRuntime(NodeRuntime):
         jitter: float = 0.0,
         rng: Any = None,
     ) -> PeriodicTask:
-        return self.sim.every(
+        return self.clock.every(
             interval, callback, *args, start_delay=start_delay, jitter=jitter, rng=rng
         )
 

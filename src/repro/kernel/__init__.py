@@ -1,0 +1,42 @@
+"""Backend-neutral execution kernel.
+
+The PeerWindow services are written against three small surfaces, all of
+which live here and none of which mention a simulator or a socket:
+
+* :class:`~repro.kernel.clock.Clock` — time, one-shot timers, periodic
+  timers (with reproducible jitter);
+* :class:`~repro.kernel.runtime.NodeRuntime` — the clock plus a message
+  fabric (send / correlated request / endpoint registry);
+* :mod:`~repro.kernel.codec` — a versioned, schema-checked JSON wire
+  format for :class:`~repro.net.message.Message` and every payload the
+  protocol puts on the wire.
+
+Three runtimes instantiate the kernel: :class:`~repro.core.runtime.SimRuntime`
+(sequential DES), :class:`~repro.core.runtime.PartitionedRuntime`
+(conservative parallel DES), and :class:`~repro.live.runtime.RealtimeRuntime`
+(asyncio/UDP on a real host).  The services run unchanged on all three.
+"""
+
+from repro.kernel.clock import Clock, PeriodicTimer, SimClock, TimerHandle
+from repro.kernel.codec import (
+    MESSAGE_KINDS,
+    WIRE_SCHEMA_VERSION,
+    CodecError,
+    decode_message,
+    encode_message,
+)
+from repro.kernel.runtime import EndpointLike, NodeRuntime
+
+__all__ = [
+    "Clock",
+    "CodecError",
+    "EndpointLike",
+    "MESSAGE_KINDS",
+    "NodeRuntime",
+    "PeriodicTimer",
+    "SimClock",
+    "TimerHandle",
+    "WIRE_SCHEMA_VERSION",
+    "decode_message",
+    "encode_message",
+]

@@ -1,0 +1,427 @@
+"""Versioned, schema-checked JSON wire format for protocol messages.
+
+The DES backends pass :class:`~repro.net.message.Message` objects by
+reference (sizes are explicit ``size_bits``, so nothing needs to be
+serialized).  The realtime backend puts them on UDP sockets, which makes
+the payload structure part of the protocol for the first time.  This
+module pins it down:
+
+* one envelope: ``{"v", "kind", "src", "dst", "id", "re", "bits",
+  "trace", "body"}`` — compact separators, sorted keys, UTF-8;
+* ``v`` is :data:`WIRE_SCHEMA_VERSION`; a decoder refuses versions it
+  does not know;
+* every message kind has a registered body schema (the §4 handshakes
+  fix these shapes — see PROTOCOL.md "Wire format"); encoding a payload
+  that does not match, or decoding a body that does not match, raises
+  :class:`CodecError`;
+* round-trip guarantee: ``decode_message(encode_message(m)) == m`` for
+  every well-formed message of every kind (property-tested in
+  ``tests/kernel/test_codec.py``).  ``msg_id`` rides the wire, so reply
+  correlation (``reply_to`` → ``msg_id``) survives serialization.
+
+Values: addresses are ints (sim keys) or strings (``"host:port"``);
+``attached_info`` must be a JSON tree (None/bool/int/float/str, lists,
+string-keyed dicts) — anything else is a :class:`CodecError` at encode
+time, *not* a silent ``repr``.  NodeIds serialize as ``(value, bits)``
+(arbitrary-precision ints are native JSON here).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.events import EventKind, EventRecord
+from repro.core.nodeid import NodeId
+from repro.core.pointer import Pointer
+from repro.net.message import Message
+from repro.obs.trace import SpanRef
+
+#: Bump when the envelope or any body schema changes shape.
+WIRE_SCHEMA_VERSION: int = 1
+
+
+class CodecError(ValueError):
+    """A message (or datagram) that violates the wire schema."""
+
+
+def _fail(msg: str) -> None:
+    raise CodecError(msg)
+
+
+# -- value codecs -----------------------------------------------------------
+
+
+def _enc_addr(addr: Any, what: str) -> Any:
+    if isinstance(addr, bool) or not isinstance(addr, (int, str)):
+        _fail(f"{what} must be an int or str address, got {type(addr).__name__}")
+    return addr
+
+
+def _dec_addr(obj: Any, what: str) -> Any:
+    if isinstance(obj, bool) or not isinstance(obj, (int, str)):
+        _fail(f"{what} must be an int or str address, got {type(obj).__name__}")
+    return obj
+
+
+def _check_info(value: Any, what: str) -> Any:
+    """Validate ``attached_info`` is a JSON tree that round-trips
+    identically (tuples/sets/bytes would come back changed)."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            _fail(f"{what} must be finite, got {value!r}")
+        return value
+    if isinstance(value, list):
+        for item in value:
+            _check_info(item, what)
+        return value
+    if isinstance(value, dict):
+        for key, item in value.items():
+            if not isinstance(key, str):
+                _fail(f"{what} dict keys must be str, got {type(key).__name__}")
+            _check_info(item, what)
+        return value
+    _fail(f"{what} must be a JSON tree, got {type(value).__name__}")
+
+
+def _dec_number(obj: Any, what: str) -> float:
+    if isinstance(obj, bool) or not isinstance(obj, (int, float)):
+        _fail(f"{what} must be a number, got {type(obj).__name__}")
+    return obj
+
+
+def _dec_int(obj: Any, what: str) -> int:
+    if isinstance(obj, bool) or not isinstance(obj, int):
+        _fail(f"{what} must be an int, got {type(obj).__name__}")
+    return obj
+
+
+def _enc_node_id(nid: Any) -> Dict[str, int]:
+    if not isinstance(nid, NodeId):
+        _fail(f"expected NodeId, got {type(nid).__name__}")
+    return {"v": nid.value, "b": nid.bits}
+
+
+def _dec_node_id(obj: Any) -> NodeId:
+    if not isinstance(obj, dict) or set(obj) != {"v", "b"}:
+        _fail(f"node id must be {{v, b}}, got {obj!r}")
+    return NodeId(_dec_int(obj["v"], "node id value"), _dec_int(obj["b"], "node id bits"))
+
+
+def _enc_pointer(ptr: Any) -> Dict[str, Any]:
+    if not isinstance(ptr, Pointer):
+        _fail(f"expected Pointer, got {type(ptr).__name__}")
+    return {
+        "id": _enc_node_id(ptr.node_id),
+        "addr": _enc_addr(ptr.address, "pointer address"),
+        "level": ptr.level,
+        "info": _check_info(ptr.attached_info, "pointer attached_info"),
+        "sjt": ptr.seen_join_time,
+        "refresh": ptr.last_refresh,
+        "seq": ptr.last_event_seq,
+    }
+
+
+_POINTER_FIELDS = {"id", "addr", "level", "info", "sjt", "refresh", "seq"}
+
+
+def _dec_pointer(obj: Any) -> Pointer:
+    if not isinstance(obj, dict) or set(obj) != _POINTER_FIELDS:
+        _fail(f"pointer must have fields {sorted(_POINTER_FIELDS)}, got {obj!r}")
+    sjt = obj["sjt"]
+    if sjt is not None:
+        sjt = _dec_number(sjt, "pointer seen_join_time")
+    return Pointer(
+        node_id=_dec_node_id(obj["id"]),
+        address=_dec_addr(obj["addr"], "pointer address"),
+        level=_dec_int(obj["level"], "pointer level"),
+        attached_info=_check_info(obj["info"], "pointer attached_info"),
+        seen_join_time=sjt,
+        last_refresh=_dec_number(obj["refresh"], "pointer last_refresh"),
+        last_event_seq=_dec_int(obj["seq"], "pointer last_event_seq"),
+    )
+
+
+def _enc_pointers(ptrs: Any, what: str) -> List[Dict[str, Any]]:
+    if not isinstance(ptrs, list):
+        _fail(f"{what} must be a list of pointers, got {type(ptrs).__name__}")
+    return [_enc_pointer(p) for p in ptrs]
+
+
+def _dec_pointers(obj: Any, what: str) -> List[Pointer]:
+    if not isinstance(obj, list):
+        _fail(f"{what} must be a list of pointers, got {type(obj).__name__}")
+    return [_dec_pointer(p) for p in obj]
+
+
+def _enc_event(ev: Any) -> Dict[str, Any]:
+    if not isinstance(ev, EventRecord):
+        _fail(f"expected EventRecord, got {type(ev).__name__}")
+    return {
+        "kind": ev.kind.value,
+        "id": _enc_node_id(ev.subject_id),
+        "level": ev.subject_level,
+        "addr": _enc_addr(ev.subject_address, "event subject_address"),
+        "seq": ev.seq,
+        "t": ev.origin_time,
+        "info": _check_info(ev.attached_info, "event attached_info"),
+    }
+
+
+_EVENT_FIELDS = {"kind", "id", "level", "addr", "seq", "t", "info"}
+
+
+def _dec_event(obj: Any) -> EventRecord:
+    if not isinstance(obj, dict) or set(obj) != _EVENT_FIELDS:
+        _fail(f"event must have fields {sorted(_EVENT_FIELDS)}, got {obj!r}")
+    try:
+        kind = EventKind(obj["kind"])
+    except ValueError:
+        _fail(f"unknown event kind {obj['kind']!r}")
+    return EventRecord(
+        kind=kind,
+        subject_id=_dec_node_id(obj["id"]),
+        subject_level=_dec_int(obj["level"], "event subject_level"),
+        subject_address=_dec_addr(obj["addr"], "event subject_address"),
+        seq=_dec_int(obj["seq"], "event seq"),
+        origin_time=_dec_number(obj["t"], "event origin_time"),
+        attached_info=_check_info(obj["info"], "event attached_info"),
+    )
+
+
+# -- body schemas, one per message kind -------------------------------------
+
+
+def _enc_none(payload: Any) -> Any:
+    if payload is not None:
+        _fail(f"payload must be None, got {type(payload).__name__}")
+    return None
+
+
+def _dec_none(obj: Any) -> Any:
+    if obj is not None:
+        _fail(f"body must be null, got {obj!r}")
+    return None
+
+
+def _enc_opt_pointer(payload: Any) -> Any:
+    return None if payload is None else _enc_pointer(payload)
+
+
+def _dec_opt_pointer(obj: Any) -> Optional[Pointer]:
+    return None if obj is None else _dec_pointer(obj)
+
+
+def _body_pair(obj: Any, kind: str, n: int = 2) -> List[Any]:
+    if not isinstance(obj, list) or len(obj) != n:
+        _fail(f"{kind} body must be a {n}-element list, got {obj!r}")
+    return obj
+
+
+def _enc_level_info(payload: Any) -> Any:
+    if not isinstance(payload, tuple) or len(payload) != 3:
+        _fail("level-info payload must be (level, ewma_rate, piggyback)")
+    level, rate, piggyback = payload
+    if isinstance(level, bool) or not isinstance(level, int):
+        _fail("level-info level must be an int")
+    if isinstance(rate, bool) or not isinstance(rate, (int, float)):
+        _fail("level-info ewma_rate must be a number")
+    return [level, rate, _enc_pointers(piggyback, "level-info piggyback")]
+
+
+def _dec_level_info(obj: Any) -> Tuple[int, float, List[Pointer]]:
+    body = _body_pair(obj, "level-info", 3)
+    return (
+        _dec_int(body[0], "level-info level"),
+        _dec_number(body[1], "level-info ewma_rate"),
+        _dec_pointers(body[2], "level-info piggyback"),
+    )
+
+
+def _enc_download(payload: Any) -> Any:
+    if not isinstance(payload, tuple) or len(payload) != 2:
+        _fail("download payload must be (requester_id, prefix_len)")
+    requester, prefix_len = payload
+    if isinstance(prefix_len, bool) or not isinstance(prefix_len, int):
+        _fail("download prefix_len must be an int")
+    return [_enc_node_id(requester), prefix_len]
+
+
+def _dec_download(obj: Any) -> Tuple[NodeId, int]:
+    body = _body_pair(obj, "download")
+    return (_dec_node_id(body[0]), _dec_int(body[1], "download prefix_len"))
+
+
+def _enc_download_data(payload: Any) -> Any:
+    if not isinstance(payload, tuple) or len(payload) != 2:
+        _fail("download-data payload must be (matching, tops)")
+    matching, tops = payload
+    return [
+        _enc_pointers(matching, "download-data matching"),
+        _enc_pointers(tops, "download-data tops"),
+    ]
+
+
+def _dec_download_data(obj: Any) -> Tuple[List[Pointer], List[Pointer]]:
+    body = _body_pair(obj, "download-data")
+    return (
+        _dec_pointers(body[0], "download-data matching"),
+        _dec_pointers(body[1], "download-data tops"),
+    )
+
+
+def _enc_mcast(payload: Any) -> Any:
+    if not isinstance(payload, tuple) or len(payload) != 2:
+        _fail("mcast payload must be (event, next_bit)")
+    event, next_bit = payload
+    if isinstance(next_bit, bool) or not isinstance(next_bit, int):
+        _fail("mcast next_bit must be an int")
+    return [_enc_event(event), next_bit]
+
+
+def _dec_mcast(obj: Any) -> Tuple[EventRecord, int]:
+    body = _body_pair(obj, "mcast")
+    return (_dec_event(body[0]), _dec_int(body[1], "mcast next_bit"))
+
+
+def _enc_bridge_subscribe(payload: Any) -> Any:
+    if not isinstance(payload, tuple) or len(payload) != 2:
+        _fail("bridge-subscribe payload must be (pointer, is_top)")
+    pointer, is_top = payload
+    if not isinstance(is_top, bool):
+        _fail("bridge-subscribe is_top must be a bool")
+    return [_enc_pointer(pointer), is_top]
+
+
+def _dec_bridge_subscribe(obj: Any) -> Tuple[Pointer, bool]:
+    body = _body_pair(obj, "bridge-subscribe")
+    if not isinstance(body[1], bool):
+        _fail("bridge-subscribe is_top must be a bool")
+    return (_dec_pointer(body[0]), body[1])
+
+
+#: kind -> (encode_body, decode_body); the schema registry.  These are
+#: the exact shapes the §4 services put in ``Message.payload``.
+_BODY_CODECS: Dict[str, Tuple[Callable[[Any], Any], Callable[[Any], Any]]] = {
+    # failure detection (§4.1) and tree acks (§4.2)
+    "probe": (_enc_none, _dec_none),
+    "probe-ack": (_enc_none, _dec_none),
+    "mcast-ack": (_enc_none, _dec_none),
+    "bridge-ack": (_enc_none, _dec_none),
+    # join handshake (§4.3)
+    "get-top": (_enc_node_id, _dec_node_id),
+    "top-ptr": (_enc_opt_pointer, _dec_opt_pointer),
+    "level-query": (_enc_node_id, _dec_node_id),
+    "level-info": (_enc_level_info, _dec_level_info),
+    "download": (_enc_download, _dec_download),
+    "download-data": (_enc_download_data, _dec_download_data),
+    # dissemination (§4.2) and reporting
+    "mcast": (_enc_mcast, _dec_mcast),
+    "event-copy": (_enc_event, _dec_event),
+    "report": (_enc_event, _dec_event),
+    "report-ack": (
+        lambda p: _enc_pointers(p, "report-ack tops"),
+        lambda o: _dec_pointers(o, "report-ack tops"),
+    ),
+    # maintenance (§4.4/§4.5 top-node exchange and part bridging)
+    "get-topnodes": (_enc_none, _dec_none),
+    "topnodes": (
+        lambda p: _enc_pointers(p, "topnodes"),
+        lambda o: _dec_pointers(o, "topnodes"),
+    ),
+    "bridge-subscribe": (_enc_bridge_subscribe, _dec_bridge_subscribe),
+}
+
+#: Every kind the codec (and therefore the wire) knows, in sorted order.
+MESSAGE_KINDS: Tuple[str, ...] = tuple(sorted(_BODY_CODECS))
+
+
+# -- envelope ---------------------------------------------------------------
+
+
+def encode_message(msg: Message) -> bytes:
+    """Serialize ``msg`` to one UTF-8 JSON datagram.
+
+    Raises :class:`CodecError` for unknown kinds or payloads that do not
+    match the kind's schema.
+    """
+    codec = _BODY_CODECS.get(msg.kind)
+    if codec is None:
+        _fail(f"unknown message kind {msg.kind!r}")
+    if msg.trace is not None:
+        trace: Optional[List[Any]] = [msg.trace[0], msg.trace[1], msg.trace[2]]
+    else:
+        trace = None
+    envelope = {
+        "v": WIRE_SCHEMA_VERSION,
+        "kind": msg.kind,
+        "src": _enc_addr(msg.src, "src"),
+        "dst": _enc_addr(msg.dst, "dst"),
+        "id": msg.msg_id,
+        "re": msg.reply_to,
+        "bits": msg.size_bits,
+        "trace": trace,
+        "body": codec[0](msg.payload),
+    }
+    try:
+        text = json.dumps(
+            envelope, sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+    except ValueError as exc:
+        raise CodecError(f"unserializable message: {exc}") from exc
+    return text.encode("utf-8")
+
+
+_ENVELOPE_FIELDS = {"v", "kind", "src", "dst", "id", "re", "bits", "trace", "body"}
+
+
+def decode_message(data: bytes) -> Message:
+    """Parse one datagram back into a :class:`Message`.
+
+    Raises :class:`CodecError` for malformed JSON, unknown versions or
+    kinds, a missing/extra envelope field, or a body that violates the
+    kind's schema.
+    """
+    try:
+        obj = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CodecError(f"malformed datagram: {exc}") from exc
+    if not isinstance(obj, dict) or set(obj) != _ENVELOPE_FIELDS:
+        _fail(f"envelope must have fields {sorted(_ENVELOPE_FIELDS)}")
+    version = obj["v"]
+    if version != WIRE_SCHEMA_VERSION:
+        _fail(f"unsupported wire schema version {version!r}")
+    kind = obj["kind"]
+    codec = _BODY_CODECS.get(kind) if isinstance(kind, str) else None
+    if codec is None:
+        _fail(f"unknown message kind {kind!r}")
+    reply_to = obj["re"]
+    if reply_to is not None:
+        reply_to = _dec_int(reply_to, "reply_to")
+    size_bits = _dec_int(obj["bits"], "size_bits")
+    if size_bits < 0:
+        _fail("size_bits must be non-negative")
+    raw_trace = obj["trace"]
+    if raw_trace is None:
+        trace: Optional[SpanRef] = None
+    else:
+        if (
+            not isinstance(raw_trace, list)
+            or len(raw_trace) != 3
+            or not isinstance(raw_trace[0], str)
+            or not isinstance(raw_trace[1], str)
+        ):
+            _fail(f"trace must be [trace_id, span_id, depth], got {raw_trace!r}")
+        trace = SpanRef(raw_trace[0], raw_trace[1], _dec_int(raw_trace[2], "trace depth"))
+    return Message(
+        src=_dec_addr(obj["src"], "src"),
+        dst=_dec_addr(obj["dst"], "dst"),
+        kind=kind,
+        payload=codec[1](obj["body"]),
+        size_bits=size_bits,
+        msg_id=_dec_int(obj["id"], "msg_id"),
+        reply_to=reply_to,
+        trace=trace,
+    )

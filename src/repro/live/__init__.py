@@ -1,0 +1,20 @@
+"""Realtime execution backend: the protocol over real sockets.
+
+``repro.live`` runs the unmodified PeerWindow services on asyncio/UDP —
+the third instantiation of the :mod:`repro.kernel` runtime interface,
+next to the sequential and partitioned simulators.  One OS process hosts
+one node (:mod:`repro.live.node`); :mod:`repro.live.swarm` launches an
+N-process localhost swarm, merges the per-process span/metrics exports
+into the same schema-versioned files the simulator writes, and judges
+both a live run and its sim counterpart against the §2-derived
+HealthSpec (the sim-vs-real fidelity report).
+
+Layering rule, enforced by detlint DET001: the **only** module here that
+may read host time is :mod:`repro.live.clock`; everything else goes
+through its :class:`~repro.live.clock.RealtimeClock`.
+"""
+
+from repro.live.clock import RealtimeClock, wall_epoch
+from repro.live.runtime import RealtimeRuntime
+
+__all__ = ["RealtimeClock", "RealtimeRuntime", "wall_epoch"]

@@ -21,7 +21,7 @@ ACK_BITS: int = 100
 POINTER_BITS: int = 500  # one pointer entry during peer-list download
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A simulated datagram.
 
@@ -33,7 +33,10 @@ class Message:
         Message type tag, e.g. ``"event"``, ``"heartbeat"``, ``"ack"``,
         ``"report"``, ``"join"``, ``"download"``.
     payload:
-        Arbitrary model-level payload (not serialized; sizes are explicit).
+        Model-level payload.  The DES backends pass it by reference
+        (sizes are explicit); the realtime backend serializes it via
+        :mod:`repro.kernel.codec`, whose per-kind schemas define what may
+        legally appear here.
     size_bits:
         Wire size used for bandwidth accounting.
     trace:

@@ -39,6 +39,25 @@ def test_det001_allows_sim_clock_and_profile_module():
     ) == []
 
 
+def test_det001_allowlists_the_live_clock_module():
+    # repro.live.clock is the realtime backend's one sanctioned time
+    # source; reading the host clock there is the module's whole job.
+    good = "import time\n\ndef wall_epoch():\n    return time.time()\n"
+    assert rules_fired(good, rel_path="src/repro/live/clock.py") == []
+
+
+def test_det001_still_flags_the_rest_of_repro_live():
+    # The allowlist is the clock module, not the package: every other
+    # live module must take time from the RealtimeClock.
+    bad = "import time\nt = time.time()\n"
+    for rel in (
+        "src/repro/live/runtime.py",
+        "src/repro/live/node.py",
+        "src/repro/live/swarm.py",
+    ):
+        assert "DET001" in rules_fired(bad, rel_path=rel)
+
+
 # -- DET002: global / unseeded RNG -----------------------------------------
 
 def test_det002_flags_stdlib_random_import():

@@ -1,0 +1,222 @@
+"""Wire-codec round-trip guarantees, property-tested per message kind."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import EventKind, EventRecord
+from repro.core.nodeid import NodeId
+from repro.core.pointer import Pointer
+from repro.kernel.codec import (
+    MESSAGE_KINDS,
+    WIRE_SCHEMA_VERSION,
+    CodecError,
+    decode_message,
+    encode_message,
+)
+from repro.net.message import Message
+from repro.obs.trace import SpanRef
+
+# -- strategies -------------------------------------------------------------
+
+addresses = st.one_of(
+    st.integers(min_value=0, max_value=2**32),
+    st.from_regex(r"127\.0\.0\.1:[0-9]{2,5}", fullmatch=True),
+)
+levels = st.integers(min_value=0, max_value=16)
+finite = st.floats(allow_nan=False, allow_infinity=False, width=64)
+json_scalars = st.one_of(st.none(), st.booleans(), st.integers(), finite, st.text())
+json_trees = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=3),
+        st.dictionaries(st.text(max_size=8), children, max_size=3),
+    ),
+    max_leaves=8,
+)
+
+
+@st.composite
+def node_ids(draw):
+    bits = draw(st.integers(min_value=16, max_value=128))
+    return NodeId(draw(st.integers(min_value=0, max_value=2**bits - 1)), bits)
+
+
+@st.composite
+def pointers(draw):
+    nid = draw(node_ids())
+    return Pointer(
+        node_id=nid,
+        address=draw(addresses),
+        level=draw(st.integers(min_value=0, max_value=min(16, nid.bits))),
+        attached_info=draw(json_trees),
+        seen_join_time=draw(st.none() | finite),
+        last_refresh=draw(finite),
+        last_event_seq=draw(st.integers(min_value=-1, max_value=2**31)),
+    )
+
+
+@st.composite
+def events(draw):
+    return EventRecord(
+        kind=draw(st.sampled_from(list(EventKind))),
+        subject_id=draw(node_ids()),
+        subject_level=draw(levels),
+        subject_address=draw(addresses),
+        seq=draw(st.integers(min_value=0, max_value=2**31)),
+        origin_time=draw(finite),
+        attached_info=draw(json_trees),
+    )
+
+
+def payloads_for(kind):
+    """A strategy producing schema-valid payloads for ``kind`` — every
+    kind in MESSAGE_KINDS must have an entry here, so adding a codec
+    schema without extending the property test fails loudly."""
+    ptr_lists = st.lists(pointers(), max_size=3)
+    by_kind = {
+        "probe": st.none(),
+        "probe-ack": st.none(),
+        "mcast-ack": st.none(),
+        "bridge-ack": st.none(),
+        "get-topnodes": st.none(),
+        "get-top": node_ids(),
+        "level-query": node_ids(),
+        "top-ptr": st.none() | pointers(),
+        "level-info": st.tuples(levels, finite, ptr_lists),
+        "download": st.tuples(node_ids(), levels),
+        "download-data": st.tuples(ptr_lists, ptr_lists),
+        "mcast": st.tuples(events(), st.integers(min_value=0, max_value=128)),
+        "event-copy": events(),
+        "report": events(),
+        "report-ack": ptr_lists,
+        "topnodes": ptr_lists,
+        "bridge-subscribe": st.tuples(pointers(), st.booleans()),
+    }
+    assert set(by_kind) == set(MESSAGE_KINDS)
+    return by_kind[kind]
+
+
+@st.composite
+def messages(draw):
+    kind = draw(st.sampled_from(MESSAGE_KINDS))
+    reply_to = draw(st.none() | st.integers(min_value=0, max_value=2**31))
+    trace = draw(
+        st.none()
+        | st.builds(
+            SpanRef, st.text(max_size=12), st.text(max_size=12),
+            st.integers(min_value=0, max_value=64),
+        )
+    )
+    return Message(
+        src=draw(addresses),
+        dst=draw(addresses),
+        kind=kind,
+        payload=draw(payloads_for(kind)),
+        size_bits=draw(st.integers(min_value=0, max_value=10_000)),
+        reply_to=reply_to,
+        trace=trace,
+    )
+
+
+# -- round-trip -------------------------------------------------------------
+
+@settings(max_examples=300, deadline=None)
+@given(messages())
+def test_encode_decode_identity(msg):
+    wire = encode_message(msg)
+    assert isinstance(wire, bytes)
+    back = decode_message(wire)
+    assert back == msg
+    # msg_id survives the wire: reply correlation works across processes.
+    assert back.msg_id == msg.msg_id
+    # Re-encoding is stable (canonical form).
+    assert encode_message(back) == wire
+
+
+def test_every_kind_has_a_deterministic_example():
+    """One concrete round-trip per kind, so a schema regression names
+    the kind even if hypothesis shrinks elsewhere."""
+    ptr = Pointer(NodeId(0b1011, 4), "127.0.0.1:9001", 2,
+                  attached_info={"cpu": 0.5}, seen_join_time=1.0,
+                  last_refresh=2.0, last_event_seq=3)
+    ev = EventRecord(EventKind.JOIN, NodeId(5, 4), 1, "127.0.0.1:9002", 7, 8.5)
+    samples = {
+        "probe": None, "probe-ack": None, "mcast-ack": None,
+        "bridge-ack": None, "get-topnodes": None,
+        "get-top": NodeId(3, 4), "level-query": NodeId(3, 4),
+        "top-ptr": ptr, "level-info": (2, 123.5, [ptr]),
+        "download": (NodeId(9, 4), 2), "download-data": ([ptr], []),
+        "mcast": (ev, 3), "event-copy": ev, "report": ev,
+        "report-ack": [ptr], "topnodes": [ptr, ptr.copy()],
+        "bridge-subscribe": (ptr, True),
+    }
+    assert set(samples) == set(MESSAGE_KINDS)
+    for kind, payload in samples.items():
+        msg = Message(src="127.0.0.1:1", dst="127.0.0.1:2", kind=kind,
+                      payload=payload, trace=SpanRef("t", "s", 1))
+        assert decode_message(encode_message(msg)) == msg, kind
+
+
+def test_trace_decodes_to_spanref():
+    msg = Message(src=1, dst=2, kind="probe", trace=("trace", "span", 4))
+    back = decode_message(encode_message(msg))
+    assert isinstance(back.trace, SpanRef)
+    assert back.trace.span_id == "span" and back.trace.depth == 4
+
+
+# -- schema rejection -------------------------------------------------------
+
+def test_unknown_kind_rejected_both_ways():
+    with pytest.raises(CodecError):
+        encode_message(Message(src=1, dst=2, kind="no-such-kind"))
+    wire = json.loads(encode_message(Message(src=1, dst=2, kind="probe")))
+    wire["kind"] = "no-such-kind"
+    with pytest.raises(CodecError):
+        decode_message(json.dumps(wire).encode())
+
+
+def test_unknown_version_rejected():
+    wire = json.loads(encode_message(Message(src=1, dst=2, kind="probe")))
+    wire["v"] = WIRE_SCHEMA_VERSION + 1
+    with pytest.raises(CodecError):
+        decode_message(json.dumps(wire).encode())
+
+
+def test_envelope_field_set_is_exact():
+    wire = json.loads(encode_message(Message(src=1, dst=2, kind="probe")))
+    extra = dict(wire, surprise=1)
+    with pytest.raises(CodecError):
+        decode_message(json.dumps(extra).encode())
+    missing = {k: v for k, v in wire.items() if k != "bits"}
+    with pytest.raises(CodecError):
+        decode_message(json.dumps(missing).encode())
+
+
+def test_body_schema_enforced_on_decode():
+    wire = json.loads(encode_message(Message(src=1, dst=2, kind="probe")))
+    wire["body"] = {"not": "null"}
+    with pytest.raises(CodecError):
+        decode_message(json.dumps(wire).encode())
+
+
+def test_payload_shape_enforced_on_encode():
+    with pytest.raises(CodecError):
+        encode_message(Message(src=1, dst=2, kind="mcast", payload=("x",)))
+    with pytest.raises(CodecError):
+        encode_message(Message(src=1, dst=2, kind="get-top", payload=7))
+
+
+def test_non_json_attached_info_rejected():
+    ptr = Pointer(NodeId(1, 4), 1, 0, attached_info=object())
+    with pytest.raises(CodecError):
+        encode_message(Message(src=1, dst=2, kind="top-ptr", payload=ptr))
+
+
+def test_malformed_datagrams_rejected():
+    with pytest.raises(CodecError):
+        decode_message(b"\xff\xfe not json")
+    with pytest.raises(CodecError):
+        decode_message(b"[1,2,3]")
