@@ -7,7 +7,9 @@
 # analytics -> `repro obs report` must come back HEALTHY) + a live smoke
 # (small localhost UDP swarm -> merged span/metrics export -> `repro obs
 # health` must exit 0 on the same default HealthSpec the sim is judged
-# by).
+# by) + a byzantine smoke (one eclipse + one forged-obituary adversarial
+# scenario with the DESIGN §16 hardening enabled; both must come back
+# HEALTHY under the byzantine SLO bands).
 #
 #   scripts/check.sh             # everything below
 #   scripts/check.sh --lint      # ruff + mypy only
@@ -15,6 +17,7 @@
 #                                # detlint-baseline.json)
 #   scripts/check.sh --tests     # tests only
 #   scripts/check.sh --chaos     # chaos smoke only
+#   scripts/check.sh --byzantine # byzantine smoke only
 #   scripts/check.sh --obs       # obs smoke only
 #   scripts/check.sh --health    # health smoke only
 #   scripts/check.sh --live      # live swarm smoke only
@@ -25,19 +28,21 @@ run_lint=1
 run_analysis=1
 run_tests=1
 run_chaos=1
+run_byzantine=1
 run_obs=1
 run_health=1
 run_live=1
 case "${1:-}" in
-  --lint) run_analysis=0; run_tests=0; run_chaos=0; run_obs=0; run_health=0; run_live=0 ;;
-  --analysis) run_lint=0; run_tests=0; run_chaos=0; run_obs=0; run_health=0; run_live=0 ;;
-  --tests) run_lint=0; run_analysis=0; run_chaos=0; run_obs=0; run_health=0; run_live=0 ;;
-  --chaos) run_lint=0; run_analysis=0; run_tests=0; run_obs=0; run_health=0; run_live=0 ;;
-  --obs) run_lint=0; run_analysis=0; run_tests=0; run_chaos=0; run_health=0; run_live=0 ;;
-  --health) run_lint=0; run_analysis=0; run_tests=0; run_chaos=0; run_obs=0; run_live=0 ;;
-  --live) run_lint=0; run_analysis=0; run_tests=0; run_chaos=0; run_obs=0; run_health=0 ;;
+  --lint) run_analysis=0; run_tests=0; run_chaos=0; run_byzantine=0; run_obs=0; run_health=0; run_live=0 ;;
+  --analysis) run_lint=0; run_tests=0; run_chaos=0; run_byzantine=0; run_obs=0; run_health=0; run_live=0 ;;
+  --tests) run_lint=0; run_analysis=0; run_chaos=0; run_byzantine=0; run_obs=0; run_health=0; run_live=0 ;;
+  --chaos) run_lint=0; run_analysis=0; run_tests=0; run_byzantine=0; run_obs=0; run_health=0; run_live=0 ;;
+  --byzantine) run_lint=0; run_analysis=0; run_tests=0; run_chaos=0; run_obs=0; run_health=0; run_live=0 ;;
+  --obs) run_lint=0; run_analysis=0; run_tests=0; run_chaos=0; run_byzantine=0; run_health=0; run_live=0 ;;
+  --health) run_lint=0; run_analysis=0; run_tests=0; run_chaos=0; run_byzantine=0; run_obs=0; run_live=0 ;;
+  --live) run_lint=0; run_analysis=0; run_tests=0; run_chaos=0; run_byzantine=0; run_obs=0; run_health=0 ;;
   "") ;;
-  *) echo "usage: scripts/check.sh [--lint|--analysis|--tests|--chaos|--obs|--health|--live]" >&2; exit 2 ;;
+  *) echo "usage: scripts/check.sh [--lint|--analysis|--tests|--chaos|--byzantine|--obs|--health|--live]" >&2; exit 2 ;;
 esac
 
 status=0
@@ -80,6 +85,23 @@ if [ "$run_chaos" = 1 ]; then
     fi
   else
     echo "== numpy not installed; skipping chaos smoke =="
+  fi
+fi
+
+if [ "$run_byzantine" = 1 ]; then
+  if PYTHONPATH=src python -c "import numpy" >/dev/null 2>&1; then
+    echo "== byzantine smoke (adversarial scenarios, hardening on, SLO-judged) =="
+    for scenario in eclipse forged-obituary; do
+      if command -v timeout >/dev/null 2>&1; then
+        timeout 120 env PYTHONPATH=src python -m repro chaos \
+          --byzantine "$scenario" --seed 0 --health default || status=1
+      else
+        PYTHONPATH=src python -m repro chaos --byzantine "$scenario" \
+          --seed 0 --health default || status=1
+      fi
+    done
+  else
+    echo "== numpy not installed; skipping byzantine smoke =="
   fi
 fi
 

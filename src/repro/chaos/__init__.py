@@ -18,15 +18,34 @@ Three cooperating pieces:
   plan plus a quiescence tail, and emits a deterministic fault/state
   trace whose bytes are identical across same-seed runs.
 
-CLI: ``python -m repro chaos --scenario churn-partition --nodes 500 --seed 0``.
+A fourth piece (DESIGN §16) layers *adversaries* on the same machinery:
+:class:`~repro.chaos.byzantine.ByzantinePlan` injects lies (level
+inflation, forged obituaries, eclipse-style targeted isolation, sybil
+floods, flash crowds) and :class:`~repro.chaos.byzantine.ByzantineMonitor`
+asserts the invariants the protocol hardening must enforce against them.
+
+CLI: ``python -m repro chaos --scenario churn-partition --nodes 500 --seed 0``
+or ``python -m repro chaos --byzantine forged-obituary --health default``.
 """
 
+from repro.chaos.byzantine import (
+    BYZANTINE_SCENARIOS,
+    ByzantineMonitor,
+    ByzantinePlan,
+    ByzantineRunner,
+    ByzantineScenario,
+)
 from repro.chaos.faults import ChaosTrace, FaultEvent, FaultPlan
 from repro.chaos.monitor import InvariantMonitor, Violation, quiescence_bound
 from repro.chaos.runner import ChaosResult, ChaosRunner
 from repro.chaos.scenarios import SCENARIOS, Scenario
 
 __all__ = [
+    "BYZANTINE_SCENARIOS",
+    "ByzantineMonitor",
+    "ByzantinePlan",
+    "ByzantineRunner",
+    "ByzantineScenario",
     "ChaosResult",
     "ChaosRunner",
     "ChaosTrace",

@@ -80,7 +80,33 @@ class FaultPlan:
 
     # -- builders ----------------------------------------------------------
 
+    @staticmethod
+    def _require(condition: bool, message: str) -> None:
+        """Builder-parameter validation: a misconfigured plan must fail
+        loudly at build time, not fire silently wrong (or not at all)."""
+        if not condition:
+            raise ValueError(message)
+
     def _add(self, time: float, kind: str, **params: float) -> "FaultPlan":
+        self._require(time >= 0, f"{kind}: time must be >= 0, got {time!r}")
+        for name in ("duration", "down_for"):
+            if name in params:
+                self._require(
+                    params[name] > 0,
+                    f"{kind}: {name} must be positive, got {params[name]!r}",
+                )
+        for name in ("count", "crash", "join", "pairs"):
+            if name in params:
+                self._require(
+                    params[name] >= 0 and int(params[name]) == params[name],
+                    f"{kind}: {name} must be a non-negative integer, "
+                    f"got {params[name]!r}",
+                )
+        if "rate" in params:
+            self._require(
+                0.0 <= params["rate"] <= 1.0,
+                f"{kind}: rate must be in [0, 1], got {params['rate']!r}",
+            )
         self.events.append(
             FaultEvent(float(time), kind, tuple(sorted(params.items())))
         )
@@ -88,6 +114,7 @@ class FaultPlan:
 
     def crash(self, time: float, count: int = 1) -> "FaultPlan":
         """Silently kill ``count`` live nodes (no LEAVE announcement)."""
+        self._require(count >= 1, f"crash: count must be >= 1, got {count!r}")
         return self._add(time, "crash", count=count)
 
     def crash_recover(
@@ -96,12 +123,23 @@ class FaultPlan:
         """Crash ``count`` nodes, then rejoin each through the §4.3 path
         ``down_for`` seconds later, reconciling its stale cached peer
         list against the downloaded snapshot."""
+        self._require(count >= 1, f"crash_recover: count must be >= 1, got {count!r}")
+        self._require(
+            down_for > 0,
+            "crash_recover: down_for must be positive (a recovery scheduled "
+            f"at or before its crash is non-monotone), got {down_for!r}",
+        )
         return self._add(time, "crash_recover", count=count, down_for=down_for)
 
     def churn(self, time: float, crash: int = 0, join: int = 0,
               threshold: float = 1e9) -> "FaultPlan":
         """A churn burst: ``crash`` silent deaths plus ``join`` fresh
         protocol joins through randomly chosen live bootstraps."""
+        self._require(crash >= 0 and join >= 0,
+                      f"churn: crash/join must be >= 0, got {crash!r}/{join!r}")
+        self._require(crash + join > 0, "churn: needs crash > 0 or join > 0")
+        self._require(threshold > 0,
+                      f"churn: threshold must be positive, got {threshold!r}")
         return self._add(time, "churn", crash=crash, join=join, threshold=threshold)
 
     def partition(self, time: float, groups: int = 2,
@@ -110,17 +148,21 @@ class FaultPlan:
         heal after ``duration``.  Keep ``duration`` below the detection
         horizon (``probe_misses_to_fail * probe_timeout``) when the
         scenario must converge back without evictions."""
+        self._require(groups >= 2, f"partition: groups must be >= 2, got {groups!r}")
         return self._add(time, "partition", groups=groups, duration=duration)
 
     def pair_loss(self, time: float, pairs: int = 50, rate: float = 0.3,
                   duration: float = 10.0) -> "FaultPlan":
         """Asymmetric loss: ``pairs`` random directed links drop ``rate``
         of their traffic for ``duration`` seconds."""
+        self._require(pairs >= 1, f"pair_loss: pairs must be >= 1, got {pairs!r}")
         return self._add(time, "pair_loss", pairs=pairs, rate=rate, duration=duration)
 
     def latency_spike(self, time: float, scale: float = 2.0,
                       duration: float = 10.0) -> "FaultPlan":
         """Multiply every one-way delay by ``scale`` for ``duration``."""
+        self._require(scale >= 1.0,
+                      f"latency_spike: scale must be >= 1, got {scale!r}")
         return self._add(time, "latency_spike", scale=scale, duration=duration)
 
     def slow(self, time: float, count: int = 1, extra: float = 0.3,
@@ -128,6 +170,8 @@ class FaultPlan:
         """Give ``count`` nodes ``extra`` seconds of one-way delay (keep
         the round trip under ``probe_timeout`` or they will be declared
         dead, which is a different fault — see :meth:`zombie`)."""
+        self._require(count >= 1, f"slow: count must be >= 1, got {count!r}")
+        self._require(extra >= 0, f"slow: extra must be >= 0, got {extra!r}")
         return self._add(time, "slow", count=count, extra=extra, duration=duration)
 
     def zombie(self, time: float, count: int = 1,
@@ -136,6 +180,7 @@ class FaultPlan:
         handler never runs and nothing they send leaves the host.  On
         cure each announces a REFRESH with an outrunning sequence number
         so any obituary in flight is refuted."""
+        self._require(count >= 1, f"zombie: count must be >= 1, got {count!r}")
         return self._add(time, "zombie", count=count, duration=duration)
 
     def duplicate(self, time: float, rate: float = 0.2,
@@ -170,9 +215,25 @@ class FaultPlan:
         if net.sim is None:
             raise ValueError("FaultPlan drives the sequential engine; "
                              "partitioned networks have no single event queue")
+        self._validate_population(len(net.nodes))
         self._disrupt = on_disruption or (lambda _t: None)
         for index, ev in enumerate(sorted(self.events, key=lambda e: e.time)):
             net.sim.schedule(ev.time, self._fire, net, trace, ev, index)
+
+    def _validate_population(self, population: int) -> None:
+        """Install-time check: an event that targets more *existing* nodes
+        than the network has is a misconfigured plan, not a fault.  (Keys
+        that create nodes — churn's ``join`` — are exempt, and fire-time
+        still clamps to the then-live pool for populations that shrank.)
+        """
+        for ev in self.events:
+            for name in ("count", "crash", "victims", "liars", "adversaries"):
+                wanted = int(ev.get(name))
+                if wanted > population:
+                    raise ValueError(
+                        f"{ev.kind}: {name}={wanted} exceeds the "
+                        f"population of {population} nodes"
+                    )
 
     # -- firing ------------------------------------------------------------
 

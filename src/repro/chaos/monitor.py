@@ -49,6 +49,9 @@ def quiescence_bound(config: ProtocolConfig) -> float:
     * *disseminate* — the obituary travels the §4.5 report path (two
       report hops with timeout/retry budget) and the §4.2 tree (retries
       plus per-hop processing delay over the deepest possible tree);
+    * *verify* — with ``config.obituary_verify`` on (DESIGN §16), every
+      believer probes the reported-dead subject before evicting, adding
+      one full verification window ahead of each application;
     * one extra probe period of slack for repairs that themselves
       trigger a second detection round (e.g. crash-recovery's stale
       cache verification).
@@ -61,7 +64,12 @@ def quiescence_bound(config: ProtocolConfig) -> float:
         + config.multicast_attempts * config.multicast_ack_timeout
         + config.id_bits * config.multicast_processing_delay
     )
-    return detect + disseminate + config.probe_interval
+    verify = (
+        config.probe_misses_to_fail * config.probe_timeout
+        if config.obituary_verify
+        else 0.0
+    )
+    return detect + disseminate + verify + config.probe_interval
 
 
 @dataclass(frozen=True)

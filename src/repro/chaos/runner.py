@@ -95,12 +95,12 @@ class ChaosRunner:
         net = PeerWindowNetwork(
             config=config, master_seed=self.seed, observability=self.observe
         )
-        net.seed_nodes([scenario.threshold_bps] * self.n_nodes)
+        self._seed(net)
         net.run(until=scenario.settle)
 
         trace = ChaosTrace()
-        monitor = InvariantMonitor(net, interval=self.monitor_interval)
         plan = scenario.build_plan(self.n_nodes, self.seed)
+        monitor = self._make_monitor(net, plan)
         trace.add(net.sim.now, f"begin scenario={scenario.name} "
                                f"nodes={self.n_nodes} seed={self.seed}")
         plan.install(net, trace, on_disruption=monitor.note_disruption)
@@ -137,7 +137,7 @@ class ChaosRunner:
         if health_mon is not None:
             health_mon.stop()
             health_verdicts.extend(health_mon.breaches)
-            health_verdicts.extend(self._posthoc_health(net, config))
+            health_verdicts.extend(self._posthoc_health(net, config, monitor))
 
         self._trace_final_state(net, trace, monitor)
         return ChaosResult(
@@ -157,7 +157,24 @@ class ChaosRunner:
             health_verdicts=health_verdicts,
         )
 
-    def _posthoc_health(self, net, config) -> List[Verdict]:
+    # -- subclass hooks ----------------------------------------------------
+
+    def _seed(self, net) -> None:
+        """Install the initial population (hook: the byzantine runner
+        pins the seeded level so group geometry is controlled)."""
+        net.seed_nodes([self.scenario.threshold_bps] * self.n_nodes)
+
+    def _make_monitor(self, net, plan) -> InvariantMonitor:
+        """Build the in-run invariant checker (hook: the byzantine runner
+        substitutes a monitor that also asserts adversarial invariants)."""
+        return InvariantMonitor(net, interval=self.monitor_interval)
+
+    def _extra_signals(self, net, monitor) -> Dict[str, float]:
+        """Scenario-family signals merged into the post-hoc health
+        evaluation (hook: ``byz.*`` signals; empty by default)."""
+        return {}
+
+    def _posthoc_health(self, net, config, monitor) -> List[Verdict]:
         """One authoritative spec evaluation over the quiesced end state:
         full span-log analytics plus metrics-derived signals."""
         from repro.obs.analyze import analyze_spans
@@ -172,6 +189,7 @@ class ChaosRunner:
                 meta={"mean_error_rate": net.mean_error_rate()},
             )
         )
+        signals.update(self._extra_signals(net, monitor))
         assert self.health_spec is not None
         return evaluate(self.health_spec, signals, now=net.sim.now)
 

@@ -184,7 +184,12 @@ def cmd_baselines(args) -> None:
 
 
 def cmd_chaos(args) -> int:
-    from repro.chaos import SCENARIOS, ChaosRunner
+    from repro.chaos import (
+        BYZANTINE_SCENARIOS,
+        SCENARIOS,
+        ByzantineRunner,
+        ChaosRunner,
+    )
     from repro.obs.export import (
         prepare_output_path,
         write_chrome_trace,
@@ -196,13 +201,25 @@ def cmd_chaos(args) -> int:
         _emit(args, "chaos scenarios",
               ["scenario", "default_nodes", "description"],
               [[s.name, s.default_nodes, s.description]
-               for s in SCENARIOS.values()])
+               for s in SCENARIOS.values()]
+              + [[s.name, s.default_nodes, s.description]
+                 for s in BYZANTINE_SCENARIOS.values()])
         return 0
-    scenario = SCENARIOS.get(args.scenario)
-    if scenario is None:
-        print(f"unknown scenario {args.scenario!r}; "
-              f"choose from: {', '.join(sorted(SCENARIOS))}", file=sys.stderr)
-        return 2
+    runner_cls = ChaosRunner
+    if args.byzantine is not None:
+        runner_cls = ByzantineRunner
+        scenario = BYZANTINE_SCENARIOS.get(args.byzantine)
+        if scenario is None:
+            print(f"unknown byzantine scenario {args.byzantine!r}; "
+                  f"choose from: {', '.join(sorted(BYZANTINE_SCENARIOS))}",
+                  file=sys.stderr)
+            return 2
+    else:
+        scenario = SCENARIOS.get(args.scenario)
+        if scenario is None:
+            print(f"unknown scenario {args.scenario!r}; "
+                  f"choose from: {', '.join(sorted(SCENARIOS))}", file=sys.stderr)
+            return 2
     # Validate output paths up front: a bad --trace/--spans/--chrome
     # destination should fail before the run, not after it.
     if args.trace:
@@ -219,11 +236,14 @@ def cmd_chaos(args) -> int:
 
         if args.health == "default":
             n = args.nodes if args.nodes is not None else scenario.default_nodes
-            health_spec = HealthSpec.default(scenario.make_config(), n)
+            if args.byzantine is not None:
+                health_spec = HealthSpec.byzantine(scenario.make_config(), n)
+            else:
+                health_spec = HealthSpec.default(scenario.make_config(), n)
         else:
             health_spec = HealthSpec.load(args.health)
     observe = bool(args.spans or args.chrome or args.metrics)
-    runner = ChaosRunner(
+    runner = runner_cls(
         scenario, n_nodes=args.nodes, seed=args.seed, observe=observe,
         health_spec=health_spec,
     )
@@ -723,6 +743,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "invariant checking")
     pch.add_argument("--scenario", default="smoke",
                      help="scenario name (--list shows all)")
+    pch.add_argument("--byzantine", metavar="SCENARIO", default=None,
+                     help="run an adversarial scenario (DESIGN §16) with the "
+                          "byzantine runner instead of --scenario; 'default' "
+                          "health uses the byzantine SLO bands")
     pch.add_argument("-n", "--nodes", type=int, default=None,
                      help="population (default: the scenario's)")
     pch.add_argument("--seed", type=int, default=0,

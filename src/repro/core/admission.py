@@ -1,0 +1,77 @@
+"""SHA-256 proof-of-work join admission (DESIGN §16).
+
+"On the Cost of Participating in a Peer-to-Peer Network" (PAPERS.md)
+motivates pricing admission: a Sybil flood is only cheap if minting an
+identity is free.  Here a joiner must exhibit a nonce such that
+``sha256("{node_id_value:x}:{nonce}")`` starts with
+``config.join_pow_bits`` zero bits before any server will answer its
+§4.3 get-top.  The work is bound to the identity — solving for one
+nodeId says nothing about the next — so an attacker pays the expected
+``2**bits`` hash attempts *per identity minted*, while an honest joiner
+pays it once.
+
+The hashing is real (the token a server verifies is a genuine SHA-256
+preimage search), but its *time* cost inside the simulator is modeled:
+``attempts / config.join_pow_hash_rate`` simulated seconds are paid as a
+delay before the get-top is sent.  Verification is a single hash, so the
+asymmetry matches the real deployment: joiners grind, servers check.
+
+Everything here is deterministic — the nonce search starts at 0 and
+walks up, so the same identity always yields the same token and chaos
+replays stay byte-identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Tuple
+
+#: Hard ceiling on the difficulty a solver will attempt: at 32 bits the
+#: expected search is ~4e9 hashes, far beyond any sane simulation budget.
+MAX_POW_BITS = 32
+
+
+def _digest_value(node_id_value: int, nonce: int) -> int:
+    data = f"{node_id_value:x}:{nonce:d}".encode("ascii")
+    return int.from_bytes(hashlib.sha256(data).digest(), "big")
+
+
+def verify_pow(node_id_value: int, nonce: int, bits: int) -> bool:
+    """One hash: does ``nonce`` prove ``bits`` leading zero bits of work
+    bound to ``node_id_value``?"""
+    if bits <= 0:
+        return True
+    if not 0 < bits <= MAX_POW_BITS:
+        raise ValueError(f"pow bits must be in (0, {MAX_POW_BITS}]")
+    if not isinstance(nonce, int) or isinstance(nonce, bool) or nonce < 0:
+        return False
+    return _digest_value(node_id_value, nonce) >> (256 - bits) == 0
+
+
+def solve_pow(node_id_value: int, bits: int) -> Tuple[int, int]:
+    """Grind nonces from 0 until the digest shows ``bits`` leading zero
+    bits.  Returns ``(nonce, attempts)`` where ``attempts = nonce + 1``
+    is the number of hashes computed (the quantity the cost model
+    charges).  Deterministic: same identity, same token."""
+    if bits <= 0:
+        return 0, 0
+    if bits > MAX_POW_BITS:
+        raise ValueError(f"pow bits must be in (0, {MAX_POW_BITS}]")
+    nonce = 0
+    shift = 256 - bits
+    while _digest_value(node_id_value, nonce) >> shift != 0:
+        nonce += 1
+    return nonce, nonce + 1
+
+
+def pow_cost_seconds(attempts: int, hash_rate: float) -> float:
+    """The modeled wall time of ``attempts`` hashes at ``hash_rate``
+    hashes/second — the simulated delay a joiner pays before get-top."""
+    if hash_rate <= 0:
+        raise ValueError("hash_rate must be positive")
+    return attempts / hash_rate
+
+
+def expected_attempts(bits: int) -> float:
+    """The admission cost curve: E[hashes] to mint one identity."""
+    return float(2**bits) if bits > 0 else 0.0

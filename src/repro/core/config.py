@@ -85,6 +85,41 @@ class ProtocolConfig:
         single-shot behavior.
     join_retry_backoff:
         Exponential backoff multiplier between join retries (>= 1).
+    obituary_verify:
+        Verify-before-believe (DESIGN §16): when True, a LEAVE event about
+        a third party the node still holds is confirmed by probing the
+        reported-dead node (``probe_misses_to_fail`` probes of
+        ``probe_timeout`` each) before it may evict anything.  A reply
+        refutes the obituary and strikes the accuser; False (the default)
+        keeps the paper's trust-every-message behavior.
+    quarantine_strikes:
+        Refuted obituaries tolerated from one accuser before its future
+        obituaries are dropped unheard (only meaningful with
+        ``obituary_verify``; must stay >= 1).
+    join_pow_bits:
+        SHA-256 proof-of-work admission: leading zero bits a joiner's
+        ``sha256("{id:x}:{nonce}")`` digest must show before a get-top is
+        served.  Expected cost is ``2**bits`` hash attempts per identity,
+        so Sybil floods pay linearly in identities minted.  0 (default)
+        disables admission work.
+    join_pow_hash_rate:
+        Modeled hashes/second a joiner can compute; the solve cost
+        ``attempts / hash_rate`` is paid as simulated delay before the
+        get-top is sent.
+    join_throttle_interval:
+        Per-server join-rate throttle: minimum seconds between get-top
+        requests one node will serve.  Excess requests are silently
+        dropped and the joiner's §4.3 backoff-and-retry absorbs the
+        wait.  0 (default) disables throttling.
+    claim_audit_interval:
+        Claim-auditing cadence (seconds): maintenance periodically
+        cross-checks the strongest level claim it holds by downloading
+        the claimant's peer list at its claimed level and demoting liars
+        whose returned list does not evidence the claimed coverage.
+        0 (default) disables auditing.
+    claim_audit_margin:
+        How much larger (×) a stronger node's returned list must be than
+        the auditor's own before the size check passes (> 1).
     """
 
     id_bits: int = 128
@@ -110,6 +145,13 @@ class ProtocolConfig:
     timer_jitter: float = 0.0
     join_retry_attempts: int = 0
     join_retry_backoff: float = 2.0
+    obituary_verify: bool = False
+    quarantine_strikes: int = 3
+    join_pow_bits: int = 0
+    join_pow_hash_rate: float = 1000.0
+    join_throttle_interval: float = 0.0
+    claim_audit_interval: float = 0.0
+    claim_audit_margin: float = 1.5
 
     def __post_init__(self) -> None:
         if not 1 <= self.id_bits <= 256:
@@ -156,6 +198,18 @@ class ProtocolConfig:
             raise ConfigError("join_retry_backoff must be >= 1")
         if not 0.0 <= self.timer_jitter < 1.0:
             raise ConfigError("timer_jitter must be in [0, 1)")
+        if self.quarantine_strikes < 1:
+            raise ConfigError("quarantine_strikes must be >= 1")
+        if not 0 <= self.join_pow_bits <= 32:
+            raise ConfigError("join_pow_bits must be in [0, 32]")
+        if self.join_pow_hash_rate <= 0:
+            raise ConfigError("join_pow_hash_rate must be positive")
+        if self.join_throttle_interval < 0:
+            raise ConfigError("join_throttle_interval must be >= 0")
+        if self.claim_audit_interval < 0:
+            raise ConfigError("claim_audit_interval must be >= 0")
+        if self.claim_audit_margin <= 1.0:
+            raise ConfigError("claim_audit_margin must exceed 1")
 
     def with_(self, **kwargs: Any) -> "ProtocolConfig":
         """A modified copy (convenience wrapper over dataclasses.replace)."""

@@ -12,7 +12,7 @@ every service sees every state change immediately.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Hashable, List
+from typing import Any, Callable, Dict, Hashable, List, Optional, Set
 
 import numpy as np
 
@@ -120,6 +120,21 @@ class NodeContext:
         #: operation — an obituary, a join, a level shift — continues as
         #: one causal trace through the report/multicast path.
         self.report_event: Callable[..., None] = _unwired
+        #: Verify-before-believe hook (DESIGN §16), wired by the
+        #: coordinator to ``FailureDetector.confirm_dead``.  ``None``
+        #: means no detector is attached and obituaries pass unverified.
+        self.confirm_dead: Optional[Callable[..., None]] = None
+        #: Refuted-obituary strikes per accuser address, and the set of
+        #: accusers quarantined after ``config.quarantine_strikes``.
+        self.obit_strikes: Dict[Hashable, int] = {}
+        self.obit_quarantine: Set[Hashable] = set()
+        #: Obituary verifications in flight: subject id value -> list of
+        #: ``(accuser_or_None, proceed)`` continuations.  Concurrent
+        #: accusations about one subject settle on a single probe chain.
+        self.obit_pending: Dict[int, List[tuple]] = {}
+        #: When this node last served a §4.3 get-top, for the
+        #: ``config.join_throttle_interval`` admission throttle.
+        self.last_join_served: float = float("-inf")
 
     # -- identity helpers --------------------------------------------------
 

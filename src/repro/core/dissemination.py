@@ -136,7 +136,15 @@ class MulticastService:
             obs.registry.inc(m.MCAST_DUPLICATES)
             return
         ctx.seen_events[subject_value] = event.seq
-        self.apply(event)
+        # Strike only targeted direct sends (start_bit past the id width
+        # means zero fanout — an accusation aimed at us, the eclipse
+        # shape), never tree relays forwarding someone else's event.
+        self._believe(
+            event,
+            msg.src,
+            strike=start_bit >= ctx.node_id.bits,
+            proceed=lambda: self.apply(event),
+        )
         self._copy_to_recent_downloads(event, self.runtime.now)
         hop: Optional[Span] = None
         if obs.enabled:
@@ -311,6 +319,86 @@ class MulticastService:
             on_timeout=lambda: self._copy_to_subject(event, attempts_left - 1, trace),
         )
 
+    # -- verify-before-believe (DESIGN §16) --------------------------------
+
+    def _believe(
+        self,
+        event: EventRecord,
+        src,
+        strike: bool,
+        proceed: Callable[[], None],
+    ) -> None:
+        """Gate a received event's *application* behind obituary
+        verification.
+
+        With ``config.obituary_verify`` off (the default), or for
+        anything that is not a third-party LEAVE about a node we still
+        hold, ``proceed()`` runs immediately — the paper's
+        trust-every-message behavior, byte-identical spans included.
+
+        Otherwise the failure detector probes the reported-dead subject
+        first: silence confirms the obituary (``proceed()`` runs and the
+        eviction happens); a probe ack refutes it (the event is dropped
+        and, when ``strike`` is set, the immediate sender earns a strike
+        toward quarantine).  ``strike`` is only set for senders that
+        *accused* — report senders and targeted direct multicasts — never
+        for honest tree relays carrying someone else's forgery.
+        Concurrent accusations about one subject coalesce onto a single
+        probe chain via ``ctx.obit_pending``.
+        """
+        ctx = self.ctx
+        if (
+            not ctx.config.obituary_verify
+            or ctx.confirm_dead is None
+            or event.kind is not EventKind.LEAVE
+            or event.subject_id.value == ctx.node_id.value
+        ):
+            proceed()
+            return
+        if src is not None and src in ctx.obit_quarantine:
+            ctx.obs.registry.inc(m.OBIT_QUARANTINE_DROPS)
+            return
+        held = ctx.peer_list.get(event.subject_id)
+        if held is None and event.subject_id not in ctx.top_list:
+            # Nothing this obituary could evict here; believing it is a
+            # no-op and verification would be wasted probes.
+            proceed()
+            return
+        subject = event.subject_id.value
+        accuser = src if strike else None
+        pending = ctx.obit_pending.get(subject)
+        if pending is not None:
+            pending.append((accuser, proceed))
+            return
+        ctx.obit_pending[subject] = [(accuser, proceed)]
+        ctx.obs.registry.inc(m.OBIT_VERIFICATIONS)
+        ctx.confirm_dead(
+            event.subject_id,
+            event.subject_address,
+            lambda dead: self._obit_settled(subject, dead),
+        )
+
+    def _obit_settled(self, subject: int, dead: bool) -> None:
+        ctx = self.ctx
+        waiters = ctx.obit_pending.pop(subject, [])
+        if dead:
+            ctx.obs.registry.inc(m.OBIT_CONFIRMED)
+            for _accuser, proceed in waiters:
+                proceed()
+            return
+        ctx.obs.registry.inc(m.OBIT_REFUTED)
+        for accuser, _proceed in waiters:
+            if accuser is None:
+                continue
+            strikes = ctx.obit_strikes.get(accuser, 0) + 1
+            ctx.obit_strikes[accuser] = strikes
+            if (
+                strikes >= ctx.config.quarantine_strikes
+                and accuser not in ctx.obit_quarantine
+            ):
+                ctx.obit_quarantine.add(accuser)
+                ctx.obs.registry.inc(m.QUARANTINE_ADDITIONS)
+
     def apply(self, event: EventRecord) -> None:
         ctx = self.ctx
         now = self.runtime.now
@@ -396,7 +484,9 @@ class MulticastService:
             return
         if ctx.seen_events.get(event.subject_id.value, -1) >= event.seq:
             return
-        self.apply(event)
+        self._believe(
+            event, msg.src, strike=False, proceed=lambda: self.apply(event)
+        )
 
     # -- report path -------------------------------------------------------
 
@@ -531,19 +621,23 @@ class MulticastService:
                 # fresh and gets forwarded — we are ourselves an interior
                 # tree node for this event's audience.
                 ctx.relayed_reports[subject_value] = event.seq
-                self.apply(event)
-                relay: Optional[Span] = None
-                if obs.enabled:
-                    relay = obs.instant(
-                        "report.relay",
-                        self.runtime.now,
-                        parent=msg.trace,
-                        kind=event.kind.name,
-                        subject=str(event.subject_address),
+
+                def apply_and_relay() -> None:
+                    self.apply(event)
+                    relay: Optional[Span] = None
+                    if obs.enabled:
+                        relay = obs.instant(
+                            "report.relay",
+                            self.runtime.now,
+                            parent=msg.trace,
+                            kind=event.kind.name,
+                            subject=str(event.subject_address),
+                        )
+                    self.report_event(
+                        event, trace=relay.ref() if relay is not None else msg.trace
                     )
-                self.report_event(
-                    event, trace=relay.ref() if relay is not None else msg.trace
-                )
+
+                self._believe(event, msg.src, strike=True, proceed=apply_and_relay)
             return
         # Piggyback t-1 pointers to top nodes of the reporter's part (§4.5):
         # our own group members (we are a top node of that part).
@@ -561,7 +655,15 @@ class MulticastService:
         )
         if ctx.seen_events.get(event.subject_id.value, -1) >= event.seq:
             return
-        self.start_multicast(event, trace=msg.trace)
+
+        def disseminate() -> None:
+            # Re-check: a duplicate report may have multicast this event
+            # while the verification probes were in flight.
+            if ctx.seen_events.get(event.subject_id.value, -1) >= event.seq:
+                return
+            self.start_multicast(event, trace=msg.trace)
+
+        self._believe(event, msg.src, strike=True, proceed=disseminate)
 
     def on_get_topnodes(self, msg: Message) -> None:
         ctx = self.ctx

@@ -214,3 +214,73 @@ class FailureDetector:
             self._verify_target(target, attempts_left, parent)
             return
         self._declare_failed(target, parent)
+
+    # -- verify-before-believe (DESIGN §16) --------------------------------
+
+    def confirm_dead(self, subject_id, subject_address, on_result) -> None:
+        """Probe a reported-dead node before believing its obituary.
+
+        ``on_result(True)`` fires if ``probe_misses_to_fail`` probes of
+        ``probe_timeout`` each all go unanswered (the obituary is
+        credible); ``on_result(False)`` fires on the first probe ack
+        (the subject is demonstrably alive and the obituary forged or
+        stale).  Exactly one of the two fires unless this node dies
+        mid-verification.
+        """
+        self._confirm_target(
+            subject_id, subject_address,
+            self.ctx.config.probe_misses_to_fail, on_result,
+        )
+
+    def _confirm_target(
+        self, subject_id, subject_address, attempts_left: int, on_result
+    ) -> None:
+        ctx = self.ctx
+        obs = ctx.obs
+        if not ctx.alive:
+            return
+        ctx.stats.probes_sent += 1
+        span: Optional[Span] = None
+        if obs.enabled:
+            span = obs.start(
+                "probe.verify",
+                self.runtime.now,
+                target=str(subject_address),
+                attempts_left=attempts_left,
+                via="obituary",
+            )
+        start = self.runtime.now
+        msg = Message(
+            ctx.address,
+            subject_address,
+            "probe",
+            size_bits=ctx.config.heartbeat_bits,
+            trace=span.ref() if span is not None else None,
+        )
+
+        def replied(_r: Message) -> None:
+            obs.registry.observe(m.PROBE_RTT, self.runtime.now - start)
+            if span is not None:
+                obs.end(span, self.runtime.now)
+            if ctx.alive:
+                on_result(False)
+
+        def timed_out() -> None:
+            obs.registry.inc(m.PROBE_TIMEOUTS)
+            if span is not None:
+                obs.end(span, self.runtime.now, "timeout")
+            if not ctx.alive:
+                return
+            if attempts_left > 1:
+                self._confirm_target(
+                    subject_id, subject_address, attempts_left - 1, on_result
+                )
+            else:
+                on_result(True)
+
+        self.runtime.request(
+            msg,
+            timeout=ctx.config.probe_timeout,
+            on_reply=replied,
+            on_timeout=timed_out,
+        )

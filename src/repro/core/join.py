@@ -20,8 +20,9 @@ detector probes them and evicts the truly dead with obituaries).
 
 from __future__ import annotations
 
-from typing import Callable, Hashable, List, Optional
+from typing import Any, Callable, Hashable, List, Optional
 
+from repro.core.admission import pow_cost_seconds, solve_pow, verify_pow
 from repro.core.analytic import estimate_join_level
 from repro.core.context import NodeContext
 from repro.core.events import EventKind
@@ -102,12 +103,39 @@ class JoinService:
     ) -> None:
         ctx = self.ctx
         fail = self._make_fail(bootstrap_address, done, attempt)
+        # Admission proof-of-work (DESIGN §16): grind the identity-bound
+        # token and pay its modeled solve time as a delay before step 1.
+        # The search restarts at nonce 0 each attempt (deterministic:
+        # same identity, same token), so a retried handshake pays the
+        # grinding time again — retries are not free accusations.
+        payload: Any = ctx.node_id
+        delay = 0.0
+        if ctx.config.join_pow_bits > 0:
+            nonce, attempts = solve_pow(ctx.node_id.value, ctx.config.join_pow_bits)
+            payload = (ctx.node_id, nonce)
+            delay = pow_cost_seconds(attempts, ctx.config.join_pow_hash_rate)
+            ctx.obs.registry.observe(m.JOIN_POW_COST, delay)
+        if delay > 0:
+            self.runtime.schedule(
+                delay, self._send_get_top, bootstrap_address, payload, done, fail
+            )
+        else:
+            self._send_get_top(bootstrap_address, payload, done, fail)
+
+    def _send_get_top(
+        self,
+        bootstrap_address: Hashable,
+        payload: Any,
+        done: Callable[[bool], None],
+        fail: Callable[[], None],
+    ) -> None:
+        ctx = self.ctx
         # Step 1: find a top node of our part.
         msg = Message(
             ctx.address,
             bootstrap_address,
             "get-top",
-            payload=ctx.node_id,
+            payload=payload,
             size_bits=ctx.config.ack_bits,
             trace=self._handshake_trace(),
         )
@@ -305,7 +333,29 @@ class JoinService:
 
     def on_get_top(self, msg: Message) -> None:
         ctx = self.ctx
-        joiner_id: NodeId = msg.payload
+        joiner_id: NodeId
+        nonce: Optional[int] = None
+        if isinstance(msg.payload, tuple):
+            joiner_id, nonce = msg.payload
+        else:
+            joiner_id = msg.payload
+        # Admission gates (DESIGN §16).  Both drop silently: the joiner's
+        # §4.3 backoff-and-retry is the designed reaction, and an error
+        # reply would hand an attacker a free oracle.
+        if ctx.config.join_pow_bits > 0 and (
+            nonce is None
+            or not verify_pow(joiner_id.value, nonce, ctx.config.join_pow_bits)
+        ):
+            ctx.obs.registry.inc(m.JOIN_POW_REJECTED)
+            return
+        if ctx.config.join_throttle_interval > 0:
+            if (
+                self.runtime.now - ctx.last_join_served
+                < ctx.config.join_throttle_interval
+            ):
+                ctx.obs.registry.inc(m.JOIN_THROTTLED)
+                return
+            ctx.last_join_served = self.runtime.now
         ctx.stats.joins_assisted += 1
         ctx.obs.registry.inc(m.JOIN_ASSISTS)
         if ctx.obs.enabled:
@@ -356,11 +406,13 @@ class JoinService:
             )
             return
         relay_to = tops[int(ctx.rng.integers(0, len(tops)))]
+        # Forward the original payload (id + any admission token): the
+        # relay target re-verifies the proof-of-work for itself.
         inner = Message(
             ctx.address,
             relay_to.address,
             "get-top",
-            payload=joiner_id,
+            payload=msg.payload,
             size_bits=ctx.config.ack_bits,
         )
         self.runtime.request(

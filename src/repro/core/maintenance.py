@@ -11,18 +11,33 @@ Two periodic loops per node:
 
 Refresh periods optionally carry seeded jitter (``config.timer_jitter``)
 for the same de-synchronization reason as the probe loop.
+
+A third, opt-in loop (``config.claim_audit_interval > 0``) is the claim
+audit of DESIGN §16: levels are self-declared, and a node that *lies*
+about being strong (low level) poisons every audience set and ring view
+that believes it.  The audit cross-checks the strongest claim we hold
+against observed behavior — a genuinely level-``c`` node (``c`` below
+our own ``l``) covers a strictly wider prefix, so downloading its list
+at its claimed level must return meaningfully more pointers than we hold
+and include members outside our own level-``l`` prefix.  Liars are
+demoted in place (their stored pointer's level reset to ours, and
+dropped from the top-node list) so the ring/audience geometry heals.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.core.context import NodeContext
 from repro.core.events import EventKind
+from repro.core.pointer import Pointer
 from repro.core.runtime import NodeRuntime
+from repro.net.message import Message
 from repro.obs import metrics as m
 
 
 class MaintenanceService:
-    """§4.6 refresh + expiry-sweep loops."""
+    """§4.6 refresh + expiry-sweep loops (+ the opt-in claim audit)."""
 
     def __init__(self, runtime: NodeRuntime, ctx: NodeContext):
         self.runtime = runtime
@@ -39,6 +54,12 @@ class MaintenanceService:
         ctx.track(
             self.runtime.schedule(ctx.config.level_check_interval, self.sweep_tick)
         )
+        if ctx.config.claim_audit_interval > 0:
+            ctx.track(
+                self.runtime.schedule(
+                    ctx.jittered(ctx.config.claim_audit_interval), self.audit_tick
+                )
+            )
 
     def refresh_tick(self) -> None:
         ctx = self.ctx
@@ -75,3 +96,106 @@ class MaintenanceService:
         ctx.track(
             self.runtime.schedule(ctx.config.level_check_interval, self.sweep_tick)
         )
+
+    # -- claim auditing (DESIGN §16) ---------------------------------------
+
+    def audit_tick(self) -> None:
+        ctx = self.ctx
+        if not ctx.alive:
+            return
+        suspect = self._strongest_claim()
+        if suspect is not None:
+            self._audit(suspect)
+        ctx.track(
+            self.runtime.schedule(
+                ctx.jittered(ctx.config.claim_audit_interval), self.audit_tick
+            )
+        )
+
+    def _strongest_claim(self) -> Optional[Pointer]:
+        """The held pointer making the strongest (lowest-level) claim
+        below our own level — deterministically the minimum of
+        ``(level, id)`` so repeated audits converge on the same suspect
+        until it is demoted or confirmed."""
+        ctx = self.ctx
+        best: Optional[Pointer] = None
+        for p in list(ctx.peer_list) + list(ctx.top_list.pointers()):
+            if p.node_id.value == ctx.node_id.value or p.level >= ctx.level:
+                continue
+            if best is None or (p.level, p.node_id.value) < (
+                best.level,
+                best.node_id.value,
+            ):
+                best = p
+        return best
+
+    def _audit(self, claim: Pointer) -> None:
+        """Download the claimant's list at its *claimed* level and judge
+        the claim by what comes back.  A level query would be the obvious
+        cross-check, but a liar answers it with the same lie; the
+        download is behavioral evidence it cannot fake without actually
+        holding the wider list."""
+        ctx = self.ctx
+        ctx.obs.registry.inc(m.AUDIT_CHECKS)
+        span = None
+        if ctx.obs.enabled:
+            span = ctx.obs.start(
+                "audit",
+                self.runtime.now,
+                subject=str(claim.address),
+                claimed=claim.level,
+            )
+        own_size = len(ctx.peer_list)
+        msg = Message(
+            ctx.address,
+            claim.address,
+            "download",
+            payload=(claim.node_id, claim.level),
+            size_bits=ctx.config.ack_bits,
+            trace=span.ref() if span is not None else None,
+        )
+
+        def replied(reply: Message) -> None:
+            matching, _tops = reply.payload
+            self._judge(claim, matching, own_size, span)
+
+        def timed_out() -> None:
+            # Silence is not proof of lying (the §4.1 ring handles the
+            # dead); the next tick re-audits whoever then claims most.
+            if span is not None:
+                ctx.obs.end(span, self.runtime.now, "timeout")
+
+        self.runtime.request(
+            msg,
+            timeout=ctx.config.report_timeout,
+            on_reply=replied,
+            on_timeout=timed_out,
+        )
+
+    def _judge(self, claim: Pointer, matching, own_size: int, span) -> None:
+        ctx = self.ctx
+        if not ctx.alive:
+            return
+        # A genuine level-c node (c < our l) holds every member of a
+        # strictly wider prefix: its list must be meaningfully larger
+        # than ours AND contain members outside our own level-l prefix.
+        # A liar whose true coverage is just our group returns ~our list.
+        outside = any(
+            not p.node_id.shares_prefix(ctx.node_id, ctx.level)
+            for p in matching
+            if p.node_id.value != ctx.node_id.value
+        )
+        big_enough = len(matching) >= ctx.config.claim_audit_margin * max(1, own_size)
+        if outside and big_enough:
+            ctx.obs.registry.inc(m.AUDIT_PASSES)
+            if span is not None:
+                ctx.obs.end(span, self.runtime.now, "pass")
+            return
+        ctx.obs.registry.inc(m.AUDIT_DEMOTIONS)
+        held = ctx.peer_list.get(claim.node_id)
+        if held is not None:
+            held.level = ctx.level
+        ctx.top_list.remove(claim.node_id)
+        if span is not None:
+            span.attrs["demoted_to"] = ctx.level
+            ctx.obs.end(span, self.runtime.now, "demoted")

@@ -106,6 +106,9 @@ class PeerWindowNode:
         # wire it into the shared context before anything can fire.
         self.ctx.report_event = self.dissemination.report_event
         self.failure = FailureDetector(runtime, self.ctx)
+        # Verify-before-believe (DESIGN §16): dissemination asks the
+        # failure detector to confirm third-party obituaries by probing.
+        self.ctx.confirm_dead = self.failure.confirm_dead
         self.levels = LevelShiftService(runtime, self.ctx)
         self.join = JoinService(
             runtime,

@@ -240,6 +240,28 @@ def _dec_level_info(obj: Any) -> Tuple[int, float, List[Pointer]]:
     )
 
 
+def _enc_get_top(payload: Any) -> Any:
+    # Two accepted shapes (additive, DESIGN §16): the bare joiner id, or
+    # ``(joiner_id, nonce)`` carrying the admission proof-of-work token.
+    if isinstance(payload, tuple):
+        if len(payload) != 2:
+            _fail("get-top payload must be node_id or (node_id, nonce)")
+        joiner, nonce = payload
+        if isinstance(nonce, bool) or not isinstance(nonce, int) or nonce < 0:
+            _fail("get-top nonce must be a non-negative int")
+        return {"id": _enc_node_id(joiner), "nonce": nonce}
+    return _enc_node_id(payload)
+
+
+def _dec_get_top(obj: Any) -> Any:
+    if isinstance(obj, dict) and set(obj) == {"id", "nonce"}:
+        nonce = _dec_int(obj["nonce"], "get-top nonce")
+        if nonce < 0:
+            _fail("get-top nonce must be a non-negative int")
+        return (_dec_node_id(obj["id"]), nonce)
+    return _dec_node_id(obj)
+
+
 def _enc_download(payload: Any) -> Any:
     if not isinstance(payload, tuple) or len(payload) != 2:
         _fail("download payload must be (requester_id, prefix_len)")
@@ -311,7 +333,7 @@ _BODY_CODECS: Dict[str, Tuple[Callable[[Any], Any], Callable[[Any], Any]]] = {
     "mcast-ack": (_enc_none, _dec_none),
     "bridge-ack": (_enc_none, _dec_none),
     # join handshake (§4.3)
-    "get-top": (_enc_node_id, _dec_node_id),
+    "get-top": (_enc_get_top, _dec_get_top),
     "top-ptr": (_enc_opt_pointer, _dec_opt_pointer),
     "level-query": (_enc_node_id, _dec_node_id),
     "level-info": (_enc_level_info, _dec_level_info),

@@ -34,6 +34,13 @@ from repro.net.transport import Endpoint
 
 Handler = Callable[[Message], None]
 
+#: Upper bound on per-request datagram retransmits.  Each retransmit is
+#: a full extra copy of the request on the wire, so an unbounded setting
+#: turns one lossy peer into a self-inflicted traffic amplifier; the
+#: protocol's own §4.2/§4.3 retries already recover from whole-request
+#: timeouts a layer above.
+MAX_REQUEST_RETRIES = 8
+
 
 def parse_address(key: Hashable) -> Tuple[str, int]:
     """Split a live ``"host:port"`` address key."""
@@ -105,6 +112,12 @@ class RealtimeRuntime(NodeRuntime):
     ):
         if request_retries < 0:
             raise ValueError("request_retries must be >= 0")
+        if request_retries > MAX_REQUEST_RETRIES:
+            raise ValueError(
+                f"request_retries must be <= {MAX_REQUEST_RETRIES} "
+                f"(got {request_retries}); higher values amplify loss "
+                f"into traffic storms"
+            )
         self.clock = clock
         self.host = host
         self.port: Optional[int] = None
@@ -120,6 +133,7 @@ class RealtimeRuntime(NodeRuntime):
         self.dropped_dead = 0
         self.malformed = 0
         self.retransmits = 0
+        self.retransmit_giveups = 0
         self.socket_errors = 0
         self.by_kind: Dict[str, int] = {}
         self.bytes_by_kind: Dict[str, int] = {}
@@ -290,6 +304,11 @@ class RealtimeRuntime(NodeRuntime):
         if pending is not None:
             for handle in pending.retry_handles:
                 handle.cancel()
+            if pending.retry_handles:
+                # Every scheduled retransmit fired (or was just cancelled
+                # above, which only happens at the window's end) and the
+                # reply still never came: the request gave up.
+                self.retransmit_giveups += 1
             on_timeout()
 
     # -- delivery ----------------------------------------------------------
@@ -336,6 +355,7 @@ class RealtimeRuntime(NodeRuntime):
             "dropped_zombie": 0,
             "malformed": self.malformed,
             "retransmits": self.retransmits,
+            "retransmit_giveups": self.retransmit_giveups,
             "socket_errors": self.socket_errors,
             "pending_requests": len(self._pending),
             "by_kind": dict(self.by_kind),

@@ -245,13 +245,16 @@ def merge_metrics(
     snapshot = aggregate_snapshots(r["registry"] for r in ordered)
     by_kind: Dict[str, int] = {}
     bits_by_kind: Dict[str, int] = {}
+    giveups = 0
     for result in ordered:
         stats = result["transport"]
         for kind, count in stats.get("by_kind", {}).items():
             by_kind[kind] = by_kind.get(kind, 0) + count
         for kind, bits in stats.get("bytes_by_kind", {}).items():
             bits_by_kind[kind] = bits_by_kind.get(kind, 0) + bits
+        giveups += int(stats.get("retransmit_giveups", 0))
     counters = snapshot["counters"]
+    counters[m.LIVE_RETRANSMIT_GIVEUP] = giveups
     for kind in sorted(by_kind):
         counters[f"{m.TRANSPORT_MSGS}.{kind}"] = by_kind[kind]
     for kind in sorted(bits_by_kind):

@@ -280,6 +280,64 @@ class HealthSpec:
             ],
         )
 
+    @classmethod
+    def byzantine(
+        cls,
+        config: "ProtocolConfig",
+        n_nodes: int,
+        mean_lifetime_s: float = 3600.0,
+    ) -> "HealthSpec":
+        """The default bands adapted for adversarial (DESIGN §16) runs,
+        plus the ``byz.*`` invariant signals the byzantine runner emits.
+
+        Three default bands are dropped because the adversary breaks
+        their premises, not the protocol's:
+
+        * ``mcast.tree_completeness`` / ``mcast.non_delivery_rate`` —
+          targeted forgeries are *rootless by construction* (an eclipse
+          send has no ``mcast.root``), so every adversary injection
+          counts as an orphan hop regardless of how well the honest
+          trees behave;
+        * ``join.failure_rate`` — under admission control, *rejected*
+          sybil joins are the success condition, not a failure.
+        """
+        dropped = {
+            "mcast.tree_completeness",
+            "mcast.non_delivery_rate",
+            "join.failure_rate",
+        }
+        base = cls.default(config, n_nodes, mean_lifetime_s=mean_lifetime_s)
+        slos = [slo for slo in base.slos if slo.name not in dropped]
+        slos += [
+            Slo(
+                "byz.forged_evictions",
+                "monitor ticks that caught a live forgery victim evicted "
+                "from an honest peer list (§16: verify before believe)",
+                hi=0.0,
+            ),
+            Slo(
+                "byz.eclipse_isolation",
+                "monitor ticks on which an eclipse victim's audience "
+                "coverage fell below half",
+                hi=0.0,
+            ),
+            Slo(
+                "byz.sybil_fraction",
+                "aggregate sybil share of honest peer-list slots at the "
+                "end of the run (§16: PoW admission + join throttle keep "
+                "sybils a small minority; per-node majority capture is "
+                "the monitor's sybil-occupancy invariant)",
+                hi=0.35,
+            ),
+            Slo(
+                "byz.inflated_claims",
+                "pointers still carrying a level-inflated claim after "
+                "quiescence (§16: the claim audit demotes liars)",
+                hi=0.0,
+            ),
+        ]
+        return cls(name="byzantine", slos=slos)
+
 
 def evaluate(
     spec: HealthSpec,

@@ -136,6 +136,40 @@ TRANSPORT_MSGS = declare_metric(
     "transport.msgs", "counter", "messages sent, per wire kind", per_key=True)
 TRANSPORT_BITS = declare_metric(
     "transport.bits", "counter", "bits sent, per wire kind", per_key=True)
+OBIT_VERIFICATIONS = declare_metric(
+    "obituary.verifications", "counter",
+    "verify-before-believe probe chains started (DESIGN §16)")
+OBIT_CONFIRMED = declare_metric(
+    "obituary.confirmed", "counter",
+    "verified obituaries whose subject never answered (believed)")
+OBIT_REFUTED = declare_metric(
+    "obituary.refuted", "counter",
+    "verified obituaries refuted by a live subject's probe ack")
+OBIT_QUARANTINE_DROPS = declare_metric(
+    "obituary.quarantine_drops", "counter",
+    "obituaries dropped unheard because the accuser is quarantined")
+QUARANTINE_ADDITIONS = declare_metric(
+    "quarantine.additions", "counter",
+    "accusers quarantined after quarantine_strikes refuted obituaries")
+JOIN_POW_REJECTED = declare_metric(
+    "join.pow_rejected", "counter",
+    "get-top requests dropped for missing/invalid proof-of-work")
+JOIN_POW_COST = declare_metric(
+    "join.pow_cost", "dist",
+    "modeled seconds a joiner spent grinding its admission token")
+JOIN_THROTTLED = declare_metric(
+    "join.throttled", "counter",
+    "get-top requests dropped by the per-server join-rate throttle")
+AUDIT_CHECKS = declare_metric(
+    "audit.checks", "counter", "claim audits started (DESIGN §16)")
+AUDIT_PASSES = declare_metric(
+    "audit.passes", "counter", "claim audits the claimant's list passed")
+AUDIT_DEMOTIONS = declare_metric(
+    "audit.demotions", "counter",
+    "level claims demoted after a failed claim audit")
+LIVE_RETRANSMIT_GIVEUP = declare_metric(
+    "live.retransmit_giveup", "counter",
+    "live requests that exhausted every datagram retransmit and timed out")
 
 
 class Dist:

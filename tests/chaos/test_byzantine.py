@@ -1,0 +1,202 @@
+"""The byzantine adversary layer (ISSUE 7 tentpole, DESIGN §16).
+
+Four contracts under test:
+
+* builder validation — a misconfigured adversarial plan (and, as a
+  regression for the base layer, a misconfigured fault plan) fails
+  loudly at build time;
+* determinism — a byzantine run replays byte-identically from its seed;
+* the acceptance criterion — forged-obituary and sybil-flood breach
+  their SLOs with the hardening off and come back healthy with it on;
+* the CLI surface — ``repro chaos --byzantine``.
+
+The full scenario runs are marked ``byzantine`` (deselect with
+``-m 'not byzantine'``); they are smoke-scale (seconds each).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import BYZANTINE_SCENARIOS, ByzantinePlan, FaultPlan
+from repro.chaos.byzantine import HARDENING, ByzantineRunner
+from repro.cli import main
+from repro.obs.health import HealthSpec
+
+
+def run_scenario(name, n=None, seed=0, health=False):
+    scenario = BYZANTINE_SCENARIOS[name]
+    spec = None
+    if health:
+        n_eff = scenario.default_nodes if n is None else n
+        spec = HealthSpec.byzantine(scenario.make_config(), n_eff)
+    return ByzantineRunner(scenario, n_nodes=n, seed=seed, health_spec=spec).run()
+
+
+def breached(result):
+    return {v.slo for v in result.health_verdicts if not v.ok}
+
+
+class TestBuilderValidation:
+    """Satellite: every plan builder rejects nonsense parameters."""
+
+    def test_base_plan_rejects_bad_parameters(self):
+        plan = FaultPlan(seed=0)
+        with pytest.raises(ValueError):
+            plan.crash(-1.0)  # negative time
+        with pytest.raises(ValueError):
+            plan.crash(5.0, count=0)
+        with pytest.raises(ValueError):
+            plan.crash_recover(5.0, down_for=0.0)
+        with pytest.raises(ValueError):
+            plan.churn(5.0, crash=-1, join=2)
+        with pytest.raises(ValueError):
+            plan.churn(5.0)  # needs crash or join
+        with pytest.raises(ValueError):
+            plan.duplicate(5.0, rate=1.5)
+        with pytest.raises(ValueError):
+            plan.duplicate(5.0, rate=-0.1)
+        with pytest.raises(ValueError):
+            plan.latency_spike(5.0, scale=0.5)
+        with pytest.raises(ValueError):
+            plan.slow(5.0, extra=-0.1)
+        assert plan.events == [], "rejected builders must not half-register"
+
+    def test_population_check_catches_oversized_targets(self):
+        plan = FaultPlan(seed=0).crash(5.0, count=99)
+        with pytest.raises(ValueError, match="exceeds the population"):
+            plan._validate_population(10)
+        # Node-creating keys (churn/sybil joins) are exempt by design.
+        FaultPlan(seed=0).churn(5.0, join=99)._validate_population(10)
+        ByzantinePlan(seed=0).sybil_flood(5.0, count=99)._validate_population(10)
+
+    def test_byzantine_builders_reject_bad_parameters(self):
+        plan = ByzantinePlan(seed=0)
+        with pytest.raises(ValueError):
+            plan.level_inflate(5.0, count=0)
+        with pytest.raises(ValueError):
+            plan.level_inflate(5.0, claim_level=-1)
+        with pytest.raises(ValueError):
+            plan.level_inflate(5.0, period=0.0)
+        with pytest.raises(ValueError):
+            plan.forge_obituaries(5.0, liars=0)
+        with pytest.raises(ValueError):
+            plan.forge_obituaries(5.0, victims=0)
+        with pytest.raises(ValueError):
+            plan.forge_obituaries(5.0, duration=-1.0)
+        with pytest.raises(ValueError):
+            plan.eclipse(5.0, adversaries=0)
+        with pytest.raises(ValueError):
+            plan.sybil_flood(5.0, spacing=0.0)
+        with pytest.raises(ValueError):
+            plan.sybil_flood(5.0, threshold=-1.0)
+        with pytest.raises(ValueError):
+            plan.flash_crowd(5.0, alpha=1.0)  # infinite-mean Pareto
+        with pytest.raises(ValueError):
+            plan.flash_crowd(5.0, window=0.0)
+        assert plan.events == []
+
+
+class TestScenarioRegistry:
+    def test_every_scenario_has_an_unhardened_twin(self):
+        names = set(BYZANTINE_SCENARIOS)
+        hardened = {n for n in names if not n.endswith("-unhardened")}
+        assert hardened
+        for name in hardened:
+            assert f"{name}-unhardened" in names
+            assert BYZANTINE_SCENARIOS[name].hardened
+            assert not BYZANTINE_SCENARIOS[f"{name}-unhardened"].hardened
+
+    def test_hardened_config_carries_the_defenses(self):
+        cfg = BYZANTINE_SCENARIOS["forged-obituary"].make_config()
+        assert cfg.obituary_verify
+        assert cfg.quarantine_strikes == HARDENING["quarantine_strikes"]
+        stock = BYZANTINE_SCENARIOS["forged-obituary-unhardened"].make_config()
+        assert not stock.obituary_verify
+        assert stock.join_pow_bits == 0
+
+    def test_plans_record_their_cast(self):
+        scenario = BYZANTINE_SCENARIOS["forged-obituary"]
+        plan = scenario.build_plan(16, seed=0)
+        assert isinstance(plan, ByzantinePlan)
+        assert plan.events, "the scenario must schedule adversarial events"
+
+
+@pytest.mark.byzantine
+class TestReplayDeterminism:
+    def test_same_seed_replays_bit_for_bit(self):
+        a = run_scenario("forged-obituary", n=16, seed=1)
+        b = run_scenario("forged-obituary", n=16, seed=1)
+        assert a.trace == b.trace
+        assert a.trace.strip()
+
+    def test_different_seeds_diverge(self):
+        a = run_scenario("eclipse", n=16, seed=1)
+        b = run_scenario("eclipse", n=16, seed=2)
+        assert a.trace != b.trace
+
+
+@pytest.mark.byzantine
+class TestAcceptanceCriterion:
+    """Hardening off -> demonstrable SLO breach; hardening on -> healthy."""
+
+    def test_forged_obituary_breaches_without_hardening(self):
+        result = run_scenario("forged-obituary-unhardened", health=True)
+        assert not result.ok
+        assert "forged-eviction" in {v.invariant for v in result.violations}
+        assert not result.healthy
+        assert "byz.forged_evictions" in breached(result)
+
+    def test_forged_obituary_passes_with_hardening(self):
+        result = run_scenario("forged-obituary", health=True)
+        assert result.ok, [v.detail for v in result.violations[:5]]
+        assert result.healthy, [v.describe() for v in result.health_verdicts]
+        judged = {v.slo for v in result.health_verdicts}
+        assert "byz.forged_evictions" in judged
+
+    def test_sybil_flood_breaches_without_hardening(self):
+        result = run_scenario("sybil-flood-unhardened", health=True)
+        assert "sybil-occupancy" in {v.invariant for v in result.violations}
+        assert "byz.sybil_fraction" in breached(result)
+
+    def test_sybil_flood_passes_with_hardening(self):
+        result = run_scenario("sybil-flood", health=True)
+        assert result.ok, [v.detail for v in result.violations[:5]]
+        assert result.healthy, [v.describe() for v in result.health_verdicts]
+        # The defenses actually engaged: the throttle refused joins.
+        assert result.metrics["counters"].get("join.throttled", 0) > 0
+
+    def test_eclipse_hardening_exercises_the_quarantine(self):
+        result = run_scenario("eclipse", health=True)
+        assert result.ok and result.healthy
+        counters = result.metrics["counters"]
+        assert counters.get("obituary.verifications", 0) > 0
+        assert counters.get("quarantine.additions", 0) > 0
+
+    def test_flash_crowd_is_legitimate_traffic_either_way(self):
+        """Admission control must not break a real surge: the flash
+        crowd stays healthy with and without the hardening."""
+        hardened = run_scenario("flash-crowd", health=True)
+        stock = run_scenario("flash-crowd-unhardened", health=True)
+        assert hardened.ok and hardened.healthy
+        assert stock.ok and stock.healthy
+
+
+class TestByzantineCli:
+    def test_unknown_scenario_exits_two(self, capsys):
+        assert main(["chaos", "--byzantine", "nope"]) == 2
+        assert "nope" in capsys.readouterr().err
+
+    def test_list_includes_byzantine_scenarios(self, capsys):
+        assert main(["chaos", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "forged-obituary" in out
+        assert "eclipse-unhardened" in out
+
+    @pytest.mark.byzantine
+    def test_byzantine_health_run_exits_zero(self, capsys):
+        rc = main(["chaos", "--byzantine", "eclipse", "-n", "16",
+                   "--seed", "0", "--health", "default"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "HEALTHY" in out

@@ -72,17 +72,26 @@ class TestDeterminism:
 
 
 class TestSurvivorFloor:
+    def test_oversized_crash_is_rejected_at_install(self):
+        """A count exceeding the install-time population is a
+        misconfigured plan, not a fault (ISSUE 7 satellite)."""
+        net = make_net(n=6)
+        with pytest.raises(ValueError, match="exceeds the population"):
+            FaultPlan(seed=0).crash(1.0, count=100).install(net, ChaosTrace())
+
     def test_crash_never_extinguishes_population(self):
+        """A full-population crash request still clamps to the
+        fire-time survivor floor."""
         net = make_net(n=6)
         trace = ChaosTrace()
-        FaultPlan(seed=0).crash(1.0, count=100).install(net, trace)
+        FaultPlan(seed=0).crash(1.0, count=6).install(net, trace)
         net.run(until=net.sim.now + 5.0)
         assert len(net.live_nodes()) == FaultPlan.MIN_SURVIVORS
 
     def test_zombies_respect_the_floor(self):
         net = make_net(n=5)
         trace = ChaosTrace()
-        FaultPlan(seed=0).zombie(1.0, count=100, duration=2.0).install(net, trace)
+        FaultPlan(seed=0).zombie(1.0, count=5, duration=2.0).install(net, trace)
         net.run(until=net.sim.now + 2.0)
         zombies = sum(1 for k in net.nodes if net.transport.is_zombie(k))
         assert zombies == len(net.nodes) - FaultPlan.MIN_SURVIVORS

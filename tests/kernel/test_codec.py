@@ -220,3 +220,36 @@ def test_malformed_datagrams_rejected():
         decode_message(b"\xff\xfe not json")
     with pytest.raises(CodecError):
         decode_message(b"[1,2,3]")
+
+
+def test_get_top_dual_form_round_trip():
+    """The §4.3 get-top accepts both wire shapes (additive, DESIGN §16):
+    the bare joiner id, and ``(joiner_id, nonce)`` carrying the
+    admission proof-of-work token."""
+    bare = Message(src="127.0.0.1:1", dst="127.0.0.1:2", kind="get-top",
+                   payload=NodeId(3, 4))
+    assert decode_message(encode_message(bare)) == bare
+    with_token = Message(src="127.0.0.1:1", dst="127.0.0.1:2", kind="get-top",
+                         payload=(NodeId(3, 4), 1234))
+    back = decode_message(encode_message(with_token))
+    assert back == with_token
+    assert back.payload == (NodeId(3, 4), 1234)
+
+
+def test_get_top_token_shape_enforced():
+    for payload in ((NodeId(3, 4), -1),        # negative nonce
+                    (NodeId(3, 4), True),      # bool is not a nonce
+                    (NodeId(3, 4), 1, 2)):     # wrong arity
+        msg = Message(src="127.0.0.1:1", dst="127.0.0.1:2", kind="get-top",
+                      payload=payload)
+        with pytest.raises(CodecError):
+            encode_message(msg)
+    # Decode side: a token object with a negative nonce is rejected.
+    good = encode_message(
+        Message(src="127.0.0.1:1", dst="127.0.0.1:2", kind="get-top",
+                payload=(NodeId(3, 4), 7))
+    )
+    tampered = good.replace(b'"nonce":7', b'"nonce":-7')
+    assert tampered != good
+    with pytest.raises(CodecError):
+        decode_message(tampered)

@@ -173,3 +173,96 @@ def test_realtime_every_validations_match_the_kernel_contract():
         assert ticker.fired >= 1
 
     asyncio.run(scenario())
+
+
+# -- retransmit cap and give-up accounting (ISSUE 7 satellite) --------------
+
+def test_request_retries_has_a_hard_cap():
+    from repro.live.runtime import MAX_REQUEST_RETRIES
+
+    async def scenario():
+        clock = RealtimeClock(epoch=None)
+        RealtimeRuntime(clock, "127.0.0.1", request_retries=MAX_REQUEST_RETRIES)
+        with pytest.raises(ValueError, match="request_retries"):
+            RealtimeRuntime(clock, "127.0.0.1",
+                            request_retries=MAX_REQUEST_RETRIES + 1)
+        with pytest.raises(ValueError, match="request_retries"):
+            RealtimeRuntime(clock, "127.0.0.1", request_retries=-1)
+
+    asyncio.run(scenario())
+
+
+def test_exhausted_retransmits_count_one_giveup():
+    async def scenario():
+        rt = await RealtimeRuntime.create(port=0, request_retries=2)
+        timeouts = []
+        try:
+            rt.register(rt.address, lambda msg: None)
+            # Nobody listens on port 1: every retransmit is futile and
+            # the request times out -> exactly one give-up.
+            rt.request(
+                Message(src=rt.address, dst="127.0.0.1:1", kind="probe"),
+                0.3,
+                on_reply=lambda msg: timeouts.append("reply"),
+                on_timeout=lambda: timeouts.append("timeout"),
+            )
+            await asyncio.sleep(0.6)
+            assert timeouts == ["timeout"]
+            assert rt.retransmits == 2
+            assert rt.retransmit_giveups == 1
+            assert rt.stats()["retransmit_giveups"] == 1
+        finally:
+            await rt.close()
+
+    asyncio.run(scenario())
+
+
+def test_timeout_without_retries_is_not_a_giveup():
+    async def scenario():
+        rt = await RealtimeRuntime.create(port=0, request_retries=0)
+        timeouts = []
+        try:
+            rt.register(rt.address, lambda msg: None)
+            rt.request(
+                Message(src=rt.address, dst="127.0.0.1:1", kind="probe"),
+                0.3,
+                on_reply=lambda msg: timeouts.append("reply"),
+                on_timeout=lambda: timeouts.append("timeout"),
+            )
+            await asyncio.sleep(0.6)
+            assert timeouts == ["timeout"]
+            # The metric means "retransmitted and still gave up", not
+            # "timed out": a retry-less timeout is the protocol's normal
+            # signal and must not inflate it.
+            assert rt.retransmit_giveups == 0
+        finally:
+            await rt.close()
+
+    asyncio.run(scenario())
+
+
+def test_answered_request_is_not_a_giveup():
+    async def scenario():
+        rt = await RealtimeRuntime.create(port=0, request_retries=2)
+        got = []
+        try:
+            responder = format_address("127.0.0.1", rt.port)
+            caller = responder  # same socket hosts both endpoints
+
+            def respond(msg):
+                rt.send(msg.make_reply("probe-ack"))
+
+            rt.register(caller, lambda msg: respond(msg))
+            rt.request(
+                Message(src=caller, dst=caller, kind="probe"),
+                1.0,
+                on_reply=got.append,
+                on_timeout=lambda: got.append("timeout"),
+            )
+            await asyncio.sleep(0.5)
+            assert len(got) == 1 and got[0] != "timeout"
+            assert rt.retransmit_giveups == 0
+        finally:
+            await rt.close()
+
+    asyncio.run(scenario())
