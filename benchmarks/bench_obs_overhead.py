@@ -1,12 +1,21 @@
 """Observability overhead: the no-op-by-default contract, measured.
 
-Two layers of evidence that instrumentation is free when off:
+Three layers of evidence that instrumentation is free until someone
+actually consumes it:
 
 * a guard micro-bench — the cost of a disabled ``MetricsRegistry`` call
-  and a disabled-``NodeObs`` span attempt, per call;
-* a pair of identical end-to-end churn runs, observability off vs on,
-  printing the enabled overhead (the *off* configuration IS the default
-  every other bench and test runs under, so its time is the baseline).
+  and a disabled-``NodeObs`` span attempt, per call.  The telemetry-bus
+  hooks (``sink`` checks) sit *behind* the ``enabled`` guard, so this
+  same number is the disabled cost with or without the stream module
+  loaded;
+* an enabled-no-subscriber micro-bench — the cost of an enabled
+  counter/span pair when no :class:`~repro.obs.stream.NodeTap` is
+  attached: the sink hook must cost one ``is None`` check, nothing
+  more;
+* identical end-to-end churn runs — observability off vs on vs on with
+  a :class:`~repro.obs.stream.TelemetryBus` attached — printing the
+  overheads (the *off* configuration IS the default every other bench
+  and test runs under, so its time is the baseline).
 
 The off-path cost per protocol operation is a handful of attribute
 loads and an early return — the micro-bench shows tens of nanoseconds
@@ -22,6 +31,7 @@ from repro.core.config import ProtocolConfig
 from repro.core.protocol import PeerWindowNetwork
 from repro.net.latency import PairwiseLatencyModel
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.stream import TelemetryBus
 from repro.obs.trace import NodeObs
 
 from .conftest import run_once
@@ -30,7 +40,7 @@ NODES = 60
 DURATION = 120.0
 
 
-def churn_run(observability: bool) -> dict:
+def churn_run(observability: bool, bus: bool = False) -> dict:
     config = ProtocolConfig(id_bits=16)
     net = PeerWindowNetwork(
         config=config,
@@ -38,6 +48,8 @@ def churn_run(observability: bool) -> dict:
         master_seed=7,
         observability=observability,
     )
+    if bus:
+        net.obs.attach_bus(TelemetryBus())
     net.seed_nodes([4000.0] * NODES)
     keys = list(net.nodes)
     for key in keys[1:4]:
@@ -68,6 +80,26 @@ def test_bench_disabled_guard_micro(benchmark):
     print(f"\ndisabled-guard cost: {per_call * 1e9:.0f} ns/call")
 
 
+def test_bench_enabled_no_subscriber_micro(benchmark):
+    """Per-call cost of an *enabled* counter + instant span when no
+    telemetry sink is attached: the stream hook must reduce to one
+    ``sink is None`` check on each emit path."""
+    reg = MetricsRegistry(enabled=True)
+    obs = NodeObs("n0", enabled=True)
+    calls = 10_000
+
+    def run():
+        for _ in range(calls):
+            reg.inc("mcast.received")
+            obs.instant("probe", 0.0)
+        obs.spans.clear()
+        return calls
+
+    assert benchmark(run) == calls
+    per_call = benchmark.stats.stats.min / (calls * 2)
+    print(f"\nenabled, no subscriber: {per_call * 1e9:.0f} ns/call")
+
+
 def test_bench_obs_disabled_run(benchmark):
     """The default configuration: every guard present, nothing recorded."""
     stats = run_once(benchmark, churn_run, False)
@@ -80,17 +112,29 @@ def test_bench_obs_enabled_run(benchmark):
     assert stats["transport_delivered"] > 0
 
 
+def test_bench_obs_bus_run(benchmark):
+    """Same scenario instrumented with a telemetry bus tapped in (every
+    span end and counter increment also lands in a NodeTap)."""
+    stats = run_once(benchmark, churn_run, True, True)
+    assert stats["transport_delivered"] > 0
+
+
 def test_obs_overhead_report():
-    """Print off-vs-on wall time and check behaviour is unperturbed."""
+    """Print off/on/bus wall times and check behaviour is unperturbed."""
     t0 = time.perf_counter()
     off = churn_run(False)
     t_off = time.perf_counter() - t0
     t0 = time.perf_counter()
     on = churn_run(True)
     t_on = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    bus = churn_run(True, bus=True)
+    t_bus = time.perf_counter() - t0
     assert off == on  # observability must not perturb the protocol
-    pct = (t_on - t_off) / t_off * 100.0
+    assert on == bus  # ...and neither must a subscribed telemetry bus
+    pct_on = (t_on - t_off) / t_off * 100.0
+    pct_bus = (t_bus - t_off) / t_off * 100.0
     print(
-        f"\nobs off: {t_off:.3f}s  obs on: {t_on:.3f}s  "
-        f"enabled overhead: {pct:+.1f}%"
+        f"\nobs off: {t_off:.3f}s  obs on: {t_on:.3f}s ({pct_on:+.1f}%)  "
+        f"obs on + bus: {t_bus:.3f}s ({pct_bus:+.1f}%)"
     )

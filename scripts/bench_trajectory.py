@@ -15,15 +15,23 @@ Usage (from the repo root)::
     python scripts/bench_trajectory.py --quick    # smoke cells only
     python scripts/bench_trajectory.py --perf     # also print perf rows
 
-``--perf`` appends machine-dependent engine-cost rows (wall-clock ns per
-simulator event and the process's peak RSS) for a fixed reference
-workload.  Those numbers never go into BENCH_health.json — the committed
-trajectory stays a pure byte-identical function of the seed matrix —
-but printing them next to the health cells gives each trajectory point
-an engine-cost coordinate on the machine that produced it.
+``--perf`` measures machine-dependent engine-cost rows (wall-clock ns
+per simulator event and the process's peak RSS) for fixed reference
+workloads and writes them to ``BENCH_perf.json``.  Those numbers never
+go into BENCH_health.json — the committed trajectory stays a pure
+byte-identical function of the seed matrix — they live in their own
+document with an explicit comparison tolerance, because wall-clock cost
+is reproducible only *approximately* on the machine that produced it.
+
+``--perf --check`` compares a fresh measurement against the committed
+``BENCH_perf.json``: event counts must match exactly (they are
+deterministic), while ``ns_per_event`` and ``peak_rss_mb`` may regress
+by at most the file's own ``tolerance`` fractions (default 0.50 — CI
+machines are noisy; the point is to flag order-of-magnitude cost
+regressions, not jitter).  Improvements never fail the check.
 
 Exit status: 0 when every cell is healthy (and, under ``--check``, the
-file matches); 1 otherwise.
+file matches / perf is within tolerance); 1 otherwise.
 """
 
 from __future__ import annotations
@@ -53,6 +61,17 @@ def render(doc) -> str:
 #: (n_nodes, sim duration) of the ``--perf`` reference workloads: a
 #: staggered-join network under the paper-scale default config.
 PERF_MATRIX = ((40, 120.0), (100, 120.0))
+
+#: Where the engine-cost point lives (repo root, next to BENCH_health).
+PERF_PATH = os.path.join(ROOT, "BENCH_perf.json")
+
+#: Allowed *regression* fractions for ``--perf --check``: a fresh
+#: measurement may be up to ``(1 + tolerance)`` times the committed
+#: value before the check fails.  Generous on purpose — wall clock and
+#: RSS wobble with CPU contention and allocator state; the gate exists
+#: to catch real engine-cost regressions (2x event dispatch, a leak
+#: that doubles peak memory), not scheduler noise.
+PERF_TOLERANCE = {"ns_per_event": 0.50, "peak_rss_mb": 0.50}
 
 
 def run_perf_cell(n_nodes: int, duration: float, seed: int = 0) -> dict:
@@ -90,15 +109,66 @@ def run_perf_cell(n_nodes: int, duration: float, seed: int = 0) -> dict:
     }
 
 
-def print_perf_rows() -> None:
-    print("\nengine cost (machine-dependent; not part of BENCH_health.json):")
+def build_perf_doc() -> dict:
+    """Measure every reference workload and wrap the rows in the
+    BENCH_perf.json document (schema + the comparison tolerance that
+    future checks of this file must honour)."""
+    return {
+        "schema": "repro.bench.perf",
+        "schema_version": 1,
+        "tolerance": dict(PERF_TOLERANCE),
+        "cells": [run_perf_cell(n, duration) for n, duration in PERF_MATRIX],
+    }
+
+
+def print_perf_rows(doc: dict) -> None:
+    print("\nengine cost (machine-dependent; see BENCH_perf.json):")
     print(f"  {'n':>4} {'sim-dur':>8} {'events':>9} {'wall':>8} "
           f"{'ns/event':>9} {'peak-RSS':>9}")
-    for n_nodes, duration in PERF_MATRIX:
-        row = run_perf_cell(n_nodes, duration)
+    for row in doc["cells"]:
         print(f"  {row['n_nodes']:>4} {row['duration']:>7.0f}s "
               f"{row['events']:>9} {row['wall_s']:>7.2f}s "
               f"{row['ns_per_event']:>9.0f} {row['peak_rss_mb']:>7.1f}MB")
+
+
+def check_perf(fresh: dict, path: str) -> list:
+    """Compare a fresh measurement against the committed perf point.
+
+    Returns a list of problem strings (empty when the check passes).
+    Event counts are deterministic and must match exactly; the cost
+    axes may exceed the committed value by at most the committed file's
+    own ``tolerance`` fraction.  Getting *faster* never fails.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            committed = json.load(fh)
+    except OSError:
+        return [f"missing {path}; run --perf without --check to create it"]
+    problems = []
+    tolerance = committed.get("tolerance", PERF_TOLERANCE)
+    old_cells = {(c["n_nodes"], c["duration"]): c
+                 for c in committed.get("cells", [])}
+    for cell in fresh["cells"]:
+        key = (cell["n_nodes"], cell["duration"])
+        old = old_cells.get(key)
+        label = f"n={cell['n_nodes']} dur={cell['duration']:.0f}"
+        if old is None:
+            problems.append(f"{label}: no committed cell (file is stale)")
+            continue
+        if cell["events"] != old["events"]:
+            problems.append(
+                f"{label}: events {cell['events']} != committed "
+                f"{old['events']} (engine behaviour changed; regenerate)"
+            )
+        for axis in ("ns_per_event", "peak_rss_mb"):
+            limit = old[axis] * (1.0 + tolerance.get(axis, 0.5))
+            if cell[axis] > limit:
+                problems.append(
+                    f"{label}: {axis} {cell[axis]:.1f} exceeds committed "
+                    f"{old[axis]:.1f} by more than "
+                    f"{100 * tolerance.get(axis, 0.5):.0f}%"
+                )
+    return problems
 
 
 def main(argv=None) -> int:
@@ -110,8 +180,13 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="run only the smoke cells (fast sanity pass)")
     parser.add_argument("--perf", action="store_true",
-                        help="also print ns/event + peak-RSS rows for the "
-                             "fixed reference workloads (stdout only)")
+                        help="also measure ns/event + peak-RSS for the fixed "
+                             "reference workloads and write (or, with "
+                             "--check, compare within tolerance) "
+                             "BENCH_perf.json")
+    parser.add_argument("--perf-out", default=PERF_PATH,
+                        help="perf output path (default: repo-root "
+                             "BENCH_perf.json)")
     args = parser.parse_args(argv)
 
     matrix = tuple(c for c in MATRIX if c[0] == "smoke") if args.quick else MATRIX
@@ -143,9 +218,23 @@ def main(argv=None) -> int:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(text)
         print(f"wrote {args.out} ({doc['summary']['cells']} cells)")
+    status = 0 if doc["summary"]["healthy"] else 1
     if args.perf:
-        print_perf_rows()
-    return 0 if doc["summary"]["healthy"] else 1
+        perf_doc = build_perf_doc()
+        print_perf_rows(perf_doc)
+        if args.check:
+            problems = check_perf(perf_doc, args.perf_out)
+            for problem in problems:
+                print(f"perf: {problem}")
+            if problems:
+                status = 1
+            else:
+                print(f"{args.perf_out} is within tolerance")
+        else:
+            with open(args.perf_out, "w", encoding="utf-8") as fh:
+                fh.write(render(perf_doc))
+            print(f"wrote {args.perf_out} ({len(perf_doc['cells'])} cells)")
+    return status
 
 
 if __name__ == "__main__":

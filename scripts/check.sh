@@ -9,7 +9,10 @@
 # health` must exit 0 on the same default HealthSpec the sim is judged
 # by) + a byzantine smoke (one eclipse + one forged-obituary adversarial
 # scenario with the DESIGN §16 hardening enabled; both must come back
-# HEALTHY under the byzantine SLO bands).
+# HEALTHY under the byzantine SLO bands) + a watch smoke (200-node
+# seeded run streaming telemetry frames to --snapshot-jsonl; every
+# frame must satisfy the telemetry schema and the final frame's verdict
+# must agree with `repro obs health` over the same run's exports).
 #
 #   scripts/check.sh             # everything below
 #   scripts/check.sh --lint      # ruff + mypy only
@@ -21,6 +24,7 @@
 #   scripts/check.sh --obs       # obs smoke only
 #   scripts/check.sh --health    # health smoke only
 #   scripts/check.sh --live      # live swarm smoke only
+#   scripts/check.sh --watch     # streaming telemetry smoke only
 set -u
 cd "$(dirname "$0")/.."
 
@@ -32,17 +36,19 @@ run_byzantine=1
 run_obs=1
 run_health=1
 run_live=1
+run_watch=1
 case "${1:-}" in
-  --lint) run_analysis=0; run_tests=0; run_chaos=0; run_byzantine=0; run_obs=0; run_health=0; run_live=0 ;;
-  --analysis) run_lint=0; run_tests=0; run_chaos=0; run_byzantine=0; run_obs=0; run_health=0; run_live=0 ;;
-  --tests) run_lint=0; run_analysis=0; run_chaos=0; run_byzantine=0; run_obs=0; run_health=0; run_live=0 ;;
-  --chaos) run_lint=0; run_analysis=0; run_tests=0; run_byzantine=0; run_obs=0; run_health=0; run_live=0 ;;
-  --byzantine) run_lint=0; run_analysis=0; run_tests=0; run_chaos=0; run_obs=0; run_health=0; run_live=0 ;;
-  --obs) run_lint=0; run_analysis=0; run_tests=0; run_chaos=0; run_byzantine=0; run_health=0; run_live=0 ;;
-  --health) run_lint=0; run_analysis=0; run_tests=0; run_chaos=0; run_byzantine=0; run_obs=0; run_live=0 ;;
-  --live) run_lint=0; run_analysis=0; run_tests=0; run_chaos=0; run_byzantine=0; run_obs=0; run_health=0 ;;
+  --lint) run_analysis=0; run_tests=0; run_chaos=0; run_byzantine=0; run_obs=0; run_health=0; run_live=0; run_watch=0 ;;
+  --analysis) run_lint=0; run_tests=0; run_chaos=0; run_byzantine=0; run_obs=0; run_health=0; run_live=0; run_watch=0 ;;
+  --tests) run_lint=0; run_analysis=0; run_chaos=0; run_byzantine=0; run_obs=0; run_health=0; run_live=0; run_watch=0 ;;
+  --chaos) run_lint=0; run_analysis=0; run_tests=0; run_byzantine=0; run_obs=0; run_health=0; run_live=0; run_watch=0 ;;
+  --byzantine) run_lint=0; run_analysis=0; run_tests=0; run_chaos=0; run_obs=0; run_health=0; run_live=0; run_watch=0 ;;
+  --obs) run_lint=0; run_analysis=0; run_tests=0; run_chaos=0; run_byzantine=0; run_health=0; run_live=0; run_watch=0 ;;
+  --health) run_lint=0; run_analysis=0; run_tests=0; run_chaos=0; run_byzantine=0; run_obs=0; run_live=0; run_watch=0 ;;
+  --live) run_lint=0; run_analysis=0; run_tests=0; run_chaos=0; run_byzantine=0; run_obs=0; run_health=0; run_watch=0 ;;
+  --watch) run_lint=0; run_analysis=0; run_tests=0; run_chaos=0; run_byzantine=0; run_obs=0; run_health=0; run_live=0 ;;
   "") ;;
-  *) echo "usage: scripts/check.sh [--lint|--analysis|--tests|--chaos|--byzantine|--obs|--health|--live]" >&2; exit 2 ;;
+  *) echo "usage: scripts/check.sh [--lint|--analysis|--tests|--chaos|--byzantine|--obs|--health|--live|--watch]" >&2; exit 2 ;;
 esac
 
 status=0
@@ -173,6 +179,66 @@ if [ "$run_live" = 1 ]; then
       --metrics "$live_dir/metrics.json" || status=1
   else
     echo "== numpy not installed; skipping live smoke =="
+  fi
+fi
+
+if [ "$run_watch" = 1 ]; then
+  if PYTHONPATH=src python -c "import numpy" >/dev/null 2>&1; then
+    echo "== watch smoke (200-node run -> telemetry frames -> verdict agreement) =="
+    watch_dir="$(mktemp -d)"
+    trap 'rm -rf "${obs_dir:-}" "${health_dir:-}" "${live_dir:-}" "${watch_dir:-}"' EXIT
+    if command -v timeout >/dev/null 2>&1; then
+      timeout 120 env PYTHONPATH=src python -m repro obs run -n 200 --duration 120 \
+        --seed 1 --spans "$watch_dir/spans.jsonl" \
+        --metrics "$watch_dir/metrics.json" \
+        --snapshot-jsonl "$watch_dir/frames.jsonl" || status=1
+    else
+      PYTHONPATH=src python -m repro obs run -n 200 --duration 120 \
+        --seed 1 --spans "$watch_dir/spans.jsonl" \
+        --metrics "$watch_dir/metrics.json" \
+        --snapshot-jsonl "$watch_dir/frames.jsonl" || status=1
+    fi
+    PYTHONPATH=src python -m repro obs health "$watch_dir/spans.jsonl" \
+      --metrics "$watch_dir/metrics.json"
+    health_status=$?
+    PYTHONPATH=src python - "$watch_dir/frames.jsonl" "$health_status" <<'PY' || status=1
+import sys
+from repro.obs.stream import load_frames_file
+
+frames, version, skipped = load_frames_file(sys.argv[1])
+health_exit = int(sys.argv[2])
+problems = []
+if skipped:
+    problems.append(f"{skipped} malformed frame line(s)")
+if not frames:
+    problems.append("no frames")
+required = ("window", "t0", "t1", "final", "taps", "spans", "span_counts",
+            "status_counts", "counters", "mcast", "join", "probe",
+            "obituaries", "signals", "breaches", "verdicts", "healthy",
+            "state")
+for frame in frames:
+    missing = [key for key in required if key not in frame]
+    if missing:
+        problems.append(f"frame {frame.get('window')}: missing {missing}")
+finals = [frame for frame in frames if frame.get("final")]
+if len(finals) != 1:
+    problems.append(f"{len(finals)} final frames (want exactly 1)")
+elif finals[0] is not frames[-1]:
+    problems.append("final frame is not the last frame")
+elif not finals[0]["verdicts"]:
+    problems.append("final frame has no verdicts")
+elif bool(finals[0]["healthy"]) != (health_exit == 0):
+    problems.append(
+        f"final frame healthy={finals[0]['healthy']} but "
+        f"`repro obs health` exited {health_exit}"
+    )
+for p in problems[:20]:
+    print("watch smoke:", p)
+print(f"watch smoke: {len(frames)} frame(s), {len(problems)} problem(s)")
+sys.exit(1 if problems else 0)
+PY
+  else
+    echo "== numpy not installed; skipping watch smoke =="
   fi
 fi
 

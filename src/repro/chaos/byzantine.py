@@ -784,6 +784,7 @@ class ByzantineRunner(ChaosRunner):
         monitor_interval: float = 1.0,
         observe: bool = False,
         health_spec=None,
+        stream=None,
     ):
         super().__init__(
             scenario,
@@ -792,6 +793,7 @@ class ByzantineRunner(ChaosRunner):
             monitor_interval=monitor_interval,
             observe=observe,
             health_spec=health_spec,
+            stream=stream,
         )
 
     def _seed(self, net) -> None:

@@ -18,7 +18,10 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import for annotations only
+    from repro.obs.stream import StreamConfig
 
 from repro.chaos.faults import ChaosTrace
 from repro.chaos.monitor import InvariantMonitor, Violation
@@ -77,6 +80,7 @@ class ChaosRunner:
         monitor_interval: float = 5.0,
         observe: bool = False,
         health_spec: Optional[HealthSpec] = None,
+        stream: Optional["StreamConfig"] = None,
     ):
         self.scenario = scenario
         self.n_nodes = scenario.default_nodes if n_nodes is None else int(n_nodes)
@@ -86,8 +90,13 @@ class ChaosRunner:
         #: messages and draws no randomness, so the chaos trace (and its
         #: determinism digest) is byte-identical with or without it.
         #: A health spec needs the instrumentation, so it forces this on.
+        #: Streaming telemetry taps the same instrumentation, so it
+        #: forces it on too.
         self.health_spec = health_spec
-        self.observe = bool(observe) or health_spec is not None
+        self.stream = stream
+        self.observe = (
+            bool(observe) or health_spec is not None or stream is not None
+        )
 
     def run(self) -> ChaosResult:
         scenario = self.scenario
@@ -95,8 +104,15 @@ class ChaosRunner:
         net = PeerWindowNetwork(
             config=config, master_seed=self.seed, observability=self.observe
         )
+        # All simulation advances route through the stream windower when
+        # one is configured, so window boundaries land on the same grid
+        # no matter how this driver slices its run calls.
+        windower = self.stream.build(net) if self.stream is not None else None
+        advance = net.run if windower is None else (
+            lambda until: windower.run(until)
+        )
         self._seed(net)
-        net.run(until=scenario.settle)
+        advance(until=scenario.settle)
 
         trace = ChaosTrace()
         plan = scenario.build_plan(self.n_nodes, self.seed)
@@ -119,7 +135,8 @@ class ChaosRunner:
             )
             health_mon.start()
 
-        net.run(until=scenario.settle + plan.horizon + monitor.quiescence + self.MARGIN)
+        advance(until=scenario.settle + plan.horizon + monitor.quiescence
+                + self.MARGIN)
         # Late async disruptions (recovery completions, retried joins)
         # push the quiescence clock forward; keep running until the full
         # budget has elapsed after the *last* of them.
@@ -127,7 +144,7 @@ class ChaosRunner:
             target = monitor.last_disruption + monitor.quiescence + self.MARGIN
             if net.sim.now >= target:
                 break
-            net.run(until=target)
+            advance(until=target)
         monitor.stop()
         monitor.check()  # one forced, quiescent, full check
         if not monitor.quiescent:  # pragma: no cover - runner bug guard
@@ -139,6 +156,8 @@ class ChaosRunner:
             health_verdicts.extend(health_mon.breaches)
             health_verdicts.extend(self._posthoc_health(net, config, monitor))
 
+        if windower is not None:
+            windower.finish()
         self._trace_final_state(net, trace, monitor)
         return ChaosResult(
             scenario=scenario.name,

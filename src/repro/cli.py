@@ -242,10 +242,32 @@ def cmd_chaos(args) -> int:
                 health_spec = HealthSpec.default(scenario.make_config(), n)
         else:
             health_spec = HealthSpec.load(args.health)
+    stream = None
+    if args.watch or args.snapshot_jsonl:
+        from repro.obs.health import HealthSpec
+        from repro.obs.stream import StreamConfig
+
+        n = args.nodes if args.nodes is not None else scenario.default_nodes
+        stream_spec = health_spec
+        if stream_spec is None:
+            # The dashboard always band-evaluates; without --health the
+            # default spec for the scenario's config judges the stream.
+            if args.byzantine is not None:
+                stream_spec = HealthSpec.byzantine(scenario.make_config(), n)
+            else:
+                stream_spec = HealthSpec.default(scenario.make_config(), n)
+        if args.snapshot_jsonl:
+            prepare_output_path(args.snapshot_jsonl, what="telemetry frames")
+        stream = StreamConfig(
+            window=args.window,
+            spec=stream_spec,
+            snapshot_path=args.snapshot_jsonl,
+            render=bool(args.watch),
+        )
     observe = bool(args.spans or args.chrome or args.metrics)
     runner = runner_cls(
         scenario, n_nodes=args.nodes, seed=args.seed, observe=observe,
-        health_spec=health_spec,
+        health_spec=health_spec, stream=stream,
     )
     result = runner.run()
     _emit(
@@ -267,6 +289,8 @@ def cmd_chaos(args) -> int:
         with open(path, "w") as fh:
             fh.write(result.trace)
         print(f"[wrote {path}]")
+    if args.snapshot_jsonl:
+        print(f"[wrote {args.snapshot_jsonl}]")
     if args.spans:
         print(f"[wrote {write_spans_jsonl(args.spans, result.spans)}]")
     if args.chrome:
@@ -335,6 +359,22 @@ def cmd_obs_run(args) -> int:
         observability=True,
     )
     net.seed_nodes([4000.0] * args.nodes)
+    windower = None
+    if args.watch or args.snapshot_jsonl:
+        from repro.obs.health import HealthSpec
+        from repro.obs.stream import StreamConfig
+
+        if args.snapshot_jsonl:
+            prepare_output_path(args.snapshot_jsonl, what="telemetry frames")
+        windower = StreamConfig(
+            window=args.window,
+            spec=HealthSpec.default(config, args.nodes),
+            snapshot_path=args.snapshot_jsonl,
+            render=bool(args.watch),
+        ).build(net)
+    advance = net.run if windower is None else (
+        lambda until: windower.run(until)
+    )
     if args.profile:
         net.enable_profiling()
     # Deterministic churn so every instrumented path fires: a few joins
@@ -345,10 +385,14 @@ def cmd_obs_run(args) -> int:
     n_churn = max(2, args.nodes // 20)
     for key in sorted(churn_rng.choice(keys[1:], size=n_churn, replace=False)):
         net.leave(int(key))
-    net.run(until=args.duration / 2)
+    advance(until=args.duration / 2)
     for _ in range(n_churn):
         net.add_node(4000.0, bootstrap)
-    net.run(until=args.duration)
+    advance(until=args.duration)
+    if windower is not None:
+        windower.finish()
+        if args.snapshot_jsonl:
+            print(f"[wrote {args.snapshot_jsonl}]")
 
     snapshot = net.metrics_snapshot()
     spans = net.spans()
@@ -440,6 +484,7 @@ def cmd_obs_analyze(args) -> int:
         ["metric", "value"],
         [
             ["spans", doc["spans_total"]],
+            ["lines_skipped", doc["lines_skipped"]],
             ["nodes", doc["nodes"]],
             ["mcast.trees", m["trees"]],
             ["mcast.tree_completeness", round(m["tree_completeness"], 6)],
@@ -522,6 +567,18 @@ def cmd_obs_report(args) -> int:
     return 0 if doc["healthy"] else 1
 
 
+def cmd_watch(args) -> int:
+    """Render telemetry frames from a --snapshot-jsonl file."""
+    from repro.obs.dashboard import watch_file
+
+    return watch_file(
+        args.frames,
+        follow=args.follow,
+        interval=args.interval,
+        ansi=False if args.plain else None,
+    )
+
+
 def cmd_live_node(args) -> int:
     """One live node process (``seed`` is a node with no --via)."""
     import asyncio
@@ -542,6 +599,7 @@ def cmd_live_node(args) -> int:
         join_at=args.join_at,
         settle=args.settle,
         request_retries=args.request_retries,
+        telemetry_window=args.telemetry_window,
     )
     result = asyncio.run(run_node(spec, args.out))
     role = "seed" if via is None else f"joined={result['joined']}"
@@ -581,6 +639,9 @@ def cmd_live_swarm(args) -> int:
             print("  " + v.describe())
         return signals, not breaches
 
+    telemetry_window = args.telemetry_window
+    if args.watch and telemetry_window <= 0:
+        telemetry_window = 2.0
     summary = launch_swarm(
         n=args.nodes,
         duration=args.duration,
@@ -590,11 +651,15 @@ def cmd_live_swarm(args) -> int:
         stagger=args.stagger,
         settle=args.settle,
         request_retries=args.request_retries,
+        telemetry_window=telemetry_window,
+        watch=args.watch,
     )
     print(
         f"swarm: {summary['joined']}/{summary['n']} nodes up; "
         f"spans={summary['spans']} metrics={summary['metrics']}"
     )
+    if summary.get("telemetry"):
+        print(f"telemetry frames merged to {summary['telemetry']}")
     rc = 0
     if summary["joined"] < summary["n"]:
         print(f"WARNING: {summary['n'] - summary['joined']} node(s) failed to join")
@@ -762,6 +827,14 @@ def build_parser() -> argparse.ArgumentParser:
                           "'default' (derived from the scenario config)")
     pch.add_argument("--metrics", help="write the run's metrics snapshot "
                                        "as JSON here (enables tracing)")
+    pch.add_argument("--watch", action="store_true",
+                     help="render the live telemetry dashboard while the "
+                          "scenario runs (enables tracing)")
+    pch.add_argument("--snapshot-jsonl", dest="snapshot_jsonl", default=None,
+                     help="write deterministic per-window telemetry frames "
+                          "as JSONL here (enables tracing)")
+    pch.add_argument("--window", type=float, default=15.0,
+                     help="telemetry window width in simulated seconds")
     pch.add_argument("--list", action="store_true", help="list scenarios and exit")
     pch.set_defaults(func=cmd_chaos)
 
@@ -787,6 +860,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the metrics snapshot as CSV here")
     porun.add_argument("--profile", action="store_true",
                        help="attach wall-clock phase profilers and print them")
+    porun.add_argument("--watch", action="store_true",
+                       help="render the live telemetry dashboard during the run")
+    porun.add_argument("--snapshot-jsonl", dest="snapshot_jsonl", default=None,
+                       help="write deterministic per-window telemetry frames "
+                            "as JSONL here (byte-identical across --parallel)")
+    porun.add_argument("--window", type=float, default=15.0,
+                       help="telemetry window width in simulated seconds")
     porun.set_defaults(func=cmd_obs_run)
 
     poana = obs_sub.add_parser(
@@ -818,6 +898,19 @@ def build_parser() -> argparse.ArgumentParser:
     porep.add_argument("--out", help="write markdown here (default: stdout)")
     porep.add_argument("--json", help="write the report document as JSON here")
     porep.set_defaults(func=cmd_obs_report)
+
+    pwatch = sub.add_parser(
+        "watch",
+        help="render telemetry frames from a --snapshot-jsonl file "
+             "(optionally tailing a still-running producer)")
+    pwatch.add_argument("frames", help="telemetry frame JSONL file")
+    pwatch.add_argument("--follow", action="store_true",
+                        help="tail the file until a final frame arrives")
+    pwatch.add_argument("--interval", type=float, default=0.5,
+                        help="poll interval in wall seconds with --follow")
+    pwatch.add_argument("--plain", action="store_true",
+                        help="never repaint in place, even on a TTY")
+    pwatch.set_defaults(func=cmd_watch)
 
     plint = sub.add_parser(
         "lint", parents=[common_opts],
@@ -867,6 +960,11 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="quiet window before export")
     live_node_opts.add_argument("--request-retries", type=int, default=1,
                                 help="datagram retransmits per request window")
+    live_node_opts.add_argument("--telemetry-window", dest="telemetry_window",
+                                type=float, default=0.0,
+                                help="write a telemetry frame sidecar "
+                                     "(telemetry_<port>.jsonl) with this "
+                                     "window width in seconds (0 = off)")
     live_node_opts.add_argument("--out", default="live-out",
                                 help="directory for span/result exports")
 
@@ -902,6 +1000,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also run the sequential-sim counterpart of the "
                              "same (n, config) and print the fidelity table")
     pswarm.add_argument("--spec", help="health spec JSON (default: derived)")
+    pswarm.add_argument("--watch", action="store_true",
+                        help="render merged telemetry frames while the swarm "
+                             "runs (implies --telemetry-window 2.0)")
+    pswarm.add_argument("--telemetry-window", dest="telemetry_window",
+                        type=float, default=0.0,
+                        help="per-node telemetry frame window in seconds "
+                             "(0 = no telemetry sidecars)")
     pswarm.set_defaults(func=cmd_live_swarm)
     return parser
 

@@ -82,6 +82,9 @@ class LiveNodeSpec:
     settle: float = 4.0
     threshold_bps: float = 4000.0
     request_retries: int = 1
+    #: Width (epoch seconds) of the telemetry frame windows written to
+    #: the ``telemetry_<port>.jsonl`` sidecar; 0 disables the sidecar.
+    telemetry_window: float = 0.0
 
     @property
     def address(self) -> str:
@@ -162,6 +165,12 @@ async def run_node(spec: LiveNodeSpec, outdir: str) -> Dict[str, Any]:
     # slow start translates the timeline instead of truncating it — the
     # seed must still be listening when the last joiner's retries land.
     late = max(0.0, runtime.now)
+    telemetry_task: Optional[asyncio.Task] = None
+    telemetry_fh = None
+    if spec.telemetry_window > 0:
+        telemetry_task, telemetry_fh = _start_telemetry_sidecar(
+            spec, outdir, obs, runtime
+        )
     try:
         await asyncio.sleep(max(0.0, late + spec.join_at - runtime.now))
         if spec.seed_address is None:
@@ -177,6 +186,14 @@ async def run_node(spec: LiveNodeSpec, outdir: str) -> Dict[str, Any]:
             node._stop_loops()
         await asyncio.sleep(max(0.0, late + spec.duration - runtime.now))
     finally:
+        if telemetry_task is not None:
+            telemetry_task.cancel()
+            try:
+                await telemetry_task
+            except asyncio.CancelledError:
+                pass
+            if telemetry_fh is not None:
+                telemetry_fh.close()
         result = node_result(spec, node, obs, runtime, joined)
         spans_path = f"{outdir}/spans_{spec.port}.jsonl"
         result_path = f"{outdir}/node_{spec.port}.json"
@@ -187,3 +204,45 @@ async def run_node(spec: LiveNodeSpec, outdir: str) -> Dict[str, Any]:
             fh.write("\n")
         await runtime.close()
     return result
+
+
+def _start_telemetry_sidecar(spec: LiveNodeSpec, outdir: str,
+                             obs: NodeObs, runtime: RealtimeRuntime):
+    """Tap this node's emit paths and write one telemetry frame per
+    ``spec.telemetry_window`` epoch seconds to
+    ``<outdir>/telemetry_<port>.jsonl``, flushed per frame so the swarm
+    watcher can tail it.  Windows sit on the *shared* epoch grid (no
+    lateness shift) so frames from every process merge by window index.
+    """
+    from repro.obs.stream import (
+        NodeTap,
+        WindowAggregator,
+        WindowBucket,
+        frame_line,
+        telemetry_header_line,
+    )
+
+    tap = NodeTap(runtime.address)
+    obs.sink = tap
+    obs.registry.sink = tap
+    path = f"{outdir}/telemetry_{spec.port}.jsonl"
+    prepare_output_path(path, "telemetry frames")
+    fh = open(path, "w")
+    fh.write(telemetry_header_line() + "\n")
+    fh.flush()
+    agg = WindowAggregator(spec=None)
+    window = float(spec.telemetry_window)
+
+    async def loop() -> None:
+        index = max(0, int(runtime.now // window))
+        while True:
+            target = (index + 1) * window
+            await asyncio.sleep(max(0.05, target - runtime.now))
+            bucket = WindowBucket()
+            bucket.add_node(*tap.drain())
+            frame = agg.close_window(index, index * window, target, bucket)
+            fh.write(frame_line(frame) + "\n")
+            fh.flush()
+            index += 1
+
+    return asyncio.get_running_loop().create_task(loop()), fh

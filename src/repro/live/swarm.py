@@ -34,6 +34,7 @@ import json
 import os
 import subprocess
 import sys
+import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import ProtocolConfig
@@ -69,6 +70,7 @@ def swarm_specs(
     stagger: float = 0.4,
     settle: float = 4.0,
     request_retries: int = 1,
+    telemetry_window: float = 0.0,
 ) -> List[LiveNodeSpec]:
     """Per-process specs: index 0 is the seed at ``base_port``; joiner
     ``i`` joins at ``stagger * i`` seconds after the epoch."""
@@ -90,6 +92,7 @@ def swarm_specs(
                 join_at=stagger * i,
                 settle=settle,
                 request_retries=request_retries,
+                telemetry_window=telemetry_window,
             )
         )
     return specs
@@ -110,6 +113,8 @@ def _node_argv(spec: LiveNodeSpec, outdir: str) -> List[str]:
         "--request-retries", str(spec.request_retries),
         "--out", outdir,
     ]
+    if spec.telemetry_window > 0:
+        argv += ["--telemetry-window", str(spec.telemetry_window)]
     if spec.seed_address is not None:
         argv += ["--via", spec.seed_address]
     return argv
@@ -126,21 +131,30 @@ def launch_swarm(
     settle: float = 4.0,
     request_retries: int = 1,
     epoch: Optional[float] = None,
+    telemetry_window: float = 0.0,
+    watch: bool = False,
 ) -> Dict[str, Any]:
     """Run an ``n``-process swarm and merge its exports into
-    ``<outdir>/spans.jsonl`` + ``<outdir>/metrics.json``.
+    ``<outdir>/spans.jsonl`` + ``<outdir>/metrics.json`` (plus
+    ``<outdir>/telemetry.jsonl`` when ``telemetry_window > 0``).
+
+    With ``watch`` the wait loop also tails the per-node telemetry
+    sidecars and renders the latest merged frame while the swarm runs.
 
     Returns a summary dict (per-process exit codes, join outcomes, and
     the merged artifact paths).  Raises :class:`RuntimeError` when a
     process dies or fails to export — a partial merge would quietly
     understate non-delivery, so it is refused.
     """
+    if watch and telemetry_window <= 0:
+        raise ValueError("watch needs telemetry_window > 0")
     if epoch is None:
         epoch = wall_epoch() + max(STARTUP_GRACE_MIN, STARTUP_GRACE_PER_NODE * n)
     specs = swarm_specs(
         n, base_port, master_seed, epoch, duration,
         host=host, stagger=stagger, settle=settle,
         request_retries=request_retries,
+        telemetry_window=telemetry_window,
     )
     os.makedirs(outdir, exist_ok=True)
     env = dict(os.environ)
@@ -158,6 +172,8 @@ def launch_swarm(
     # if slow interpreter startup forced nodes to shift their schedules.
     grace = max(STARTUP_GRACE_MIN, STARTUP_GRACE_PER_NODE * n)
     budget = (epoch - wall_epoch()) + duration + grace + max(60.0, duration)
+    if watch:
+        _watch_swarm(procs, specs, outdir, deadline=wall_epoch() + budget)
     failures: List[str] = []
     for spec, proc in zip(specs, procs):
         try:
@@ -179,13 +195,100 @@ def launch_swarm(
     metrics_path = merge_metrics(
         outdir, results, live_config(), n, master_seed, duration
     )
+    telemetry_path = None
+    if telemetry_window > 0:
+        telemetry_path = merge_telemetry(outdir, specs)
     return {
         "n": n,
         "joined": sum(1 for r in results if r.get("joined")),
         "spans": spans_path,
         "metrics": metrics_path,
+        "telemetry": telemetry_path,
         "results": results,
     }
+
+
+def _settled_frames(
+    outdir: str, specs: Sequence[LiveNodeSpec]
+) -> List[Dict[str, Any]]:
+    """Merge whatever telemetry the sidecars have flushed so far,
+    keeping only windows every node has already closed — a window some
+    process has not flushed yet would render once incomplete and then
+    never be repainted with the full picture."""
+    from repro.obs.stream import load_frames_file, merge_node_frames
+
+    per_node: List[Tuple[str, List[Dict[str, Any]]]] = []
+    highest: List[int] = []
+    for spec in specs:
+        path = os.path.join(outdir, f"telemetry_{spec.port}.jsonl")
+        try:
+            frames, _, _ = load_frames_file(path)
+        except OSError:
+            return []
+        if not frames:
+            return []
+        per_node.append((spec.address, frames))
+        highest.append(max(int(f["window"]) for f in frames))
+    settled = min(highest)
+    merged = merge_node_frames(per_node)
+    return [
+        f for f in merged
+        if not f.get("final") and int(f["window"]) <= settled
+    ]
+
+
+def _watch_swarm(
+    procs: Sequence[subprocess.Popen],
+    specs: Sequence[LiveNodeSpec],
+    outdir: str,
+    deadline: float,
+    interval: float = 1.0,
+) -> None:
+    """Tail the per-node telemetry sidecars while the swarm runs and
+    render each newly settled merged window.  Purely observational: exit
+    codes, timeouts, and the authoritative merge still happen in
+    :func:`launch_swarm` after every process has exited."""
+    from repro.obs.dashboard import TerminalDashboard
+
+    dashboard = TerminalDashboard()
+    rendered = -1
+    while any(proc.poll() is None for proc in procs):
+        if wall_epoch() >= deadline:
+            break
+        time.sleep(interval)
+        for frame in _settled_frames(outdir, specs):
+            if int(frame["window"]) > rendered:
+                dashboard.render(frame)
+                rendered = int(frame["window"])
+
+
+def merge_telemetry(outdir: str, specs: Sequence[LiveNodeSpec]) -> str:
+    """Merge per-process telemetry sidecars into
+    ``<outdir>/telemetry.jsonl`` with the same ordering rules as the
+    span merge (sorted address order within each window index), plus a
+    cumulative final frame.  Tolerant of truncated per-node tails — a
+    node killed mid-flush loses at most its partial last line."""
+    from repro.obs.stream import (
+        frame_line,
+        load_frames_file,
+        merge_node_frames,
+        telemetry_header_line,
+    )
+
+    per_node: List[Tuple[str, List[Dict[str, Any]]]] = []
+    for spec in specs:
+        frames, _, _ = load_frames_file(
+            os.path.join(outdir, f"telemetry_{spec.port}.jsonl")
+        )
+        per_node.append((spec.address, frames))
+    merged = merge_node_frames(per_node)
+    out_path = os.path.join(outdir, "telemetry.jsonl")
+    prepare_output_path(out_path, "merged telemetry JSONL")
+    with open(out_path, "w") as fh:
+        fh.write(telemetry_header_line() + "\n")
+        for frame in merged:
+            fh.write(frame_line(frame) + "\n")
+    return out_path
 
 
 def _load_result(outdir: str, spec: LiveNodeSpec) -> Dict[str, Any]:

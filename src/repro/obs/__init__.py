@@ -10,7 +10,12 @@ Three concerns, one package:
 * :mod:`repro.obs.profile` — wall-clock phase timers for the engines
   (explicitly non-deterministic, excluded from equivalence checks);
 * :mod:`repro.obs.export` — JSONL / Chrome trace_event / JSON / CSV
-  writers plus the span schema validator.
+  writers plus the span schema validator;
+* :mod:`repro.obs.stream` — the streaming telemetry bus: windowed
+  incremental aggregation over the live emit paths, deterministic
+  per-window frames, and the live-backend frame merge;
+* :mod:`repro.obs.dashboard` — terminal rendering of telemetry frames
+  (``repro watch``).
 
 Everything is disabled by default and adds no messages, no RNG draws,
 and no timing changes when enabled — sequential/parallel equivalence
@@ -43,6 +48,21 @@ from repro.obs.metrics import (
     known_metric,
 )
 from repro.obs.profile import PhaseProfiler, merge_profiles
+from repro.obs.stream import (
+    TELEMETRY_SCHEMA_VERSION,
+    NodeTap,
+    SnapshotWriter,
+    StreamConfig,
+    StreamWindower,
+    TelemetryBus,
+    WindowAggregator,
+    WindowBucket,
+    frame_line,
+    load_frames,
+    load_frames_file,
+    merge_node_frames,
+    telemetry_header_line,
+)
 from repro.obs.trace import NodeObs, Observability, Span, SpanRef
 
 __all__ = [
@@ -50,6 +70,19 @@ __all__ = [
     "METRIC_NAME_RE",
     "METRICS_SCHEMA_VERSION",
     "SPAN_SCHEMA_VERSION",
+    "TELEMETRY_SCHEMA_VERSION",
+    "NodeTap",
+    "SnapshotWriter",
+    "StreamConfig",
+    "StreamWindower",
+    "TelemetryBus",
+    "WindowAggregator",
+    "WindowBucket",
+    "frame_line",
+    "load_frames",
+    "load_frames_file",
+    "merge_node_frames",
+    "telemetry_header_line",
     "span_from_dict",
     "Dist",
     "MetricSpec",

@@ -73,25 +73,33 @@ def _check_span_obj(obj: Any, where: str) -> Dict[str, Any]:
     return obj
 
 
-def load_span_lines(lines: Iterable[str]) -> Tuple[List[Span], int]:
+def load_span_lines(lines: Iterable[str]) -> Tuple[List[Span], int, int]:
     """Parse span JSONL lines into :class:`Span` objects.
 
-    Returns ``(spans, schema_version)``.  A headerless file — the PR 3
-    format — is version 0 and upconverts transparently (the span record
-    shape is unchanged between 0 and 1); a header newer than
-    :data:`SPAN_SCHEMA_VERSION` raises :class:`SchemaError` so a stale
-    analyzer never silently misreads a future export.
+    Returns ``(spans, schema_version, lines_skipped)``.  A headerless
+    file — the PR 3 format — is version 0 and upconverts transparently
+    (the span record shape is unchanged between 0 and 1); a header newer
+    than :data:`SPAN_SCHEMA_VERSION` raises :class:`SchemaError` so a
+    stale analyzer never silently misreads a future export.
+
+    Malformed or truncated records — a live node killed mid-write leaves
+    a partial last line — are **skipped and counted**, not fatal: a
+    crash is exactly when the surviving spans matter most.  The count
+    surfaces in :attr:`AnalysisReport.lines_skipped` so a corrupted log
+    is never mistaken for a clean one.
     """
     spans: List[Span] = []
     version = 0
+    skipped = 0
     for i, line in enumerate(lines, 1):
         line = line.strip()
         if not line:
             continue
         try:
             obj = json.loads(line)
-        except ValueError as exc:
-            raise SchemaError(f"line {i}: not valid JSON ({exc})") from exc
+        except ValueError:
+            skipped += 1
+            continue
         if isinstance(obj, dict) and "schema_version" in obj and "span_id" not in obj:
             declared = obj["schema_version"]
             if not isinstance(declared, int) or declared > SPAN_SCHEMA_VERSION:
@@ -102,11 +110,14 @@ def load_span_lines(lines: Iterable[str]) -> Tuple[List[Span], int]:
                 )
             version = declared
             continue
-        spans.append(span_from_dict(_check_span_obj(obj, f"line {i}")))
-    return spans, version
+        try:
+            spans.append(span_from_dict(_check_span_obj(obj, f"line {i}")))
+        except SchemaError:
+            skipped += 1
+    return spans, version, skipped
 
 
-def load_spans(path: str) -> Tuple[List[Span], int]:
+def load_spans(path: str) -> Tuple[List[Span], int, int]:
     """Load a span JSONL export from disk (see :func:`load_span_lines`)."""
     with open(path) as fh:
         return load_span_lines(fh)
@@ -240,6 +251,9 @@ class AnalysisReport:
     spans_total: int
     nodes: int
     sim_span: Tuple[float, float]
+    #: Malformed/truncated JSONL lines the loader skipped (0 for a
+    #: clean log; see :func:`load_span_lines`).
+    lines_skipped: int = 0
 
     # multicast
     trees: List[MulticastTree] = field(default_factory=list)
@@ -354,6 +368,7 @@ class AnalysisReport:
         return {
             "schema_version": self.schema_version,
             "spans_total": self.spans_total,
+            "lines_skipped": self.lines_skipped,
             "nodes": self.nodes,
             "sim_span": list(self.sim_span),
             "multicast": {
@@ -498,5 +513,7 @@ def analyze_spans(spans: List[Span], schema_version: int = SPAN_SCHEMA_VERSION
 
 def analyze_file(path: str) -> AnalysisReport:
     """Load + analyze a span JSONL export."""
-    spans, version = load_spans(path)
-    return analyze_spans(spans, schema_version=version)
+    spans, version, skipped = load_spans(path)
+    report = analyze_spans(spans, schema_version=version)
+    report.lines_skipped = skipped
+    return report

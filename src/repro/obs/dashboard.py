@@ -1,0 +1,187 @@
+"""Terminal rendering of telemetry frames (``repro watch``).
+
+The renderer is deliberately dumb: :func:`render_frame` is a pure
+function from one frame dict to a text block, so tests diff strings and
+the dashboard works identically whether frames arrive live from a
+:class:`~repro.obs.stream.StreamWindower`, are tailed out of a
+``--snapshot-jsonl`` file mid-run, or are replayed after the fact.
+On a TTY the :class:`TerminalDashboard` repaints in place with plain
+ANSI control sequences (no curses dependency); redirected output gets
+one block per frame, newline-separated.
+
+Nothing here reads a wall clock: :func:`watch_file` paces its tail loop
+with ``time.sleep`` only, and rendering is driven entirely by the
+frames' sim-clock timestamps, so the watcher cannot perturb or
+misorder what it shows.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Dict, List, Optional, TextIO
+
+#: Width of the level-histogram bars.
+_BAR_WIDTH = 30
+_RULE = "-" * 72
+
+
+def _bar(count: int, peak: int) -> str:
+    if peak <= 0:
+        return ""
+    return "#" * max(1, round(_BAR_WIDTH * count / peak)) if count else ""
+
+
+def _fmt_rate(value: float) -> str:
+    return f"{value:.4f}" if isinstance(value, float) else str(value)
+
+
+def render_frame(frame: Dict[str, Any]) -> str:
+    """One frame as a text block (pure; deterministic for a given frame)."""
+    lines: List[str] = []
+    kind = "final" if frame.get("final") else f"window {frame.get('window')}"
+    lines.append(
+        f"== PeerWindow telemetry · {kind} · "
+        f"t {frame.get('t0', 0):.1f}..{frame.get('t1', 0):.1f} s =="
+    )
+    state = frame.get("state")
+    if state:
+        lines.append(
+            f"nodes: {state.get('live_nodes', '?')} live · "
+            f"peer-list error rate {state.get('mean_error_rate', 0):.4f}"
+        )
+        levels = state.get("levels") or {}
+        if levels:
+            counts = {int(k): int(v) for k, v in levels.items()}
+            peak = max(counts.values())
+            for level in sorted(counts):
+                count = counts[level]
+                lines.append(
+                    f"  level {level:>2} |{_bar(count, peak):<{_BAR_WIDTH}}| {count}"
+                )
+    mcast = frame.get("mcast", {})
+    join = frame.get("join", {})
+    probe = frame.get("probe", {})
+    lines.append(
+        f"spans: {frame.get('spans', 0)} · mcast {mcast.get('spans', 0)} "
+        f"(redirects {mcast.get('redirects', 0)}, depth<={mcast.get('max_depth', 0)}, "
+        f"died {mcast.get('died', 0)}) · join {join.get('ok', 0)}/"
+        f"{join.get('ok', 0) + join.get('failed', 0)} ok · "
+        f"probe {probe.get('count', 0)} ({probe.get('timeouts', 0)} timeouts) · "
+        f"obituaries {frame.get('obituaries', 0)}"
+    )
+    signals = frame.get("signals", {})
+    if signals:
+        parts = [f"{name}={_fmt_rate(signals[name])}" for name in sorted(signals)]
+        lines.append("signals: " + " ".join(parts))
+    breaches = frame.get("breaches", [])
+    if breaches:
+        for breach in breaches:
+            lo = breach.get("lo")
+            hi = breach.get("hi")
+            band = (
+                f"[{'-inf' if lo is None else format(lo, 'g')}, "
+                f"{'inf' if hi is None else format(hi, 'g')}]"
+            )
+            lines.append(
+                f"BREACH {breach.get('slo')}={breach.get('value', 0):.6g} band={band}"
+            )
+    else:
+        lines.append("breaches: none")
+    if frame.get("final"):
+        lines.append(
+            "verdict: HEALTHY" if frame.get("healthy") else "verdict: UNHEALTHY"
+        )
+    lines.append(_RULE)
+    return "\n".join(lines)
+
+
+class TerminalDashboard:
+    """Frame sink that repaints a terminal.
+
+    ``ansi=None`` auto-detects: a TTY gets home-cursor + clear-to-end
+    repaints, anything else (pipes, CI logs) gets appended blocks.
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None, ansi: Optional[bool] = None):
+        self.stream = stream if stream is not None else sys.stdout
+        if ansi is None:
+            isatty = getattr(self.stream, "isatty", None)
+            ansi = bool(isatty()) if callable(isatty) else False
+        self.ansi = ansi
+        self.frames_rendered = 0
+
+    def render(self, frame: Dict[str, Any]) -> None:
+        text = render_frame(frame)
+        if self.ansi:
+            # Home the cursor and clear below rather than wiping the
+            # scrollback: breach history stays reachable by scrolling.
+            self.stream.write("\x1b[H\x1b[J" + text + "\n")
+        else:
+            self.stream.write(text + "\n")
+        self.stream.flush()
+        self.frames_rendered += 1
+
+    # Sink-protocol compatibility with SnapshotWriter.
+    def write(self, frame: Dict[str, Any]) -> None:
+        self.render(frame)
+
+    def close(self) -> None:
+        pass
+
+
+def watch_file(
+    path: str,
+    follow: bool = False,
+    interval: float = 0.5,
+    max_idle: float = 60.0,
+    stream: Optional[TextIO] = None,
+    ansi: Optional[bool] = None,
+) -> int:
+    """Render the frames of a snapshot JSONL file.
+
+    Without ``follow`` every complete frame currently in the file is
+    rendered once.  With ``follow`` the file is tailed — partial lines
+    (a writer mid-flush) are left in place until complete — until a
+    final frame is seen or no new frame has arrived for ``max_idle``
+    seconds.  Returns a shell exit status: 0 if the last rendered frame
+    was healthy (or no verdict was rendered), 1 on an unhealthy final
+    frame, 2 if the file never produced a frame.
+    """
+    from repro.obs.stream import load_frames
+
+    dashboard = TerminalDashboard(stream=stream, ansi=ansi)
+    rendered = 0
+    healthy = True
+    offset = 0
+    pending = ""
+    idle = 0.0
+    while True:
+        try:
+            with open(path) as fh:
+                fh.seek(offset)
+                chunk = fh.read()
+                offset = fh.tell()
+        except OSError:
+            chunk = ""
+        pending += chunk
+        complete, _, pending = pending.rpartition("\n")
+        frames, _, _ = load_frames(complete.splitlines()) if complete else ([], 0, 0)
+        saw_final = False
+        for frame in frames:
+            dashboard.render(frame)
+            rendered += 1
+            healthy = bool(frame.get("healthy", True))
+            saw_final = saw_final or bool(frame.get("final"))
+        if saw_final or not follow:
+            break
+        if frames:
+            idle = 0.0
+        else:
+            idle += interval
+            if idle >= max_idle:
+                break
+        time.sleep(interval)
+    if rendered == 0:
+        return 2
+    return 0 if healthy else 1

@@ -247,7 +247,7 @@ class MetricsRegistry:
     mergeable and CSV-exportable.
     """
 
-    __slots__ = ("enabled", "strict", "counters", "gauges", "dists")
+    __slots__ = ("enabled", "strict", "counters", "gauges", "dists", "sink")
 
     def __init__(self, enabled: bool = False, strict: bool = False):
         self.enabled = enabled
@@ -258,6 +258,10 @@ class MetricsRegistry:
         self.counters: Dict[str, float] = {}
         self.gauges: Dict[str, float] = {}
         self.dists: Dict[str, Dist] = {}
+        #: Optional streaming subscriber (``repro.obs.stream``), notified
+        #: on counter increments.  The check sits after the ``enabled``
+        #: early-return, so the disabled hot path stays one ``if``.
+        self.sink = None
 
     def _check(self, name: str) -> None:
         if self.strict and not known_metric(name):
@@ -272,6 +276,8 @@ class MetricsRegistry:
             return
         self._check(name)
         self.counters[name] = self.counters.get(name, 0) + value
+        if self.sink is not None:
+            self.sink.on_inc(name, value)
 
     def set_gauge(self, name: str, value: float) -> None:
         if not self.enabled:

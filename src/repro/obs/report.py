@@ -169,5 +169,8 @@ def render_markdown(doc: Dict[str, Any]) -> str:
     add(f"- {a['spans_total']} spans from {a['nodes']} nodes, simulated "
         f"interval [{_fmt(a['sim_span'][0])}, {_fmt(a['sim_span'][1])}] s, "
         f"span schema v{a['schema_version']}")
+    if a.get("lines_skipped"):
+        add(f"- **{a['lines_skipped']} malformed/truncated line(s) skipped** "
+            f"while loading the span log")
     add("")
     return "\n".join(lines)

@@ -116,7 +116,7 @@ class NodeObs:
     ever touched from that node's event queue.
     """
 
-    __slots__ = ("enabled", "node", "spans", "registry", "_n", "_open")
+    __slots__ = ("enabled", "node", "spans", "registry", "sink", "_n", "_open")
 
     def __init__(
         self,
@@ -130,6 +130,11 @@ class NodeObs:
         self.registry = (
             registry if registry is not None else MetricsRegistry(enabled=enabled)
         )
+        #: Optional streaming subscriber (``repro.obs.stream``), notified
+        #: on span end.  ``None`` by default; the check sits behind the
+        #: ``enabled`` guard at every call site, so the disabled hot path
+        #: never sees it.
+        self.sink = None
         self._n = 0
         #: In-flight spans by span_id (the invariant monitor reads this
         #: to attach live trace ids to violation reports).
@@ -160,6 +165,8 @@ class NodeObs:
         span.end = t
         span.status = status
         self._open.pop(span.span_id, None)
+        if self.sink is not None:
+            self.sink.on_span_end(span)
 
     def instant(
         self,
@@ -200,12 +207,34 @@ class Observability:
     def __init__(self, enabled: bool = False):
         self.enabled = enabled
         self._views: Dict[Hashable, NodeObs] = {}
+        #: Attached telemetry bus (``repro.obs.stream.TelemetryBus``) or
+        #: ``None``.  Set through :meth:`attach_bus`; new views created
+        #: while a bus is attached are tapped on creation.
+        self.bus = None
 
     def view(self, node: Hashable) -> NodeObs:
         obs = self._views.get(node)
         if obs is None:
             obs = self._views[node] = NodeObs(node, enabled=self.enabled)
+            if self.bus is not None:
+                self.bus.attach_node(obs)
         return obs
+
+    def attach_bus(self, bus) -> None:
+        """Subscribe ``bus`` to every current and future node view.  The
+        bus only *observes* span ends and counter increments — span
+        buffers and registries are untouched, so merged exports stay
+        byte-identical with or without a bus attached."""
+        self.bus = bus
+        for key in sorted(self._views, key=str):
+            bus.attach_node(self._views[key])
+
+    def detach_bus(self) -> None:
+        """Remove the attached bus and clear every per-view sink."""
+        self.bus = None
+        for view in self._views.values():
+            view.sink = None
+            view.registry.sink = None
 
     def views(self) -> Dict[Hashable, NodeObs]:
         return self._views

@@ -164,6 +164,22 @@ class ParallelSimulator:
                                       _time.perf_counter() - t0)  # detlint: ignore[DET001]
                 self._now = epoch_end
                 self.epochs_run += 1
+            # Boundary settlement: cross-LP deliveries landing exactly at
+            # `until` were scheduled during the final barrier above and
+            # would otherwise only execute on the *next* run() call.  The
+            # sequential engine runs events at exactly t == until within
+            # the same call, and windowed telemetry strides
+            # (repro.obs.stream) rely on both engines agreeing on which
+            # stride a boundary event belongs to.  Any sends these events
+            # produce land at least one lookahead past `until`, so a
+            # single extra pass settles the boundary.
+            for lp in self.lps:
+                lp._run_epoch(until)
+            for src in self.lps:
+                for dest_rank, t, handler, args in src._drain_outbox():
+                    dest = self.lps[dest_rank]
+                    dest.messages_received += 1
+                    dest.sim.schedule_at(max(t, until), handler, *args)
         finally:
             if pool is not None:
                 pool.shutdown()

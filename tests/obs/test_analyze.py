@@ -83,8 +83,8 @@ def test_golden_eight_node_tree_reconstruction():
 def test_golden_tree_round_trips_through_jsonl():
     spans = golden_tree_spans()
     text = span_header_line() + "\n" + spans_to_jsonl(spans)
-    loaded, version = load_span_lines(text.splitlines())
-    assert version == SPAN_SCHEMA_VERSION
+    loaded, version, skipped = load_span_lines(text.splitlines())
+    assert (version, skipped) == (SPAN_SCHEMA_VERSION, 0)
     direct = analyze_spans(spans).to_dict()
     reloaded = analyze_spans(loaded).to_dict()
     assert direct == reloaded
@@ -139,10 +139,10 @@ def test_join_probe_obituary_aggregates():
 
 
 def test_headerless_log_upconverts_as_version_zero():
-    spans, version = load_span_lines(
+    spans, version, skipped = load_span_lines(
         spans_to_jsonl(golden_tree_spans()).splitlines()
     )
-    assert version == 0
+    assert (version, skipped) == (0, 0)
     assert len(spans) == 9
 
 
@@ -154,16 +154,33 @@ def test_future_schema_version_is_rejected():
         load_span_lines([header])
 
 
-def test_malformed_records_raise_schema_error():
-    with pytest.raises(SchemaError, match="not valid JSON"):
-        load_span_lines(["{nope"])
-    with pytest.raises(SchemaError, match="missing field"):
-        load_span_lines([json.dumps({"span_id": "s1"})])
-    with pytest.raises(SchemaError, match="type"):
-        line = spans_to_jsonl(golden_tree_spans()[:1]).strip()
-        obj = json.loads(line)
-        obj["start"] = "soon"
-        load_span_lines([json.dumps(obj)])
+def test_malformed_records_are_skipped_and_counted():
+    """A crash mid-flush leaves a truncated tail; bad lines must not
+    take the rest of the log down with them."""
+    good = spans_to_jsonl(golden_tree_spans())
+    bad_type = json.loads(good.strip().splitlines()[0])
+    bad_type["start"] = "soon"
+    lines = (
+        ["{nope", json.dumps({"span_id": "s1"}), json.dumps(bad_type)]
+        + good.splitlines()
+        + ['{"trace_id": "t-trunc", "span_id": "s99", "na']
+    )
+    spans, version, skipped = load_span_lines(lines)
+    assert (len(spans), version, skipped) == (9, 0, 4)
+
+
+def test_lines_skipped_surfaces_in_analysis(tmp_path):
+    path = tmp_path / "spans.jsonl"
+    path.write_text(
+        span_header_line() + "\n"
+        + spans_to_jsonl(golden_tree_spans())
+        + '{"trace_id": "t-trunc", "span_id'  # truncated tail
+    )
+    from repro.obs.analyze import analyze_file
+
+    report = analyze_file(str(path))
+    assert report.lines_skipped == 1
+    assert report.to_dict()["lines_skipped"] == 1
 
 
 def test_load_spans_and_metrics_from_disk(tmp_path):
@@ -171,8 +188,8 @@ def test_load_spans_and_metrics_from_disk(tmp_path):
     spans_path.write_text(
         span_header_line() + "\n" + spans_to_jsonl(golden_tree_spans())
     )
-    spans, version = load_spans(str(spans_path))
-    assert (len(spans), version) == (9, SPAN_SCHEMA_VERSION)
+    spans, version, skipped = load_spans(str(spans_path))
+    assert (len(spans), version, skipped) == (9, SPAN_SCHEMA_VERSION, 0)
 
     good = tmp_path / "metrics.json"
     good.write_text(json.dumps({"schema_version": 1, "counters": {}}))

@@ -1,0 +1,129 @@
+"""Dashboard rendering: pure frame -> text, plus the file watcher."""
+
+import io
+
+from repro.obs.dashboard import TerminalDashboard, render_frame, watch_file
+from repro.obs.stream import frame_line, telemetry_header_line
+
+
+def _frame(**overrides):
+    frame = {
+        "window": 2,
+        "t0": 30.0,
+        "t1": 45.0,
+        "final": False,
+        "taps": 3,
+        "spans": 12,
+        "span_counts": {"probe": 10, "join": 2},
+        "status_counts": {"ok": 11, "timeout": 1},
+        "counters": {"mcast.received": 4},
+        "mcast": {"spans": 5, "redirects": 1, "max_depth": 3, "died": 0},
+        "join": {"ok": 2, "failed": 0},
+        "probe": {"count": 10, "timeouts": 1},
+        "obituaries": 1,
+        "signals": {"probe.timeout_rate": 0.1},
+        "breaches": [],
+        "verdicts": [],
+        "healthy": True,
+        "state": {"live_nodes": 20, "levels": {"0": 4, "1": 16},
+                  "mean_error_rate": 0.01},
+    }
+    frame.update(overrides)
+    return frame
+
+
+def test_render_frame_is_deterministic_text():
+    text = render_frame(_frame())
+    assert text == render_frame(_frame())
+    assert "window 2" in text
+    assert "t 30.0..45.0" in text
+    assert "20 live" in text
+    assert "level  0" in text and "level  1" in text
+    assert "probe 10 (1 timeouts)" in text
+    assert "probe.timeout_rate=0.1000" in text
+    assert "breaches: none" in text
+    assert "verdict" not in text  # non-final frames carry no verdict
+
+
+def test_render_frame_shows_breaches_and_final_verdict():
+    text = render_frame(_frame(
+        final=True,
+        healthy=False,
+        breaches=[{"slo": "join.failure_rate", "value": 0.5,
+                   "lo": None, "hi": 0.05, "ok": False}],
+    ))
+    assert "BREACH join.failure_rate=0.5 band=[-inf, 0.05]" in text
+    assert "verdict: UNHEALTHY" in text
+    healthy = render_frame(_frame(final=True, healthy=True))
+    assert "verdict: HEALTHY" in healthy
+
+
+def test_dashboard_appends_blocks_without_a_tty():
+    out = io.StringIO()
+    dash = TerminalDashboard(stream=out)
+    assert dash.ansi is False  # StringIO has no isatty -> plain blocks
+    dash.render(_frame(window=0))
+    dash.render(_frame(window=1))
+    text = out.getvalue()
+    assert "\x1b[" not in text
+    assert text.count("== PeerWindow telemetry") == 2
+    assert dash.frames_rendered == 2
+
+
+def test_dashboard_ansi_repaints_in_place():
+    out = io.StringIO()
+    dash = TerminalDashboard(stream=out, ansi=True)
+    dash.render(_frame())
+    assert out.getvalue().startswith("\x1b[H\x1b[J")
+
+
+def _write_frames(path, frames, header=True):
+    with open(path, "w") as fh:
+        if header:
+            fh.write(telemetry_header_line() + "\n")
+        for frame in frames:
+            fh.write(frame_line(frame) + "\n")
+
+
+def test_watch_file_renders_all_frames_once(tmp_path):
+    path = tmp_path / "frames.jsonl"
+    _write_frames(path, [_frame(window=0), _frame(window=1, final=True)])
+    out = io.StringIO()
+    assert watch_file(str(path), stream=out) == 0
+    assert out.getvalue().count("== PeerWindow telemetry") == 2
+
+
+def test_watch_file_exit_statuses(tmp_path):
+    unhealthy = tmp_path / "unhealthy.jsonl"
+    _write_frames(unhealthy, [_frame(final=True, healthy=False)])
+    assert watch_file(str(unhealthy), stream=io.StringIO()) == 1
+
+    empty = tmp_path / "empty.jsonl"
+    _write_frames(empty, [])
+    assert watch_file(str(empty), stream=io.StringIO()) == 2
+
+    missing = tmp_path / "missing.jsonl"
+    assert watch_file(str(missing), stream=io.StringIO()) == 2
+
+
+def test_watch_file_follow_stops_on_final_frame(tmp_path):
+    """Follow mode with the final frame already present terminates
+    without waiting out the idle budget."""
+    path = tmp_path / "frames.jsonl"
+    _write_frames(path, [_frame(window=0), _frame(window=1, final=True)])
+    out = io.StringIO()
+    assert watch_file(str(path), follow=True, interval=0.01,
+                      max_idle=0.05, stream=out) == 0
+    assert out.getvalue().count("== PeerWindow telemetry") == 2
+
+
+def test_watch_file_follow_leaves_partial_tail_pending(tmp_path):
+    """A truncated last line (writer mid-flush) is not rendered."""
+    path = tmp_path / "frames.jsonl"
+    _write_frames(path, [_frame(window=0)])
+    with open(path, "a") as fh:
+        fh.write(frame_line(_frame(window=1))[:25])  # no newline
+    out = io.StringIO()
+    assert watch_file(str(path), follow=True, interval=0.01,
+                      max_idle=0.03, stream=out) == 0
+    assert out.getvalue().count("== PeerWindow telemetry") == 1

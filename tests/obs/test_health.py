@@ -90,6 +90,41 @@ def test_ewma_warmup_suppresses_startup_transients():
     assert [v.ok for v in third] == [True]  # alpha=1: no memory of warm-up
 
 
+def test_ewma_warmup_is_counted_per_signal():
+    """Warm-up is a per-signal sample count, not a global tick: a
+    signal that first appears late (rates only exist once their
+    denominator is non-zero) still gets its own full warm-up."""
+    spec = HealthSpec(slos=[Slo("early", hi=0.1), Slo("late", hi=0.1)])
+    mon = EwmaHealthMonitor(spec, alpha=1.0, warmup=1)
+    assert mon.observe({"early": 9.0}) == []           # early warm-up
+    judged = mon.observe({"early": 9.0, "late": 9.0})  # late's first sample
+    assert [(v.slo, v.ok) for v in judged] == [("early", False)]
+    judged = mon.observe({"early": 0.0, "late": 0.05})
+    assert [(v.slo, v.ok) for v in judged] == [
+        ("early", True), ("late", True),
+    ]
+
+
+def test_ewma_warmup_zero_judges_immediately():
+    spec = HealthSpec(slos=[Slo("err", hi=0.1)])
+    mon = EwmaHealthMonitor(spec, alpha=1.0, warmup=0)
+    first = mon.observe({"err": 9.0})
+    assert [v.ok for v in first] == [False]
+
+
+def test_ewma_warmup_samples_still_shape_the_average():
+    """Warm-up suppresses *verdicts*, not the fold: with alpha < 1 the
+    first judged value carries the warm-up history, so a network that
+    never recovers breaches as soon as judging starts."""
+    spec = HealthSpec(slos=[Slo("err", hi=0.5)])
+    mon = EwmaHealthMonitor(spec, alpha=0.5, warmup=2)
+    assert mon.observe({"err": 1.0}) == []
+    assert mon.observe({"err": 1.0}) == []
+    third = mon.observe({"err": 1.0})  # ewma stayed at 1.0 throughout
+    assert [v.ok for v in third] == [False]
+    assert mon.smoothed("err") == pytest.approx(1.0)
+
+
 def test_ewma_smoothing_converges_to_breach():
     spec = HealthSpec(slos=[Slo("err", hi=0.5)])
     mon = EwmaHealthMonitor(spec, alpha=0.5, warmup=0)
