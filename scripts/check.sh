@@ -16,8 +16,9 @@
 #
 #   scripts/check.sh             # everything below
 #   scripts/check.sh --lint      # ruff + mypy only
-#   scripts/check.sh --analysis  # detlint gate only (no NEW findings vs
-#                                # detlint-baseline.json)
+#   scripts/check.sh --analysis  # detlint gate (no NEW findings vs
+#                                # detlint-baseline.json, JSON report
+#                                # artifact) + DetSan chaos smoke
 #   scripts/check.sh --tests     # tests only
 #   scripts/check.sh --chaos     # chaos smoke only
 #   scripts/check.sh --byzantine # byzantine smoke only
@@ -70,8 +71,31 @@ fi
 
 if [ "$run_analysis" = 1 ]; then
   echo "== detlint (determinism & LP-isolation static analysis) =="
+  analysis_dir="$(mktemp -d)"
+  trap 'rm -rf "${analysis_dir:-}"' EXIT
   PYTHONPATH=src python -m repro lint src/repro \
-    --baseline detlint-baseline.json || status=1
+    --baseline detlint-baseline.json \
+    --format json --report "$analysis_dir/lint-report.json" || status=1
+  PYTHONPATH=src python - "$analysis_dir/lint-report.json" <<'PY' || status=1
+import json, sys
+report = json.load(open(sys.argv[1]))
+rules = report.get("checked_rules", [])
+print(f"lint report: {len(report.get('findings', []))} finding(s), "
+      f"{len(rules)} rule(s)")
+sys.exit(0 if rules else 1)
+PY
+  if PYTHONPATH=src python -c "import numpy" >/dev/null 2>&1; then
+    echo "== detsan smoke (crash_churn chaos under the runtime sanitizer) =="
+    if command -v timeout >/dev/null 2>&1; then
+      timeout 120 env PYTHONPATH=src python -m repro chaos \
+        --scenario crash_churn --detsan --seed 0 || status=1
+    else
+      PYTHONPATH=src python -m repro chaos --scenario crash_churn \
+        --detsan --seed 0 || status=1
+    fi
+  else
+    echo "== numpy not installed; skipping detsan smoke =="
+  fi
 fi
 
 if [ "$run_tests" = 1 ]; then
@@ -115,7 +139,7 @@ if [ "$run_obs" = 1 ]; then
   if PYTHONPATH=src python -c "import numpy" >/dev/null 2>&1; then
     echo "== obs smoke (200-node instrumented run + span schema check) =="
     obs_dir="$(mktemp -d)"
-    trap 'rm -rf "${obs_dir:-}" "${health_dir:-}"' EXIT
+    trap 'rm -rf "${analysis_dir:-}" "${obs_dir:-}" "${health_dir:-}"' EXIT
     if command -v timeout >/dev/null 2>&1; then
       timeout 120 env PYTHONPATH=src python -m repro obs run -n 200 --duration 120 \
         --spans "$obs_dir/spans.jsonl" || status=1
@@ -141,7 +165,7 @@ if [ "$run_health" = 1 ]; then
   if PYTHONPATH=src python -c "import numpy" >/dev/null 2>&1; then
     echo "== health smoke (200-node run -> analytics -> SLO report) =="
     health_dir="$(mktemp -d)"
-    trap 'rm -rf "${obs_dir:-}" "${health_dir:-}"' EXIT
+    trap 'rm -rf "${analysis_dir:-}" "${obs_dir:-}" "${health_dir:-}"' EXIT
     if command -v timeout >/dev/null 2>&1; then
       timeout 120 env PYTHONPATH=src python -m repro obs run -n 200 --duration 120 \
         --seed 1 --spans "$health_dir/spans.jsonl" \
@@ -167,7 +191,7 @@ if [ "$run_live" = 1 ]; then
   if PYTHONPATH=src python -c "import numpy" >/dev/null 2>&1; then
     echo "== live smoke (localhost UDP swarm -> merged exports -> SLO judge) =="
     live_dir="$(mktemp -d)"
-    trap 'rm -rf "${obs_dir:-}" "${health_dir:-}" "${live_dir:-}"' EXIT
+    trap 'rm -rf "${analysis_dir:-}" "${obs_dir:-}" "${health_dir:-}" "${live_dir:-}"' EXIT
     if command -v timeout >/dev/null 2>&1; then
       timeout 300 env PYTHONPATH=src python -m repro live swarm -n 6 \
         --duration 15 --out "$live_dir" || status=1
@@ -186,7 +210,7 @@ if [ "$run_watch" = 1 ]; then
   if PYTHONPATH=src python -c "import numpy" >/dev/null 2>&1; then
     echo "== watch smoke (200-node run -> telemetry frames -> verdict agreement) =="
     watch_dir="$(mktemp -d)"
-    trap 'rm -rf "${obs_dir:-}" "${health_dir:-}" "${live_dir:-}" "${watch_dir:-}"' EXIT
+    trap 'rm -rf "${analysis_dir:-}" "${obs_dir:-}" "${health_dir:-}" "${live_dir:-}" "${watch_dir:-}"' EXIT
     if command -v timeout >/dev/null 2>&1; then
       timeout 120 env PYTHONPATH=src python -m repro obs run -n 200 --duration 120 \
         --seed 1 --spans "$watch_dir/spans.jsonl" \

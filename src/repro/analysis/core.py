@@ -126,6 +126,13 @@ class Rule:
     def check(self, ctx: FileContext) -> None:
         raise NotImplementedError
 
+    def check_project(self, project) -> None:
+        """Whole-project pass over a :class:`repro.analysis.project.
+        ProjectContext`.  Runs after every per-file :meth:`check`;
+        findings are reported through each file's own context (so
+        per-line suppression and ``applies_to`` exemptions still hold).
+        Default: nothing — most rules are purely local."""
+
 
 _REGISTRY: Dict[str, Type[Rule]] = {}
 
@@ -178,42 +185,85 @@ def _rel_path(path: str, root: Optional[str]) -> str:
     return path if rel.startswith("..") else rel
 
 
+def _check_contexts(
+    contexts: Sequence[FileContext],
+    rules: Sequence[Rule],
+    project: bool,
+) -> List[Finding]:
+    """Run the per-file rules, then (optionally) the whole-project pass,
+    over already-parsed file contexts; collect deduplicated findings."""
+    for ctx in contexts:
+        for rule in rules:
+            if rule.applies_to(ctx):
+                rule.check(ctx)
+    if project and contexts:
+        from repro.analysis.project import ProjectContext
+
+        proj = ProjectContext(contexts)
+        for rule in rules:
+            rule.check_project(proj)
+    findings: List[Finding] = []
+    for ctx in contexts:
+        # Findings are frozen/hashable: drop exact duplicates (a rule may
+        # legitimately revisit one node from two walks).
+        findings.extend(dict.fromkeys(ctx.findings))
+    return sorted(findings, key=Finding.sort_key)
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
     rules: Optional[Sequence[Rule]] = None,
     rel_path: Optional[str] = None,
+    project: bool = True,
 ) -> List[Finding]:
-    """Lint one source string (the test-fixture entry point)."""
+    """Lint one source string (the test-fixture entry point).  The
+    project pass runs over the single file, so intra-module call chains
+    are followed interprocedurally even here."""
     active = list(rules) if rules is not None else all_rules()
     if wants_skip_file(source):
         return []
     ctx = FileContext(path, source, rel_path=rel_path)
-    for rule in active:
-        if rule.applies_to(ctx):
-            rule.check(ctx)
-    # Findings are frozen/hashable: drop exact duplicates (a rule may
-    # legitimately revisit one node from two walks).
-    return sorted(dict.fromkeys(ctx.findings), key=Finding.sort_key)
+    return _check_contexts([ctx], active, project=project)
+
+
+def lint_project_sources(
+    sources: Dict[str, str],
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint a dict of ``rel_path -> source`` as one project (the
+    multi-file fixture entry point for cross-module analysis tests)."""
+    active = list(rules) if rules is not None else all_rules()
+    contexts = [
+        FileContext(rel_path, source, rel_path=rel_path)
+        for rel_path, source in sorted(sources.items())
+        if not wants_skip_file(source)
+    ]
+    return _check_contexts(contexts, active, project=True)
 
 
 def run_lint(
     paths: Sequence[str],
     rules: Optional[Sequence[Rule]] = None,
     root: Optional[str] = None,
+    project: bool = True,
 ) -> List[Finding]:
     """Lint files/directories; returns all findings, sorted and
-    suppression-filtered (baseline filtering is the caller's job)."""
+    suppression-filtered (baseline filtering is the caller's job).
+    ``project=False`` skips the whole-project pass (used by the
+    incremental ``--changed`` mode, where the file set is partial by
+    construction)."""
     active = list(rules) if rules is not None else all_rules()
     findings: List[Finding] = []
+    contexts: List[FileContext] = []
     for path in iter_python_files(paths, root=root):
         with open(path, encoding="utf-8") as fh:
             source = fh.read()
+        if wants_skip_file(source):
+            continue
         try:
-            findings.extend(
-                lint_source(
-                    source, path=path, rules=active, rel_path=_rel_path(path, root)
-                )
+            contexts.append(
+                FileContext(path, source, rel_path=_rel_path(path, root))
             )
         except SyntaxError as exc:
             findings.append(
@@ -226,4 +276,5 @@ def run_lint(
                     snippet="",
                 )
             )
+    findings.extend(_check_contexts(contexts, active, project=project))
     return sorted(findings, key=Finding.sort_key)

@@ -88,6 +88,16 @@ class Baseline:
     grandfathered site never breaks the gate (the budget simply goes
     unused); regenerate with ``repro lint --write-baseline`` to shrink
     the file as debt is paid down.
+
+    Because the fingerprint includes the path, a plain file *rename*
+    would orphan every grandfathered entry in that file and fail the
+    gate on untouched code.  :meth:`split` therefore runs a second pass:
+    findings whose exact fingerprint has no budget may still be absorbed
+    by an entry with the same ``(rule, snippet)`` content key (recorded
+    in the entry's notes), drawing from the same per-entry budget pool.
+    Exact matches are consumed first across the whole input, so a rename
+    can never steal budget from a finding that still lives at its
+    recorded path.
     """
 
     counts: Dict[str, int] = field(default_factory=dict)
@@ -108,18 +118,43 @@ class Baseline:
     def split(
         self, findings: Iterable[Finding]
     ) -> Tuple[List[Finding], List[Finding]]:
-        """Partition into (new, baselined), consuming baseline budget in
-        input order."""
+        """Partition into (new, baselined).
+
+        Pass 1 consumes exact-fingerprint budget in input order; pass 2
+        lets leftovers match a ``(rule, snippet)`` content key from the
+        notes — the same site in a renamed file — against whatever
+        budget remains.  Output order matches input order in both lists.
+        """
+        ordered = list(findings)
         budget = dict(self.counts)
-        new: List[Finding] = []
-        grandfathered: List[Finding] = []
-        for f in findings:
+        content: Dict[Tuple[str, str], List[str]] = {}
+        for fp, note in self.notes.items():
+            if note.get("snippet"):
+                content.setdefault(
+                    (note.get("rule", ""), note["snippet"]), []
+                ).append(fp)
+        for fps in content.values():
+            fps.sort()
+        absorbed = [False] * len(ordered)
+        pending: List[int] = []
+        for i, f in enumerate(ordered):
             fp = f.fingerprint
             if budget.get(fp, 0) > 0:
                 budget[fp] -= 1
-                grandfathered.append(f)
+                absorbed[i] = True
             else:
-                new.append(f)
+                pending.append(i)
+        for i in pending:
+            f = ordered[i]
+            if not f.snippet:  # never content-match blank snippets
+                continue
+            for fp in content.get((f.rule, f.snippet), ()):
+                if budget.get(fp, 0) > 0:
+                    budget[fp] -= 1
+                    absorbed[i] = True
+                    break
+        new = [f for i, f in enumerate(ordered) if not absorbed[i]]
+        grandfathered = [f for i, f in enumerate(ordered) if absorbed[i]]
         return new, grandfathered
 
     def to_dict(self) -> Dict[str, Any]:

@@ -1,0 +1,467 @@
+"""Whole-project analysis: symbol table, call graph, interprocedural taint.
+
+The per-file rules see one function at a time, which is exactly how the
+PR 2 shared-Pointer bug escaped review: the handler extracted
+``msg.payload`` and a helper two calls away installed it into the peer
+list.  This module gives the rule pack a project view:
+
+* :class:`ProjectContext` — every parsed file, a module-level symbol
+  table of functions/methods, per-module import maps, and a
+  *conservative* call-graph resolver (:meth:`ProjectContext.resolve_call`):
+  a call edge exists only when the target is unambiguous — same-module
+  names, ``from m import f`` imports, ``self.method`` within a class, or
+  a method name defined exactly once project-wide (and not a
+  container-protocol name like ``add``/``append``, which stay modeled as
+  sinks, not calls).  Unresolvable calls are simply not followed; the
+  analysis under-approximates rather than guessing.
+* per-function **taint summaries** (:meth:`ProjectContext.summary`),
+  computed on demand and memoized: for each parameter, does a tainted
+  argument get stored into ``ctx``/``self`` state without a copy, and
+  does it flow to the return value?  Summaries compose transitively, so
+  a chain ``handler -> helper -> installer`` is followed to any depth
+  (recursive cycles fall back to the empty, no-effect summary).
+* :func:`run_payload_taint` — the interprocedural ISO001 driver, invoked
+  from ``PayloadAliasRule.check_project``.  Chain findings are reported
+  at the **source site** (the call in the message handler that lets the
+  payload escape), not at the sink inside the callee: that is where the
+  copy belongs, and where a ``# detlint: ignore[ISO001]`` comment must
+  suppress.  Sites the per-file pass already reported are skipped, so
+  the two passes never double-count one line.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.core import FileContext, Rule
+from repro.analysis.rules.determinism import ImportMap
+from repro.analysis.rules.isolation import (
+    ALIAS_SINK_METHODS,
+    COPYING_SINK_METHODS,
+    MESSAGE_ANNOTATIONS,
+    MESSAGE_PARAMS,
+    _PayloadTaint,
+    _SANITIZING_CALLS,
+    _SHALLOW_WRAPPERS,
+    _annotation_name,
+    _is_sanitizing_call,
+    FuncDef,
+)
+
+#: Method names never resolved through the unique-name fallback: they are
+#: container/installer protocol names the taint pass already models as
+#: sinks (or sanitizers), and resolving ``anything.add`` to whatever
+#: class happens to define ``add`` would be a guess, not an edge.
+_AMBIENT_METHOD_NAMES: Set[str] = (
+    set(ALIAS_SINK_METHODS)
+    | set(COPYING_SINK_METHODS)
+    | set(_SANITIZING_CALLS)
+    | set(_SHALLOW_WRAPPERS)
+    | {
+        "get", "pop", "popitem", "items", "keys", "values", "clear",
+        "remove", "discard", "sort", "count", "index", "send", "schedule",
+        "run", "start", "stop", "close", "register", "unregister",
+    }
+)
+
+
+class FunctionInfo:
+    """One top-level function or method in the project symbol table."""
+
+    __slots__ = ("module", "class_name", "node", "ctx")
+
+    def __init__(
+        self,
+        module: str,
+        class_name: Optional[str],
+        node: FuncDef,
+        ctx: FileContext,
+    ):
+        self.module = module
+        self.class_name = class_name
+        self.node = node
+        self.ctx = ctx
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def qualname(self) -> str:
+        owner = f"{self.class_name}." if self.class_name else ""
+        return f"{self.module}:{owner}{self.name}"
+
+    @property
+    def display(self) -> str:
+        """How messages name this function, e.g. ``JoinService._absorb``."""
+        owner = f"{self.class_name}." if self.class_name else ""
+        return f"{owner}{self.name}"
+
+    @property
+    def params(self) -> List[str]:
+        """Positional parameter names as a caller maps onto them: the
+        implicit ``self``/``cls`` of a method is dropped."""
+        args = self.node.args
+        names = [a.arg for a in list(args.posonlyargs) + list(args.args)]
+        if self.class_name and names and names[0] in ("self", "cls"):
+            names = names[1:]
+        return names + [a.arg for a in args.kwonlyargs]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FunctionInfo {self.qualname}>"
+
+
+@dataclass(frozen=True)
+class StoreSite:
+    """Where (and how) a parameter's object ultimately enters node state."""
+
+    path: str
+    line: int
+    how: str
+
+
+@dataclass
+class ParamEffect:
+    """What a function does with one parameter's object identity."""
+
+    stores: Optional[StoreSite] = None
+    returns: bool = False
+
+
+@dataclass
+class FunctionSummary:
+    """Per-parameter taint effects, composable across call edges."""
+
+    effects: Dict[str, ParamEffect] = field(default_factory=dict)
+    #: Parameters the function itself treats as incoming messages (their
+    #: effect describes the fate of ``<param>.payload``).
+    message_params: Set[str] = field(default_factory=set)
+
+
+_EMPTY_SUMMARY = FunctionSummary()
+
+
+def _is_message_param(fn: FuncDef, name: str) -> bool:
+    for arg in list(fn.args.posonlyargs) + list(fn.args.args) + list(
+        fn.args.kwonlyargs
+    ):
+        if arg.arg == name:
+            ann = _annotation_name(arg.annotation)
+            return name in MESSAGE_PARAMS or ann in MESSAGE_ANNOTATIONS
+    return name in MESSAGE_PARAMS
+
+
+class ProjectContext:
+    """Parsed files + symbol table + call resolution + taint summaries."""
+
+    def __init__(self, contexts: Sequence[FileContext]):
+        self.files: List[FileContext] = list(contexts)
+        self.by_module: Dict[str, FileContext] = {}
+        self.imports: Dict[str, ImportMap] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self._module_funcs: Dict[Tuple[str, str], FunctionInfo] = {}
+        self._methods: Dict[Tuple[str, str, str], FunctionInfo] = {}
+        self._by_method_name: Dict[str, List[FunctionInfo]] = {}
+        self._per_file: Dict[str, List[FunctionInfo]] = {}
+        self._summaries: Dict[str, FunctionSummary] = {}
+        self._computing: Set[str] = set()
+        for ctx in self.files:
+            self._index(ctx)
+
+    # -- symbol table -------------------------------------------------------
+
+    def _index(self, ctx: FileContext) -> None:
+        module = ctx.module
+        self.by_module[module] = ctx
+        self.imports[module] = ImportMap(ctx.tree)
+        infos = self._per_file.setdefault(ctx.rel_path, [])
+        for node in ctx.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                infos.append(self._add(FunctionInfo(module, None, node, ctx)))
+            elif isinstance(node, ast.ClassDef):
+                for sub in node.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        infos.append(
+                            self._add(FunctionInfo(module, node.name, sub, ctx))
+                        )
+
+    def _add(self, info: FunctionInfo) -> FunctionInfo:
+        self.functions[info.qualname] = info
+        if info.class_name is None:
+            self._module_funcs[(info.module, info.name)] = info
+        else:
+            self._methods[(info.module, info.class_name, info.name)] = info
+            self._by_method_name.setdefault(info.name, []).append(info)
+        return info
+
+    def functions_in(self, ctx: FileContext) -> List[FunctionInfo]:
+        return self._per_file.get(ctx.rel_path, [])
+
+    # -- conservative call resolution --------------------------------------
+
+    def resolve_call(
+        self, call: ast.Call, caller: FunctionInfo
+    ) -> Optional[FunctionInfo]:
+        """The unique project function this call targets, or None.
+
+        Edges are only created when unambiguous; a miss means "do not
+        follow", never "assume safe and assume unsafe at once".
+        """
+        func = call.func
+        module = caller.module
+        if isinstance(func, ast.Name):
+            info = self._module_funcs.get((module, func.id))
+            if info is not None:
+                return info
+            origin = self.imports[module].names.get(func.id)
+            if origin and "." in origin:
+                mod, _, name = origin.rpartition(".")
+                return self._module_funcs.get((mod, name))
+            return None
+        if isinstance(func, ast.Attribute):
+            receiver = func.value
+            if (
+                isinstance(receiver, ast.Name)
+                and receiver.id in ("self", "cls")
+                and caller.class_name is not None
+            ):
+                info = self._methods.get((module, caller.class_name, func.attr))
+                if info is not None:
+                    return info
+            qual = self.imports[module].qualify(func)
+            if qual and "." in qual:
+                mod, _, name = qual.rpartition(".")
+                info = self._module_funcs.get((mod, name))
+                if info is not None:
+                    return info
+            if func.attr in _AMBIENT_METHOD_NAMES:
+                return None
+            candidates = self._by_method_name.get(func.attr, [])
+            if len(candidates) == 1:
+                return candidates[0]
+        return None
+
+    @staticmethod
+    def map_args(
+        call: ast.Call, callee: FunctionInfo
+    ) -> List[Tuple[str, ast.expr]]:
+        """``(parameter_name, argument_expr)`` pairs for this call site.
+        ``*args`` splats disable positional mapping (conservative skip)."""
+        params = callee.params
+        pairs: List[Tuple[str, ast.expr]] = []
+        if not any(isinstance(a, ast.Starred) for a in call.args):
+            for i, arg in enumerate(call.args):
+                if i < len(params):
+                    pairs.append((params[i], arg))
+        for kw in call.keywords:
+            if kw.arg is not None:
+                pairs.append((kw.arg, kw.value))
+        return pairs
+
+    # -- taint summaries ----------------------------------------------------
+
+    def summary(self, info: FunctionInfo) -> FunctionSummary:
+        """The (memoized) taint summary of ``info``; cycles in the call
+        graph resolve to the empty no-effect summary."""
+        key = info.qualname
+        cached = self._summaries.get(key)
+        if cached is not None:
+            return cached
+        if key in self._computing:
+            return _EMPTY_SUMMARY
+        self._computing.add(key)
+        try:
+            summary = self._compute_summary(info)
+        finally:
+            self._computing.discard(key)
+        self._summaries[key] = summary
+        return summary
+
+    def _compute_summary(self, info: FunctionInfo) -> FunctionSummary:
+        summary = FunctionSummary()
+        for param in info.params:
+            if param in ("self", "cls"):
+                continue
+            engine = _InterproceduralTaint(
+                None, info.ctx, info.node, self, info, mode="summary",
+                seed=param,
+            )
+            if _is_message_param(info.node, param):
+                summary.message_params.add(param)
+            engine.run()
+            summary.effects[param] = ParamEffect(
+                stores=engine.summary_sink, returns=engine.returned_taint
+            )
+        return summary
+
+
+class _InterproceduralTaint(_PayloadTaint):
+    """The per-file taint engine, extended with call-graph edges.
+
+    Two modes share the walk:
+
+    * ``report`` — the ISO001 project pass: local sinks the per-file
+      pass could not see (taint arriving through a call return) and
+      *chain* sinks (a tainted argument handed to a callee whose summary
+      stores it) are reported at the caller's line;
+    * ``summary`` — effect inference: sinks and return-taint are
+      recorded on the engine instead of reported, seeding exactly one
+      parameter at a time so effects attribute correctly.
+    """
+
+    def __init__(
+        self,
+        rule: Optional[Rule],
+        ctx: FileContext,
+        fn: FuncDef,
+        project: ProjectContext,
+        info: FunctionInfo,
+        mode: str = "report",
+        seed: Optional[str] = None,
+    ):
+        super().__init__(rule, ctx, fn)  # type: ignore[arg-type]
+        self.project = project
+        self.info = info
+        self.mode = mode
+        self.returned_taint = False
+        self.summary_sink: Optional[StoreSite] = None
+        if seed is not None:
+            self.msg_params = set()
+            self.tainted = set()
+            if _is_message_param(fn, seed):
+                self.msg_params.add(seed)
+            else:
+                self.tainted.add(seed)
+
+    # -- taint through call returns ----------------------------------------
+
+    def is_tainted(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Call):
+            if _is_sanitizing_call(node):
+                return False
+            name = node.func.id if isinstance(node.func, ast.Name) else None
+            if name in _SHALLOW_WRAPPERS and node.args:
+                return self.is_tainted(node.args[0])
+            callee = self.project.resolve_call(node, self.info)
+            if callee is not None:
+                summary = self.project.summary(callee)
+                for param, arg in self.project.map_args(node, callee):
+                    effect = summary.effects.get(param)
+                    if (
+                        effect is not None
+                        and effect.returns
+                        and self._arg_hot(arg, param, summary)
+                    ):
+                        return True
+            return False
+        return super().is_tainted(node)
+
+    def _arg_hot(
+        self, arg: ast.expr, param: str, summary: FunctionSummary
+    ) -> bool:
+        """Does this argument hand the callee a payload-aliased object —
+        either the payload itself, or a whole message whose ``.payload``
+        the callee (a message handler) will extract?"""
+        if self.is_tainted(arg):
+            return True
+        return (
+            isinstance(arg, ast.Name)
+            and arg.id in self.msg_params
+            and param in summary.message_params
+        )
+
+    # -- statement walk extensions -----------------------------------------
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                if self.is_tainted(stmt.value):
+                    self.returned_taint = True
+                self._check_calls(stmt.value)
+            return
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested handlers inherit message params via closure; spawn
+            # the interprocedural engine, not the per-file base class.
+            nested = _InterproceduralTaint(
+                self.rule, self.ctx, stmt, self.project, self.info,
+                mode=self.mode,
+            )
+            nested.msg_params |= self.msg_params
+            nested.tainted |= self.tainted
+            nested.run()
+            if self.summary_sink is None:
+                self.summary_sink = nested.summary_sink
+            return
+        super()._stmt(stmt)
+
+    # -- sinks --------------------------------------------------------------
+
+    def _call_sink(self, node: ast.Call) -> None:
+        super()._call_sink(node)
+        callee = self.project.resolve_call(node, self.info)
+        if callee is None:
+            return
+        summary = self.project.summary(callee)
+        for param, arg in self.project.map_args(node, callee):
+            effect = summary.effects.get(param)
+            if (
+                effect is not None
+                and effect.stores is not None
+                and self._arg_hot(arg, param, summary)
+            ):
+                self._chain_report(node, callee, effect.stores)
+                return
+
+    def _already_reported(self, lineno: int) -> bool:
+        rule_id = self.rule.id if self.rule is not None else ""
+        return any(
+            f.rule == rule_id and f.line == lineno
+            for f in self.ctx.findings
+        )
+
+    def _report(self, node: ast.AST, how: str) -> None:
+        if self.mode == "summary":
+            if self.summary_sink is None:
+                self.summary_sink = StoreSite(
+                    self.ctx.rel_path, getattr(node, "lineno", 1), how
+                )
+            return
+        if self._already_reported(getattr(node, "lineno", 1)):
+            return  # the per-file pass already flagged this line
+        super()._report(node, how)
+
+    def _chain_report(
+        self, node: ast.Call, callee: FunctionInfo, site: StoreSite
+    ) -> None:
+        if self.mode == "summary":
+            # Propagate the *ultimate* store site up the chain so the
+            # eventual finding names where the object really lands.
+            if self.summary_sink is None:
+                self.summary_sink = site
+            return
+        if self._already_reported(getattr(node, "lineno", 1)):
+            return
+        self.ctx.report(
+            self.rule,
+            node,
+            f"incoming payload object escapes into {callee.display}(), "
+            f"which stores it ({site.how}) into long-lived node state at "
+            f"{site.path}:{site.line} without a copy — copy here at the "
+            f"source call site, or inside the callee",
+        )
+
+
+def run_payload_taint(rule: Rule, project: ProjectContext) -> None:
+    """Interprocedural ISO001: re-run payload taint over every message
+    handler in the project with call-graph edges enabled."""
+    for ctx in project.files:
+        if not rule.applies_to(ctx):
+            continue
+        for info in project.functions_in(ctx):
+            engine = _InterproceduralTaint(
+                rule, ctx, info.node, project, info, mode="report"
+            )
+            if engine.msg_params or engine.tainted:
+                engine.run()

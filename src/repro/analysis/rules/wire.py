@@ -1,0 +1,192 @@
+"""Wire-contract rule: WIRE001 verifies message-construction sites
+against the versioned body schemas in :mod:`repro.kernel.schema`.
+
+The codec round-trip tests catch a malformed payload only when a test
+actually serializes one; a construction site in a rarely-exercised
+service branch can ship a tuple with the fields swapped and fail weeks
+later on the realtime backend.  This rule checks every ``Message(...)``
+and ``.make_reply(...)`` call whose kind is a string literal against the
+schema registry — statically, for all 17 kinds, without importing any
+protocol code (``repro.kernel.schema`` is pure data by design).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.analysis.core import FileContext, Rule, register
+from repro.kernel.schema import BODY_SCHEMAS, BodySchema
+
+#: Keyword arguments the Message dataclass accepts.
+MESSAGE_KWARGS = {
+    "src", "dst", "kind", "payload", "size_bits", "msg_id", "reply_to",
+    "trace",
+}
+#: Keyword arguments Message.make_reply accepts.
+MAKE_REPLY_KWARGS = {"kind", "payload", "size_bits"}
+
+#: Sentinel: site passes the payload but we cannot judge its shape.
+_UNKNOWN = object()
+
+
+def _literal_kind(node: Optional[ast.expr]) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _is_none(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+@register
+class WireSchemaRule(Rule):
+    """WIRE001 — message construction matches the wire body schema."""
+
+    id = "WIRE001"
+    title = "message construction violates the wire body schema"
+    rationale = (
+        "Every payload shape is fixed by repro.kernel.schema (and "
+        "enforced on the realtime wire by repro.kernel.codec).  A "
+        "construction site with a missing, extra, or misshapen payload "
+        "encodes fine in the DES backends (payloads pass by reference) "
+        "and only explodes when the codec first serializes it; checking "
+        "the site against the schema catches the drift at lint time."
+    )
+
+    def check(self, ctx: FileContext) -> None:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "Message":
+                self._check_message(ctx, node)
+            elif isinstance(func, ast.Attribute):
+                if func.attr == "Message":
+                    self._check_message(ctx, node)
+                elif func.attr == "make_reply":
+                    self._check_make_reply(ctx, node)
+
+    # -- construction forms -------------------------------------------------
+
+    def _check_message(self, ctx: FileContext, node: ast.Call) -> None:
+        kind_expr = self._arg(node, 2, "kind")
+        self._check_kwargs(ctx, node, MESSAGE_KWARGS, "Message")
+        kind = _literal_kind(kind_expr)
+        if kind is None:
+            return  # dynamic kind: codec enforces it at runtime
+        payload = self._arg(node, 3, "payload")
+        self._check_payload(ctx, node, kind, payload)
+
+    def _check_make_reply(self, ctx: FileContext, node: ast.Call) -> None:
+        kind_expr = self._arg(node, 0, "kind")
+        self._check_kwargs(ctx, node, MAKE_REPLY_KWARGS, "make_reply")
+        kind = _literal_kind(kind_expr)
+        if kind is None:
+            return
+        payload = self._arg(node, 1, "payload")
+        self._check_payload(ctx, node, kind, payload)
+
+    @staticmethod
+    def _arg(node: ast.Call, index: int, name: str) -> Optional[ast.expr]:
+        """The expression bound to a parameter, positionally or by
+        keyword; None when the site omits it, ``_UNKNOWN``-free (a
+        ``*args`` splat disables positional mapping)."""
+        for kw in node.keywords:
+            if kw.arg == name:
+                return kw.value
+        if any(isinstance(a, ast.Starred) for a in node.args):
+            return None
+        if index < len(node.args):
+            return node.args[index]
+        return None
+
+    # -- checks -------------------------------------------------------------
+
+    def _check_kwargs(
+        self, ctx: FileContext, node: ast.Call, valid: set, what: str
+    ) -> None:
+        for kw in node.keywords:
+            if kw.arg is not None and kw.arg not in valid:
+                ctx.report(
+                    self,
+                    node,
+                    f"{what}() has no parameter {kw.arg!r} — misnamed "
+                    f"field? valid: {', '.join(sorted(valid))}",
+                )
+
+    def _check_payload(
+        self,
+        ctx: FileContext,
+        node: ast.Call,
+        kind: str,
+        payload: Optional[ast.expr],
+    ) -> None:
+        schema = BODY_SCHEMAS.get(kind)
+        if schema is None:
+            ctx.report(
+                self,
+                node,
+                f"unknown message kind {kind!r} — not one of the "
+                f"{len(BODY_SCHEMAS)} kinds in repro.kernel.schema",
+            )
+            return
+        if schema.category == "none":
+            if payload is not None and not _is_none(payload):
+                ctx.report(
+                    self,
+                    node,
+                    f"message kind {kind!r} carries no body, but this site "
+                    f"passes a payload (extra field) — schema: None",
+                )
+            return
+        if schema.requires_payload and (payload is None or _is_none(payload)):
+            ctx.report(
+                self,
+                node,
+                f"message kind {kind!r} requires a payload "
+                f"({schema.describe()}), but this site passes none "
+                f"(missing field)",
+            )
+            return
+        if payload is None:
+            return
+        self._check_shape(ctx, node, schema, payload)
+
+    def _check_shape(
+        self,
+        ctx: FileContext,
+        node: ast.Call,
+        schema: BodySchema,
+        payload: ast.expr,
+    ) -> None:
+        is_tuple = isinstance(payload, ast.Tuple)
+        if schema.category == "tuple":
+            if is_tuple and len(payload.elts) != schema.arity:
+                ctx.report(
+                    self,
+                    node,
+                    f"message kind {schema.kind!r} payload needs exactly "
+                    f"{schema.arity} fields {schema.describe()}, this site "
+                    f"builds a {len(payload.elts)}-tuple",
+                )
+            return
+        if schema.category == "node_id_or_nonce":
+            if is_tuple and len(payload.elts) != 2:
+                ctx.report(
+                    self,
+                    node,
+                    f"message kind {schema.kind!r} payload must be a "
+                    f"NodeId or a (NodeId, nonce) pair, this site builds "
+                    f"a {len(payload.elts)}-tuple",
+                )
+            return
+        if is_tuple:
+            ctx.report(
+                self,
+                node,
+                f"message kind {schema.kind!r} payload is a single "
+                f"{schema.describe()}, this site builds a "
+                f"{len(payload.elts)}-tuple",
+            )

@@ -785,6 +785,7 @@ class ByzantineRunner(ChaosRunner):
         observe: bool = False,
         health_spec=None,
         stream=None,
+        detsan=None,
     ):
         super().__init__(
             scenario,
@@ -794,6 +795,7 @@ class ByzantineRunner(ChaosRunner):
             observe=observe,
             health_spec=health_spec,
             stream=stream,
+            detsan=detsan,
         )
 
     def _seed(self, net) -> None:

@@ -54,10 +54,18 @@ class ChaosResult:
     #: breaches the live monitor recorded during the run, plus one
     #: post-hoc evaluation over the whole span log at the end.
     health_verdicts: List[Verdict] = field(default_factory=list)
+    #: DetSan findings (empty unless the run was sanitized; see
+    #: :mod:`repro.analysis.detsan`), as human-readable strings.
+    detsan_violations: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return not self.violations
+
+    @property
+    def detsan_ok(self) -> bool:
+        """No sanitizer finding (vacuously true when DetSan was off)."""
+        return not self.detsan_violations
 
     @property
     def healthy(self) -> bool:
@@ -81,11 +89,18 @@ class ChaosRunner:
         observe: bool = False,
         health_spec: Optional[HealthSpec] = None,
         stream: Optional["StreamConfig"] = None,
+        detsan: Optional[bool] = None,
     ):
         self.scenario = scenario
         self.n_nodes = scenario.default_nodes if n_nodes is None else int(n_nodes)
         self.seed = int(seed)
         self.monitor_interval = monitor_interval
+        #: Run under the DetSan sanitizer (None = honor REPRO_DETSAN).
+        if detsan is None:
+            from repro.analysis.detsan import detsan_requested
+
+            detsan = detsan_requested()
+        self.detsan = bool(detsan)
         #: Record spans + metrics during the run.  Tracing adds no
         #: messages and draws no randomness, so the chaos trace (and its
         #: determinism digest) is byte-identical with or without it.
@@ -104,6 +119,22 @@ class ChaosRunner:
         net = PeerWindowNetwork(
             config=config, master_seed=self.seed, observability=self.observe
         )
+        sanitizer = None
+        if self.detsan:
+            from repro.analysis.detsan import DetSan
+
+            sanitizer = DetSan()
+            sanitizer.attach(net)
+        try:
+            return self._execute(net, config, sanitizer)
+        finally:
+            # The tripwires monkeypatch process globals (time/random):
+            # always restore, even when the run raises.
+            if sanitizer is not None:
+                sanitizer.detach()
+
+    def _execute(self, net, config, sanitizer) -> ChaosResult:
+        scenario = self.scenario
         # All simulation advances route through the stream windower when
         # one is configured, so window boundaries land on the same grid
         # no matter how this driver slices its run calls.
@@ -159,6 +190,10 @@ class ChaosRunner:
         if windower is not None:
             windower.finish()
         self._trace_final_state(net, trace, monitor)
+        detsan_violations: List[str] = []
+        if sanitizer is not None:
+            sanitizer.final_scan()
+            detsan_violations = [v.describe() for v in sanitizer.violations]
         return ChaosResult(
             scenario=scenario.name,
             n_nodes=self.n_nodes,
@@ -174,6 +209,7 @@ class ChaosRunner:
             spans=net.spans() if self.observe else [],
             metrics=net.metrics_snapshot() if self.observe else {},
             health_verdicts=health_verdicts,
+            detsan_violations=detsan_violations,
         )
 
     # -- subclass hooks ----------------------------------------------------

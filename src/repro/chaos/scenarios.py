@@ -109,6 +109,20 @@ def _zombie_latency_plan(n: int, seed: int) -> FaultPlan:
     return plan
 
 
+def _crash_churn_plan(n: int, seed: int) -> FaultPlan:
+    # Crash/churn only (no partitions or zombies), so there is no
+    # detection-horizon cap to respect: this is the DetSan smoke — lots
+    # of joins and obituaries means lots of Pointer-carrying payloads
+    # crossing the transport for the sanitizer to tag.
+    batch = max(1, n // 20)
+    plan = FaultPlan(seed)
+    plan.crash(8.0, count=batch)
+    plan.churn(20.0, crash=batch, join=batch)
+    plan.crash_recover(40.0, count=max(1, batch // 2), down_for=15.0)
+    plan.churn(60.0, join=batch)
+    return plan
+
+
 def _recovery_stress_plan(n: int, seed: int) -> FaultPlan:
     batch = max(1, n // 25)
     plan = FaultPlan(seed)
@@ -153,6 +167,15 @@ SCENARIOS: Dict[str, Scenario] = {
             default_nodes=90,
             settle=10.0,
             plan=_zombie_latency_plan,
+        ),
+        Scenario(
+            name="crash_churn",
+            description="crash and churn bursts with a recovery batch — "
+                        "the DetSan sanitizer smoke (payload-heavy "
+                        "join/obituary traffic, no partitions)",
+            default_nodes=60,
+            settle=10.0,
+            plan=_crash_churn_plan,
         ),
         Scenario(
             name="recovery-stress",

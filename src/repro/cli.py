@@ -268,6 +268,7 @@ def cmd_chaos(args) -> int:
     runner = runner_cls(
         scenario, n_nodes=args.nodes, seed=args.seed, observe=observe,
         health_spec=health_spec, stream=stream,
+        detsan=True if args.detsan else None,
     )
     result = runner.run()
     _emit(
@@ -314,6 +315,16 @@ def cmd_chaos(args) -> int:
     else:
         print("\nOK: all invariants held (safety throughout; convergence after "
               "each quiescence window)")
+    if runner.detsan:
+        if result.detsan_violations:
+            print(f"DETSAN: {len(result.detsan_violations)} sanitizer "
+                  f"finding(s):")
+            for line in result.detsan_violations[:20]:
+                print("  " + line)
+            rc = 1
+        else:
+            print("DETSAN: clean (no payload retention, wall-clock, or "
+                  "global-RNG findings)")
     if health_spec is not None:
         breaches = [v for v in result.health_verdicts if not v.ok]
         if breaches:
@@ -690,6 +701,38 @@ def cmd_live_swarm(args) -> int:
     return rc
 
 
+def _changed_files(ref: str, paths) -> "Optional[list]":
+    """``.py`` files changed versus ``ref`` (per ``git diff``) that lie
+    under the requested lint paths.  None on git failure."""
+    import subprocess
+
+    try:
+        out = subprocess.run(
+            ["git", "diff", "--name-only", "-z", ref, "--"],
+            capture_output=True,
+            check=True,
+        )
+    except (OSError, subprocess.CalledProcessError) as exc:
+        detail = ""
+        if isinstance(exc, subprocess.CalledProcessError):
+            detail = (exc.stderr or b"").decode(errors="replace").strip()
+        print(f"cannot diff against {ref!r}: {detail or exc}", file=sys.stderr)
+        return None
+    wanted = [os.path.normpath(p) for p in paths]
+    files = []
+    for name in out.stdout.decode(errors="replace").split("\0"):
+        if not name or not name.endswith(".py"):
+            continue
+        norm = os.path.normpath(name)
+        in_scope = any(
+            norm == w or norm.startswith(w + os.sep) for w in wanted
+        )
+        # Deleted files show up in the diff but have nothing to lint.
+        if in_scope and os.path.exists(norm):
+            files.append(norm)
+    return sorted(files)
+
+
 def cmd_lint(args) -> int:
     """detlint: the determinism & LP-isolation static analyzer."""
     import json as _json
@@ -712,7 +755,20 @@ def cmd_lint(args) -> int:
         prepare_output_path(args.baseline, what="detlint baseline")
 
     paths = args.paths or ["src/repro"]
-    findings = run_lint(paths, rules=rules)
+    if args.changed:
+        changed = _changed_files(args.changed, paths)
+        if changed is None:
+            return 2
+        if not changed:
+            print(f"[no .py files under {', '.join(paths)} changed vs "
+                  f"{args.changed}]")
+            return 0
+        print(f"[incremental: {len(changed)} file(s) changed vs "
+              f"{args.changed}; per-file rules only — interprocedural "
+              f"checks need the whole tree]")
+        findings = run_lint(changed, rules=rules, project=False)
+    else:
+        findings = run_lint(paths, rules=rules)
 
     if args.write_baseline:
         baseline = Baseline.from_findings(findings)
@@ -835,6 +891,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "as JSONL here (enables tracing)")
     pch.add_argument("--window", type=float, default=15.0,
                      help="telemetry window width in simulated seconds")
+    pch.add_argument("--detsan", action="store_true",
+                     help="run under the DetSan runtime sanitizer (payload "
+                          "retention + clock/RNG tripwires; exit 1 on any "
+                          "finding; REPRO_DETSAN=1 does the same)")
     pch.add_argument("--list", action="store_true", help="list scenarios and exit")
     pch.set_defaults(func=cmd_chaos)
 
@@ -928,6 +988,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "and exit 0")
     plint.add_argument("--report", help="write findings to this file "
                                         "instead of stdout")
+    plint.add_argument("--changed", metavar="GIT_REF",
+                       help="incremental mode: lint only .py files changed "
+                            "versus this git ref (per-file rules only; the "
+                            "interprocedural pass needs the whole tree)")
     plint.add_argument("--rules", action="store_true",
                        help="list the rule catalog and exit")
     plint.add_argument("--explain", action="store_true",

@@ -26,8 +26,11 @@ from repro.kernel.codec import (
     encode_message,
 )
 from repro.kernel.runtime import EndpointLike, NodeRuntime
+from repro.kernel.schema import BODY_SCHEMAS, BodySchema, payload_schema
 
 __all__ = [
+    "BODY_SCHEMAS",
+    "BodySchema",
     "Clock",
     "CodecError",
     "EndpointLike",
@@ -39,4 +42,5 @@ __all__ = [
     "WIRE_SCHEMA_VERSION",
     "decode_message",
     "encode_message",
+    "payload_schema",
 ]

@@ -34,6 +34,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.core.events import EventKind, EventRecord
 from repro.core.nodeid import NodeId
 from repro.core.pointer import Pointer
+from repro.kernel import schema as wire_schema
 from repro.net.message import Message
 from repro.obs.trace import SpanRef
 
@@ -358,6 +359,18 @@ _BODY_CODECS: Dict[str, Tuple[Callable[[Any], Any], Callable[[Any], Any]]] = {
 
 #: Every kind the codec (and therefore the wire) knows, in sorted order.
 MESSAGE_KINDS: Tuple[str, ...] = tuple(sorted(_BODY_CODECS))
+
+# The implementation (this registry) and the description
+# (repro.kernel.schema, which the static analyzer checks construction
+# sites against) must never drift: fail loudly at import time, not at
+# the first mismatched message.
+if set(_BODY_CODECS) != set(wire_schema.BODY_SCHEMAS):  # pragma: no cover
+    _only_codec = sorted(set(_BODY_CODECS) - set(wire_schema.BODY_SCHEMAS))
+    _only_schema = sorted(set(wire_schema.BODY_SCHEMAS) - set(_BODY_CODECS))
+    raise RuntimeError(
+        "wire codec and repro.kernel.schema disagree on message kinds: "
+        f"codec-only={_only_codec} schema-only={_only_schema}"
+    )
 
 
 # -- envelope ---------------------------------------------------------------

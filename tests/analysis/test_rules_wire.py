@@ -1,0 +1,148 @@
+"""Good/bad fixture pairs for WIRE001, generated programmatically over
+all 17 wire kinds from the schema registry so a new kind is covered the
+day it is added."""
+
+import pytest
+
+from repro.analysis import lint_source
+from repro.kernel.schema import BODY_SCHEMAS, MESSAGE_KINDS
+
+SRC = "src/repro/net/fixture_wire.py"
+
+
+def wire_findings(src):
+    return [f for f in lint_source(src, rel_path=SRC) if f.rule == "WIRE001"]
+
+
+#: A construction-site payload expression that satisfies each category.
+GOOD_PAYLOAD = {
+    "none": "None",
+    "node_id": "peer_id",
+    "node_id_or_nonce": "(peer_id, nonce)",
+    "opt_pointer": "ptr",
+    "event": "event",
+    "pointer_list": "[p.copy() for p in tops]",
+    "tuple": None,  # built per-schema from its arity below
+}
+
+
+def good_payload(schema):
+    if schema.category == "tuple":
+        return "(" + ", ".join(f"f{i}" for i in range(schema.arity)) + ")"
+    return GOOD_PAYLOAD[schema.category]
+
+
+def message_site(kind, payload_expr):
+    return (
+        "def send(self, msg, peer_id, nonce, ptr, event, tops, f0, f1, f2):\n"
+        f"    return Message(src=1, dst=2, kind={kind!r}, "
+        f"payload={payload_expr})\n"
+    )
+
+
+def reply_site(kind, payload_expr):
+    return (
+        "def answer(self, msg, peer_id, nonce, ptr, event, tops, f0, f1, f2):\n"
+        f"    return msg.make_reply({kind!r}, payload={payload_expr})\n"
+    )
+
+
+def test_the_registry_covers_all_17_kinds():
+    assert len(MESSAGE_KINDS) == 17
+
+
+@pytest.mark.parametrize("kind", MESSAGE_KINDS)
+def test_schema_conformant_message_sites_are_clean(kind):
+    schema = BODY_SCHEMAS[kind]
+    assert wire_findings(message_site(kind, good_payload(schema))) == []
+    assert wire_findings(reply_site(kind, good_payload(schema))) == []
+
+
+@pytest.mark.parametrize("kind", MESSAGE_KINDS)
+def test_extra_payload_on_bodyless_kinds_is_flagged(kind):
+    schema = BODY_SCHEMAS[kind]
+    if schema.category != "none":
+        pytest.skip("kind carries a body")
+    findings = wire_findings(message_site(kind, "ptr"))
+    assert len(findings) == 1
+    assert "extra field" in findings[0].message
+
+
+@pytest.mark.parametrize("kind", MESSAGE_KINDS)
+def test_missing_payload_on_required_kinds_is_flagged(kind):
+    schema = BODY_SCHEMAS[kind]
+    if not schema.requires_payload:
+        pytest.skip("payload optional for this kind")
+    findings = wire_findings(message_site(kind, "None"))
+    assert len(findings) == 1
+    assert "missing field" in findings[0].message
+
+
+@pytest.mark.parametrize("kind", MESSAGE_KINDS)
+def test_wrong_tuple_arity_is_flagged(kind):
+    schema = BODY_SCHEMAS[kind]
+    if schema.category != "tuple":
+        pytest.skip("not a tuple payload")
+    too_many = "(" + ", ".join(f"f{i}" for i in range(schema.arity + 1)) + ")"
+    findings = wire_findings(message_site(kind, too_many))
+    assert len(findings) == 1
+    assert f"{schema.arity} fields" in findings[0].message
+
+
+@pytest.mark.parametrize("kind", MESSAGE_KINDS)
+def test_tuple_where_scalar_expected_is_flagged(kind):
+    schema = BODY_SCHEMAS[kind]
+    if schema.category not in ("node_id", "opt_pointer", "event",
+                               "pointer_list"):
+        pytest.skip("tuple or bodyless kind")
+    findings = wire_findings(message_site(kind, "(ptr, event, f0)"))
+    assert len(findings) == 1
+
+
+def test_misnamed_keyword_is_flagged():
+    src = (
+        "def send(self, event):\n"
+        "    return Message(src=1, dst=2, kind='report', pay_load=event)\n"
+    )
+    findings = wire_findings(src)
+    # One for the misnamed kwarg, one for the now-missing payload.
+    assert len(findings) == 2
+    assert any("misnamed" in f.message for f in findings)
+
+
+def test_unknown_kind_is_flagged():
+    findings = wire_findings(message_site("evnt-copy", "event"))
+    assert len(findings) == 1
+    assert "unknown message kind" in findings[0].message
+
+
+def test_get_top_accepts_bare_node_id_and_nonce_pair():
+    assert wire_findings(message_site("get-top", "peer_id")) == []
+    assert wire_findings(message_site("get-top", "(peer_id, nonce)")) == []
+
+
+def test_get_top_rejects_a_three_tuple():
+    findings = wire_findings(message_site("get-top", "(peer_id, nonce, f0)"))
+    assert len(findings) == 1
+    assert "(NodeId, nonce)" in findings[0].message
+
+
+def test_dynamic_kind_is_left_to_the_codec():
+    src = (
+        "def forward(self, msg, kind, body):\n"
+        "    return Message(src=1, dst=2, kind=kind, payload=body)\n"
+    )
+    assert wire_findings(src) == []
+
+
+def test_every_construction_site_in_the_tree_conforms():
+    # The real services must already satisfy the rule (the CI gate
+    # demands zero new findings over src/repro).
+    import os
+
+    from repro.analysis import run_lint
+
+    root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    findings = run_lint([os.path.join(root, "src", "repro")], root=root)
+    assert [f for f in findings if f.rule == "WIRE001"] == []

@@ -17,7 +17,7 @@ class TestScenarioRegistry:
     def test_expected_scenarios_present(self):
         assert set(SCENARIOS) == {
             "smoke", "churn-partition", "loss-storm",
-            "zombie-latency", "recovery-stress",
+            "zombie-latency", "crash_churn", "recovery-stress",
         }
 
     def test_acceptance_scenario_shape(self):

@@ -1,0 +1,68 @@
+"""The wire body-schema registry: kind lockstep with the codec,
+per-category invariants, and the describe/arity helpers WIRE001 leans
+on."""
+
+import pytest
+
+from repro.kernel import codec
+from repro.kernel.schema import (
+    BODY_SCHEMAS,
+    CATEGORIES,
+    BodySchema,
+    MESSAGE_KINDS,
+    payload_schema,
+)
+
+
+def test_schema_and_codec_list_exactly_the_same_kinds():
+    assert set(BODY_SCHEMAS) == set(codec.MESSAGE_KINDS)
+    assert MESSAGE_KINDS == codec.MESSAGE_KINDS
+
+
+def test_all_17_kinds_are_described():
+    assert len(MESSAGE_KINDS) == 17
+    for kind, schema in BODY_SCHEMAS.items():
+        assert schema.kind == kind
+        assert schema.category in CATEGORIES
+        assert schema.doc  # every kind carries prose
+
+
+def test_tuple_schemas_have_matching_fields_and_types():
+    for schema in BODY_SCHEMAS.values():
+        if schema.category == "tuple":
+            assert schema.arity == len(schema.fields) > 0
+            assert len(schema.types) == schema.arity
+        else:
+            assert schema.arity is None
+            assert schema.fields == ()
+
+
+def test_payload_requirements_per_category():
+    assert not BODY_SCHEMAS["probe"].requires_payload
+    assert BODY_SCHEMAS["probe"].allows_none
+    assert not BODY_SCHEMAS["top-ptr"].requires_payload  # opt_pointer
+    assert BODY_SCHEMAS["report"].requires_payload
+    assert BODY_SCHEMAS["download"].requires_payload
+
+
+def test_describe_is_human_readable():
+    assert BODY_SCHEMAS["probe"].describe() == "None"
+    assert BODY_SCHEMAS["download"].describe() == (
+        "(requester_id: NodeId, prefix_len: int)"
+    )
+    assert "Pointer" in BODY_SCHEMAS["topnodes"].describe()
+
+
+def test_payload_schema_lookup():
+    assert payload_schema("mcast").arity == 2
+    with pytest.raises(KeyError):
+        payload_schema("no-such-kind")
+
+
+def test_schema_validation_rejects_malformed_definitions():
+    with pytest.raises(ValueError, match="category"):
+        BodySchema("x", "blob")
+    with pytest.raises(ValueError, match="field names"):
+        BodySchema("x", "tuple")
+    with pytest.raises(ValueError, match="length mismatch"):
+        BodySchema("x", "tuple", fields=("a", "b"), types=("int",))
