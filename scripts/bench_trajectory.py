@@ -14,6 +14,14 @@ Usage (from the repo root)::
     python scripts/bench_trajectory.py --check    # compare, don't write
     python scripts/bench_trajectory.py --quick    # smoke cells only
     python scripts/bench_trajectory.py --perf     # also print perf rows
+    python scripts/bench_trajectory.py --baselines  # also BENCH_baselines.json
+
+``--baselines`` regenerates (or, with ``--check``, byte-compares)
+``BENCH_baselines.json``: the seeded protocol-tournament scorecard from
+``benchmarks.bench_baseline_comparison`` — every executable contestant
+over one identical churn workload.  Like the health trajectory it is a
+pure function of its seed matrix, so the committed file is
+byte-identical across reruns and engines.
 
 ``--perf`` measures machine-dependent engine-cost rows (wall-clock ns
 per simulator event and the process's peak RSS) for fixed reference
@@ -184,7 +192,40 @@ def check_perf(fresh: dict, path: str) -> list:
     return problems
 
 
+def run_baselines(check: bool, out: str) -> int:
+    """Regenerate or byte-compare the tournament scorecard point."""
+    from benchmarks.bench_baseline_comparison import build_baselines_doc
+
+    doc = build_baselines_doc()
+    for row in doc["rows"]:
+        state = "healthy" if row["healthy"] else (
+            "UNHEALTHY: " + ", ".join(row["final_breaches"]))
+        print(f"  {row['contestant']} seed={row['seed']}: {state} "
+              f"(bw {row['bandwidth_bps_per_node']:.1f} bps/node, "
+              f"error {row['error_rate']:.4f})")
+    text = render(doc)
+    if check:
+        try:
+            with open(out, "r", encoding="utf-8") as fh:
+                current = fh.read()
+        except OSError:
+            print(f"missing {out}; run --baselines without --check to create it")
+            return 1
+        if current != text:
+            print(f"{out} is stale; regenerate with "
+                  f"python scripts/bench_trajectory.py --baselines")
+            return 1
+        print(f"{out} is current")
+    else:
+        with open(out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {out} ({len(doc['rows'])} rows)")
+    return 0 if doc["champion_healthy"] else 1
+
+
 def main(argv=None) -> int:
+    from benchmarks.bench_baseline_comparison import BASELINES_PATH
+
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default=TRAJECTORY_PATH,
                         help="output path (default: repo-root BENCH_health.json)")
@@ -200,6 +241,13 @@ def main(argv=None) -> int:
     parser.add_argument("--perf-out", default=PERF_PATH,
                         help="perf output path (default: repo-root "
                              "BENCH_perf.json)")
+    parser.add_argument("--baselines", action="store_true",
+                        help="also regenerate (or --check) the committed "
+                             "protocol-tournament scorecard "
+                             "BENCH_baselines.json")
+    parser.add_argument("--baselines-out", default=BASELINES_PATH,
+                        help="tournament scorecard output path (default: "
+                             "repo-root BENCH_baselines.json)")
     args = parser.parse_args(argv)
 
     matrix = tuple(c for c in MATRIX if c[0] == "smoke") if args.quick else MATRIX
@@ -247,6 +295,11 @@ def main(argv=None) -> int:
             with open(args.perf_out, "w", encoding="utf-8") as fh:
                 fh.write(render(perf_doc))
             print(f"wrote {args.perf_out} ({len(perf_doc['cells'])} cells)")
+    if args.baselines:
+        print("tournament scorecard:")
+        rc = run_baselines(args.check, args.baselines_out)
+        if rc:
+            status = 1
     return status
 
 

@@ -12,7 +12,10 @@
 # HEALTHY under the byzantine SLO bands) + a watch smoke (200-node
 # seeded run streaming telemetry frames to --snapshot-jsonl; every
 # frame must satisfy the telemetry schema and the final frame's verdict
-# must agree with `repro obs health` over the same run's exports).
+# must agree with `repro obs health` over the same run's exports) + a
+# compare smoke (2-protocol 40-node seeded tournament via `repro
+# compare`; must exit 0 and produce a schema-valid `repro.compare`
+# scorecard JSON).
 #
 #   scripts/check.sh             # everything below
 #   scripts/check.sh --lint      # ruff + mypy only
@@ -26,6 +29,7 @@
 #   scripts/check.sh --health    # health smoke only
 #   scripts/check.sh --live      # live swarm smoke only
 #   scripts/check.sh --watch     # streaming telemetry smoke only
+#   scripts/check.sh --compare   # tournament scorecard smoke only
 set -u
 cd "$(dirname "$0")/.."
 
@@ -38,18 +42,20 @@ run_obs=1
 run_health=1
 run_live=1
 run_watch=1
+run_compare=1
 case "${1:-}" in
-  --lint) run_analysis=0; run_tests=0; run_chaos=0; run_byzantine=0; run_obs=0; run_health=0; run_live=0; run_watch=0 ;;
-  --analysis) run_lint=0; run_tests=0; run_chaos=0; run_byzantine=0; run_obs=0; run_health=0; run_live=0; run_watch=0 ;;
-  --tests) run_lint=0; run_analysis=0; run_chaos=0; run_byzantine=0; run_obs=0; run_health=0; run_live=0; run_watch=0 ;;
-  --chaos) run_lint=0; run_analysis=0; run_tests=0; run_byzantine=0; run_obs=0; run_health=0; run_live=0; run_watch=0 ;;
-  --byzantine) run_lint=0; run_analysis=0; run_tests=0; run_chaos=0; run_obs=0; run_health=0; run_live=0; run_watch=0 ;;
-  --obs) run_lint=0; run_analysis=0; run_tests=0; run_chaos=0; run_byzantine=0; run_health=0; run_live=0; run_watch=0 ;;
-  --health) run_lint=0; run_analysis=0; run_tests=0; run_chaos=0; run_byzantine=0; run_obs=0; run_live=0; run_watch=0 ;;
-  --live) run_lint=0; run_analysis=0; run_tests=0; run_chaos=0; run_byzantine=0; run_obs=0; run_health=0; run_watch=0 ;;
-  --watch) run_lint=0; run_analysis=0; run_tests=0; run_chaos=0; run_byzantine=0; run_obs=0; run_health=0; run_live=0 ;;
+  --lint) run_analysis=0; run_tests=0; run_chaos=0; run_byzantine=0; run_obs=0; run_health=0; run_live=0; run_watch=0; run_compare=0 ;;
+  --analysis) run_lint=0; run_tests=0; run_chaos=0; run_byzantine=0; run_obs=0; run_health=0; run_live=0; run_watch=0; run_compare=0 ;;
+  --tests) run_lint=0; run_analysis=0; run_chaos=0; run_byzantine=0; run_obs=0; run_health=0; run_live=0; run_watch=0; run_compare=0 ;;
+  --chaos) run_lint=0; run_analysis=0; run_tests=0; run_byzantine=0; run_obs=0; run_health=0; run_live=0; run_watch=0; run_compare=0 ;;
+  --byzantine) run_lint=0; run_analysis=0; run_tests=0; run_chaos=0; run_obs=0; run_health=0; run_live=0; run_watch=0; run_compare=0 ;;
+  --obs) run_lint=0; run_analysis=0; run_tests=0; run_chaos=0; run_byzantine=0; run_health=0; run_live=0; run_watch=0; run_compare=0 ;;
+  --health) run_lint=0; run_analysis=0; run_tests=0; run_chaos=0; run_byzantine=0; run_obs=0; run_live=0; run_watch=0; run_compare=0 ;;
+  --live) run_lint=0; run_analysis=0; run_tests=0; run_chaos=0; run_byzantine=0; run_obs=0; run_health=0; run_watch=0; run_compare=0 ;;
+  --watch) run_lint=0; run_analysis=0; run_tests=0; run_chaos=0; run_byzantine=0; run_obs=0; run_health=0; run_live=0; run_compare=0 ;;
+  --compare) run_lint=0; run_analysis=0; run_tests=0; run_chaos=0; run_byzantine=0; run_obs=0; run_health=0; run_live=0; run_watch=0 ;;
   "") ;;
-  *) echo "usage: scripts/check.sh [--lint|--analysis|--tests|--chaos|--byzantine|--obs|--health|--live|--watch]" >&2; exit 2 ;;
+  *) echo "usage: scripts/check.sh [--lint|--analysis|--tests|--chaos|--byzantine|--obs|--health|--live|--watch|--compare]" >&2; exit 2 ;;
 esac
 
 status=0
@@ -263,6 +269,58 @@ sys.exit(1 if problems else 0)
 PY
   else
     echo "== numpy not installed; skipping watch smoke =="
+  fi
+fi
+
+if [ "$run_compare" = 1 ]; then
+  if PYTHONPATH=src python -c "import numpy" >/dev/null 2>&1; then
+    echo "== compare smoke (2-protocol seeded tournament -> scorecard) =="
+    compare_dir="$(mktemp -d)"
+    trap 'rm -rf "${analysis_dir:-}" "${obs_dir:-}" "${health_dir:-}" "${live_dir:-}" "${watch_dir:-}" "${compare_dir:-}"' EXIT
+    if command -v timeout >/dev/null 2>&1; then
+      timeout 300 env PYTHONPATH=src python -m repro compare \
+        --contestants peerwindow gossip -n 40 --duration 120 \
+        --window 30 --seed 0 --json "$compare_dir/scorecard.json" \
+        >/dev/null || status=1
+    else
+      PYTHONPATH=src python -m repro compare \
+        --contestants peerwindow gossip -n 40 --duration 120 \
+        --window 30 --seed 0 --json "$compare_dir/scorecard.json" \
+        >/dev/null || status=1
+    fi
+    PYTHONPATH=src python - "$compare_dir/scorecard.json" <<'PY' || status=1
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+problems = []
+if doc.get("schema") != "repro.compare":
+    problems.append(f"schema={doc.get('schema')!r} (want 'repro.compare')")
+if doc.get("schema_version") != 1:
+    problems.append(f"schema_version={doc.get('schema_version')!r} (want 1)")
+rows = doc.get("rows", [])
+if not rows:
+    problems.append("no rows")
+required = ("contestant", "seed", "live_final", "bits_total",
+            "bandwidth_bps_per_node", "error_rate", "completeness",
+            "windows", "window_breaches", "final_breaches", "healthy")
+for row in rows:
+    missing = [key for key in required if key not in row]
+    if missing:
+        problems.append(f"row {row.get('contestant')}: missing {missing}")
+names = sorted({row.get("contestant") for row in rows})
+if names != ["gossip", "peerwindow"]:
+    problems.append(f"contestants {names} (want gossip+peerwindow)")
+if not isinstance(doc.get("champion_healthy"), bool):
+    problems.append("champion_healthy is not a bool")
+if not doc.get("aggregates"):
+    problems.append("no aggregates")
+for p in problems[:20]:
+    print("compare smoke:", p)
+print(f"compare smoke: {len(rows)} row(s), {len(problems)} problem(s)")
+sys.exit(1 if problems else 0)
+PY
+  else
+    echo "== numpy not installed; skipping compare smoke =="
   fi
 fi
 

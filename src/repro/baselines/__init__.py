@@ -17,20 +17,44 @@ with the same bandwidth accounting so the efficiency comparison
 * :mod:`~repro.baselines.random_walk` — Mercury-style random-walk
   collection over a small-world overlay: pointers gathered by active
   walking, with per-pointer cost that does not amortize.
+* :mod:`~repro.baselines.pushpull` — push–pull hybrid gossip: lean push
+  seeding plus periodic anti-entropy pulls; lower redundancy than pure
+  push but a standing digest cost.
+
+:mod:`~repro.baselines.runtime` additionally provides *executable*,
+fully instrumented versions of each strategy (span tracing, metrics,
+transport accounting) satisfying the ``StreamWindower`` surface, so the
+``repro compare`` tournament can run and watch every contestant over
+identical seeded workloads.
 """
 
 from repro.baselines.common import CollectionScheme, SchemeReport
 from repro.baselines.explicit_probe import ExplicitProbeScheme
 from repro.baselines.gossip import GossipMulticastScheme, GossipSim
 from repro.baselines.onehop import OneHopDHTScheme
+from repro.baselines.pushpull import PushPullGossipNetwork, PushPullGossipScheme
 from repro.baselines.random_walk import RandomWalkScheme, small_world_graph
+from repro.baselines.runtime import (
+    BaselineNetwork,
+    ExplicitProbeNetwork,
+    GossipNetwork,
+    OneHopNetwork,
+    RandomWalkNetwork,
+)
 
 __all__ = [
+    "BaselineNetwork",
     "CollectionScheme",
+    "ExplicitProbeNetwork",
     "ExplicitProbeScheme",
     "GossipMulticastScheme",
+    "GossipNetwork",
     "GossipSim",
     "OneHopDHTScheme",
+    "OneHopNetwork",
+    "PushPullGossipNetwork",
+    "PushPullGossipScheme",
+    "RandomWalkNetwork",
     "RandomWalkScheme",
     "SchemeReport",
     "small_world_graph",

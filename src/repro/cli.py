@@ -164,6 +164,7 @@ def cmd_baselines(args) -> None:
     from repro.baselines.explicit_probe import ExplicitProbeScheme
     from repro.baselines.gossip import GossipMulticastScheme
     from repro.baselines.onehop import OneHopDHTScheme
+    from repro.baselines.pushpull import PushPullGossipScheme
     from repro.baselines.random_walk import RandomWalkScheme
     from repro.core.analytic import CostModel
 
@@ -171,6 +172,7 @@ def cmd_baselines(args) -> None:
     schemes = [
         ExplicitProbeScheme(mean_lifetime_s=3600.0),
         GossipMulticastScheme(redundancy=4.0),
+        PushPullGossipScheme(redundancy=2.0),
         OneHopDHTScheme(n_nodes=args.nodes, mean_lifetime_s=3600.0),
         RandomWalkScheme(mean_lifetime_s=3600.0),
     ]
@@ -587,7 +589,107 @@ def cmd_watch(args) -> int:
         follow=args.follow,
         interval=args.interval,
         ansi=False if args.plain else None,
+        verdict_exit=not args.no_verdict_exit,
     )
+
+
+def cmd_compare(args) -> int:
+    """Protocol tournament: every contestant over identical workloads."""
+    import os
+
+    from repro.compare import (
+        TournamentConfig,
+        contestant_names,
+        render_json,
+        render_markdown,
+        run_tournament,
+    )
+
+    known = contestant_names()
+    if args.list:
+        _emit(args, "tournament contestants", ["contestant"],
+              [[name] for name in known])
+        return 0
+    names = tuple(args.contestants) if args.contestants else tuple(known)
+    unknown = [n for n in names if n not in known]
+    if unknown:
+        print(
+            f"error: unknown contestant(s): {', '.join(unknown)} "
+            f"(known: {', '.join(known)})",
+            file=sys.stderr,
+        )
+        return 2
+    cfg = TournamentConfig(
+        contestants=names,
+        n_nodes=args.nodes,
+        duration=args.duration,
+        window=args.window,
+        seeds=tuple(range(args.seed, args.seed + args.seeds)),
+        parallel=args.parallel,
+    )
+    on_window = None
+    if args.watch:
+        from repro.obs.dashboard import ComparisonDashboard
+
+        on_window = ComparisonDashboard(ansi=False if args.plain else None)
+    if args.frames_dir:
+        os.makedirs(args.frames_dir, exist_ok=True)
+    doc = run_tournament(cfg, frames_dir=args.frames_dir, on_window=on_window)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(render_markdown(doc))
+        print(f"[wrote {args.out}]")
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(render_json(doc))
+        print(f"[wrote {args.json}]")
+    if not args.out and not args.json:
+        print(render_markdown(doc), end="")
+    return 0 if doc["champion_healthy"] else 1
+
+
+def cmd_obs_render(args) -> int:
+    """Render recorded frames (and optionally spans) to static HTML."""
+    from repro.obs.analyze import load_span_lines
+    from repro.obs.export import prepare_output_path
+    from repro.obs.render_html import build_html
+    from repro.obs.stream import load_frames
+
+    with open(args.frames) as fh:
+        frames, _, skipped = load_frames(fh.read().splitlines())
+    spans = None
+    if args.spans:
+        with open(args.spans) as fh:
+            spans, _, span_skipped = load_span_lines(fh.read().splitlines())
+        skipped += span_skipped
+    page = build_html(
+        frames,
+        spans=spans,
+        title=args.title,
+        lines_skipped=skipped,
+        tree_limit=args.trees,
+    )
+    prepare_output_path(args.out, what="HTML page")
+    with open(args.out, "w") as fh:
+        fh.write(page)
+    print(f"[wrote {args.out}]")
+    return 0
+
+
+def cmd_obs_trees(args) -> int:
+    """Print reconstructed multicast tree shapes from a span JSONL."""
+    from repro.obs.analyze import load_span_lines
+    from repro.obs.dashboard import render_mcast_trees
+
+    with open(args.spans) as fh:
+        spans, _, skipped = load_span_lines(fh.read().splitlines())
+    print(render_mcast_trees(spans, limit=args.limit, max_nodes=args.max_nodes))
+    if skipped:
+        print(
+            f"WARNING: skipped {skipped} unreadable line(s) in {args.spans}",
+            file=sys.stderr,
+        )
+    return 0
 
 
 def cmd_live_node(args) -> int:
@@ -959,6 +1061,33 @@ def build_parser() -> argparse.ArgumentParser:
     porep.add_argument("--json", help="write the report document as JSON here")
     porep.set_defaults(func=cmd_obs_report)
 
+    porend = obs_sub.add_parser(
+        "render", parents=[common_opts],
+        help="render recorded telemetry to one self-contained static HTML "
+             "page (timeline, level histogram, tree shapes; no JS, no "
+             "external assets)")
+    porend.add_argument("frames", help="telemetry frame JSONL file")
+    porend.add_argument("--spans",
+                        help="span JSONL from the same run (adds multicast "
+                             "tree shapes)")
+    porend.add_argument("--out", default="telemetry.html",
+                        help="output HTML path")
+    porend.add_argument("--title", default="repro telemetry")
+    porend.add_argument("--trees", type=int, default=3,
+                        help="how many multicast trees to render")
+    porend.set_defaults(func=cmd_obs_render)
+
+    potree = obs_sub.add_parser(
+        "trees", parents=[common_opts],
+        help="print reconstructed multicast tree shapes (ASCII) from a "
+             "span JSONL export")
+    potree.add_argument("spans", help="span JSONL file")
+    potree.add_argument("--limit", type=int, default=3,
+                        help="largest-N trees to render")
+    potree.add_argument("--max-nodes", type=int, default=48,
+                        help="span budget per tree before truncation")
+    potree.set_defaults(func=cmd_obs_trees)
+
     pwatch = sub.add_parser(
         "watch",
         help="render telemetry frames from a --snapshot-jsonl file "
@@ -970,7 +1099,44 @@ def build_parser() -> argparse.ArgumentParser:
                         help="poll interval in wall seconds with --follow")
     pwatch.add_argument("--plain", action="store_true",
                         help="never repaint in place, even on a TTY")
+    pwatch.add_argument("--no-verdict-exit", action="store_true",
+                        help="exit 0 even when the last frame carries "
+                             "breached SLO verdicts")
     pwatch.set_defaults(func=cmd_watch)
+
+    pcmp = sub.add_parser(
+        "compare", parents=[common_opts],
+        help="protocol tournament: run PeerWindow and the baselines over "
+             "identical seeded workloads and emit one scorecard "
+             "(exit 1 when the champion breaches its bands)")
+    pcmp.add_argument("--contestants", nargs="+", default=None,
+                      help="contestant names (--list shows all; "
+                           "default: every registered protocol)")
+    pcmp.add_argument("-n", "--nodes", type=int, default=40,
+                      help="population per contestant")
+    pcmp.add_argument("--duration", type=float, default=240.0,
+                      help="simulated seconds per seed")
+    pcmp.add_argument("--window", type=float, default=30.0,
+                      help="telemetry window width in simulated seconds")
+    pcmp.add_argument("--seed", type=int, default=0, help="first seed")
+    pcmp.add_argument("--seeds", type=int, default=1,
+                      help="number of consecutive seeds to run")
+    pcmp.add_argument("--parallel", type=int, default=None,
+                      help="partitioned engine LPs for the champion "
+                           "(scorecard is byte-identical either way)")
+    pcmp.add_argument("--out", help="write the markdown scorecard here")
+    pcmp.add_argument("--json", help="write the JSON scorecard here")
+    pcmp.add_argument("--frames-dir",
+                      help="also write per-contestant telemetry frame JSONL "
+                           "files into this directory")
+    pcmp.add_argument("--watch", action="store_true",
+                      help="render the contestants side by side after every "
+                           "lockstep window")
+    pcmp.add_argument("--plain", action="store_true",
+                      help="with --watch: never repaint in place")
+    pcmp.add_argument("--list", action="store_true",
+                      help="list contestants and exit")
+    pcmp.set_defaults(func=cmd_compare)
 
     plint = sub.add_parser(
         "lint", parents=[common_opts],

@@ -1,0 +1,149 @@
+"""Scorecard document: the tournament's one deterministic artifact.
+
+JSON side: ``schema: "repro.compare"``, version 1 — per-(contestant,
+seed) rows, cross-seed aggregates, and the champion verdict, rendered
+with sorted keys so repeated runs (and sequential vs partitioned
+champion engines) produce byte-identical files.  Markdown side: the
+same numbers as human-readable tables in the idiom of
+``repro.experiments.report``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+__all__ = [
+    "SCORECARD_SCHEMA",
+    "SCORECARD_VERSION",
+    "build_doc",
+    "champion_healthy",
+    "render_json",
+    "render_markdown",
+]
+
+SCORECARD_SCHEMA = "repro.compare"
+SCORECARD_VERSION = 1
+
+
+def build_doc(cfg, rows: List[Dict[str, Any]], aggregates: List[Dict[str, Any]]
+              ) -> Dict[str, Any]:
+    return {
+        "schema": SCORECARD_SCHEMA,
+        "schema_version": SCORECARD_VERSION,
+        # The execution engine (sequential vs parallel=N) is deliberately
+        # NOT recorded: the determinism contract promises byte-identical
+        # scorecards across engines, so the engine cannot appear in them.
+        "config": {
+            "contestants": list(cfg.contestants),
+            "n_nodes": cfg.n_nodes,
+            "duration": cfg.duration,
+            "window": cfg.window,
+            "seeds": list(cfg.seeds),
+            "champion": cfg.champion,
+        },
+        "rows": rows,
+        "aggregates": aggregates,
+        "champion_healthy": champion_healthy(cfg.champion, rows),
+    }
+
+
+def champion_healthy(champion: str, rows: List[Dict[str, Any]]) -> bool:
+    """True iff the champion stayed inside its bands on *every* seed.
+    Vacuously true when the champion did not compete."""
+    mine = [r for r in rows if r["contestant"] == champion]
+    return all(r["healthy"] for r in mine)
+
+
+def render_json(doc: Dict[str, Any]) -> str:
+    return json.dumps(doc, sort_keys=True, indent=2) + "\n"
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _table(headers: List[str], rows: List[List[Any]]) -> List[str]:
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), max((len(r[i]) for r in cells), default=0))
+        for i in range(len(headers))
+    ]
+    def line(parts: List[str]) -> str:
+        return "| " + " | ".join(p.ljust(widths[i]) for i, p in enumerate(parts)) + " |"
+    out = [line(headers),
+           "|" + "|".join("-" * (w + 2) for w in widths) + "|"]
+    out.extend(line(r) for r in cells)
+    return out
+
+
+_ROW_COLS = [
+    ("contestant", "contestant"),
+    ("seed", "seed"),
+    ("bandwidth_bps_per_node", "bw bps/node"),
+    ("error_rate", "error"),
+    ("completeness", "complete"),
+    ("join_latency_s", "join s"),
+    ("detect_latency_s", "detect s"),
+    ("collection_latency_s", "collect s"),
+    ("mcast_trees", "trees"),
+    ("mcast_max_depth", "depth"),
+    ("window_breaches", "breaches"),
+    ("healthy", "healthy"),
+]
+
+_AGG_COLS = [
+    ("contestant", "contestant"),
+    ("seeds", "seeds"),
+    ("bandwidth_bps_per_node", "bw bps/node"),
+    ("error_rate", "error"),
+    ("completeness", "complete"),
+    ("join_latency_s", "join s"),
+    ("detect_latency_s", "detect s"),
+    ("collection_latency_s", "collect s"),
+    ("window_breaches", "breaches"),
+    ("healthy", "healthy"),
+]
+
+
+def render_markdown(doc: Dict[str, Any]) -> str:
+    cfg = doc["config"]
+    lines = [
+        "# Protocol tournament scorecard",
+        "",
+        (
+            f"{len(cfg['contestants'])} contestants · n={cfg['n_nodes']} · "
+            f"duration={_fmt(float(cfg['duration']))}s · "
+            f"window={_fmt(float(cfg['window']))}s · "
+            f"seeds={','.join(str(s) for s in cfg['seeds'])}"
+        ),
+        "",
+        "## Per-seed rows",
+        "",
+    ]
+    lines.extend(_table(
+        [h for _, h in _ROW_COLS],
+        [[row.get(k) for k, _ in _ROW_COLS] for row in doc["rows"]],
+    ))
+    lines += ["", "## Cross-seed aggregates", ""]
+    lines.extend(_table(
+        [h for _, h in _AGG_COLS],
+        [[agg.get(k) for k, _ in _AGG_COLS] for agg in doc["aggregates"]],
+    ))
+    lines += ["", "## Verdicts", ""]
+    for row in doc["rows"]:
+        breached = row.get("final_breaches") or []
+        status = "healthy" if row["healthy"] else (
+            "BREACHED: " + ", ".join(breached)
+        )
+        lines.append(f"- {row['contestant']} · seed {row['seed']}: {status}")
+    champ = cfg["champion"]
+    verdict = "inside its bands" if doc["champion_healthy"] else "BREACHED"
+    lines += ["", f"Champion ({champ}): {verdict}.", ""]
+    return "\n".join(lines)

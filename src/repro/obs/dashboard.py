@@ -96,6 +96,169 @@ def render_frame(frame: Dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+def _span_label(span, root: bool = False) -> str:
+    """Compact one-line label for a span in a tree view."""
+    depth = span.attrs.get("depth") if span.attrs else None
+    status = span.status if span.status is not None else "open"
+    if root:
+        kind = span.attrs.get("kind", "?") if span.attrs else "?"
+        subject = span.attrs.get("subject", "?") if span.attrs else "?"
+        return (
+            f"{span.name} {kind} subject={subject} "
+            f"root=n{span.node} t={span.start:.2f}s"
+        )
+    tag = f"n{span.node}"
+    if depth is not None:
+        tag += f" d{depth}"
+    return f"{tag} {status}"
+
+
+def render_span_tree(root, children_of, max_nodes: int = 48) -> str:
+    """ASCII shape of one span tree (pure; deterministic).
+
+    ``children_of`` maps span_id -> ordered child spans (the
+    :class:`~repro.obs.analyze.TraceForest` ordering: by start time,
+    ties by span id).  Rendering truncates at ``max_nodes`` spans with
+    an explicit marker, so giant trees stay watchable.
+    """
+    lines = [_span_label(root, root=True)]
+    budget = [max_nodes]
+
+    def walk(span, prefix: str) -> None:
+        kids = children_of(span.span_id)
+        for i, kid in enumerate(kids):
+            last = i == len(kids) - 1
+            if budget[0] <= 0:
+                lines.append(prefix + "└─ …")
+                return
+            budget[0] -= 1
+            connector = "└─ " if last else "├─ "
+            lines.append(prefix + connector + _span_label(kid))
+            walk(kid, prefix + ("   " if last else "│  "))
+
+    walk(root, "")
+    return "\n".join(lines)
+
+
+def render_mcast_trees(
+    spans, limit: int = 3, max_nodes: int = 48
+) -> str:
+    """Reconstruct multicast trees from a span list and render the
+    ``limit`` largest as ASCII shapes (ties broken by root span id, so
+    the pick is deterministic)."""
+    from repro.obs.analyze import TraceForest, analyze_spans
+
+    forest = TraceForest(spans)
+    report = analyze_spans(spans)
+    if not report.trees:
+        return "no multicast trees in span stream"
+    ranked = sorted(
+        report.trees,
+        key=lambda t: (-len(t.members), t.root.span_id),
+    )[:limit]
+    children_of = lambda span_id: forest.children.get(span_id, [])  # noqa: E731
+    blocks = []
+    for tree in ranked:
+        header = (
+            f"tree {tree.kind} · members={len(tree.members)} "
+            f"delivered={tree.delivered} undelivered={tree.undelivered} "
+            f"depth={tree.depth}"
+        )
+        blocks.append(
+            header + "\n" + render_span_tree(
+                tree.root, children_of, max_nodes=max_nodes
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+#: Columns of the side-by-side comparison table: (header, getter).
+_COMPARE_COLS = (
+    ("nodes", lambda f: (f.get("state") or {}).get("live_nodes", "?")),
+    ("error", lambda f: _fmt_rate(
+        (f.get("state") or {}).get("mean_error_rate", 0.0))),
+    ("spans", lambda f: f.get("spans", 0)),
+    ("mcast", lambda f: f.get("mcast", {}).get("spans", 0)),
+    ("join", lambda f: f.get("join", {}).get("ok", 0)),
+    ("probe_to", lambda f: f.get("probe", {}).get("timeouts", 0)),
+    ("breach", lambda f: len(f.get("breaches", ()))),
+    (
+        "verdict",
+        lambda f: (
+            ("HEALTHY" if f.get("healthy") else "UNHEALTHY")
+            if f.get("final")
+            else ("ok" if f.get("healthy", True) else "BREACH")
+        ),
+    ),
+)
+
+
+def render_comparison(
+    frames_by_name: Dict[str, Dict[str, Any]],
+    t: Optional[float] = None,
+    seed: Optional[int] = None,
+) -> str:
+    """One aligned row per contestant from that contestant's freshest
+    frame — the side-by-side view ``repro compare --watch`` repaints."""
+    names = sorted(frames_by_name)
+    when = (
+        t
+        if t is not None
+        else max((frames_by_name[n].get("t1", 0.0) for n in names), default=0.0)
+    )
+    title = f"== protocol tournament · t {when:.1f} s"
+    if seed is not None:
+        title += f" · seed {seed}"
+    lines = [title + " =="]
+    headers = ["contestant"] + [h for h, _ in _COMPARE_COLS]
+    rows = []
+    for name in names:
+        frame = frames_by_name[name]
+        rows.append([name] + [str(get(frame)) for _, get in _COMPARE_COLS])
+    widths = [
+        max(len(headers[i]), max((len(r[i]) for r in rows), default=0))
+        for i in range(len(headers))
+    ]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    for row in rows:
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
+    for name in names:
+        for breach in frames_by_name[name].get("breaches", ()):
+            lines.append(
+                f"BREACH [{name}] {breach.get('slo')}="
+                f"{breach.get('value', 0):.6g}"
+            )
+    lines.append(_RULE)
+    return "\n".join(lines)
+
+
+class ComparisonDashboard:
+    """Repaints the tournament comparison table after every lockstep
+    window (the ``on_window`` callback of
+    :func:`repro.compare.tournament.run_tournament`)."""
+
+    def __init__(self, stream: Optional[TextIO] = None, ansi: Optional[bool] = None):
+        self.stream = stream if stream is not None else sys.stdout
+        if ansi is None:
+            isatty = getattr(self.stream, "isatty", None)
+            ansi = bool(isatty()) if callable(isatty) else False
+        self.ansi = ansi
+        self.windows_rendered = 0
+
+    def __call__(
+        self, seed: int, t: float, frames_by_name: Dict[str, Dict[str, Any]]
+    ) -> None:
+        if not frames_by_name:
+            return
+        text = render_comparison(frames_by_name, t=t, seed=seed)
+        if self.ansi:
+            self.stream.write("\x1b[H\x1b[J" + text + "\n")
+        else:
+            self.stream.write(text + "\n")
+        self.stream.flush()
+        self.windows_rendered += 1
+
+
 class TerminalDashboard:
     """Frame sink that repaints a terminal.
 
@@ -137,6 +300,7 @@ def watch_file(
     max_idle: float = 60.0,
     stream: Optional[TextIO] = None,
     ansi: Optional[bool] = None,
+    verdict_exit: bool = True,
 ) -> int:
     """Render the frames of a snapshot JSONL file.
 
@@ -144,15 +308,23 @@ def watch_file(
     rendered once.  With ``follow`` the file is tailed — partial lines
     (a writer mid-flush) are left in place until complete — until a
     final frame is seen or no new frame has arrived for ``max_idle``
-    seconds.  Returns a shell exit status: 0 if the last rendered frame
-    was healthy (or no verdict was rendered), 1 on an unhealthy final
-    frame, 2 if the file never produced a frame.
+    seconds.
+
+    Lines the tolerant loader skips (truncated writes, foreign garbage)
+    are surfaced as an explicit warning rather than silently dropped —
+    a dashboard that renders partial data must say so.
+
+    Returns a shell exit status: 0 when the last rendered frame carries
+    no breached SLO verdicts, 1 when it does (``verdict_exit=False``
+    suppresses this, always returning 0 once frames rendered), 2 if the
+    file never produced a frame.
     """
     from repro.obs.stream import load_frames
 
     dashboard = TerminalDashboard(stream=stream, ansi=ansi)
     rendered = 0
     healthy = True
+    skipped_total = 0
     offset = 0
     pending = ""
     idle = 0.0
@@ -166,13 +338,24 @@ def watch_file(
             chunk = ""
         pending += chunk
         complete, _, pending = pending.rpartition("\n")
-        frames, _, _ = load_frames(complete.splitlines()) if complete else ([], 0, 0)
+        frames, _, skipped = (
+            load_frames(complete.splitlines()) if complete else ([], 0, 0)
+        )
+        skipped_total += skipped
         saw_final = False
         for frame in frames:
             dashboard.render(frame)
             rendered += 1
-            healthy = bool(frame.get("healthy", True))
+            healthy = not frame.get("breaches") and bool(
+                frame.get("healthy", True)
+            )
             saw_final = saw_final or bool(frame.get("final"))
+        if skipped:
+            dashboard.stream.write(
+                f"WARNING: skipped {skipped} unreadable line(s) in {path} "
+                "(render may be partial)\n"
+            )
+            dashboard.stream.flush()
         if saw_final or not follow:
             break
         if frames:
@@ -184,4 +367,6 @@ def watch_file(
         time.sleep(interval)
     if rendered == 0:
         return 2
+    if not verdict_exit:
+        return 0
     return 0 if healthy else 1

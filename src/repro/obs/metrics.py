@@ -172,6 +172,22 @@ AUDIT_DEMOTIONS = declare_metric(
 LIVE_RETRANSMIT_GIVEUP = declare_metric(
     "live.retransmit_giveup", "counter",
     "live requests that exhausted every datagram retransmit and timed out")
+DETECT_LATENCY = declare_metric(
+    "detect.latency", "dist",
+    "seconds from a member's death to a detector noticing it "
+    "(baseline tournament instrumentation)")
+WALKS_LAUNCHED = declare_metric(
+    "walk.launched", "counter",
+    "random-walk collection walks started (random-walk baseline)")
+WALK_STEPS = declare_metric(
+    "walk.steps", "dist",
+    "hops taken per collection walk (random-walk baseline)")
+PULL_EXCHANGES = declare_metric(
+    "pull.exchanges", "counter",
+    "anti-entropy pull exchanges completed (push-pull gossip baseline)")
+PULL_ENTRIES = declare_metric(
+    "pull.entries", "counter",
+    "membership entries transferred by pull exchanges (push-pull baseline)")
 
 
 class Dist:

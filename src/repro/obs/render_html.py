@@ -1,0 +1,223 @@
+"""Dependency-free static HTML renderer for recorded telemetry.
+
+``repro obs render`` turns any ``repro.telemetry`` frame JSONL (and
+optionally a span JSONL) into one self-contained HTML page: window
+timeline with breach markers and the error-rate polyline, the final
+level histogram, the signal/verdict tables, and reconstructed multicast
+tree shapes.  No JavaScript, no external assets, no wall clock — the
+page is a pure function of the recorded artifacts, so re-rendering a
+run reproduces the file byte-for-byte.
+
+Everything user-controlled passes through :func:`html.escape`; SVG is
+hand-assembled from the same numbers the terminal dashboard prints.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Any, Dict, List, Optional
+
+from repro.obs.dashboard import render_mcast_trees
+
+__all__ = ["build_html"]
+
+_CSS = """
+body { font-family: monospace; background: #fdfdfd; color: #222;
+       max-width: 72rem; margin: 1rem auto; padding: 0 1rem; }
+h1, h2 { font-weight: bold; border-bottom: 1px solid #ccc; }
+table { border-collapse: collapse; margin: 0.5rem 0; }
+th, td { border: 1px solid #bbb; padding: 0.15rem 0.5rem; text-align: right; }
+th { background: #eee; }
+td.name, th.name { text-align: left; }
+pre { background: #f4f4f4; padding: 0.5rem; overflow-x: auto; }
+.breach { color: #a00; font-weight: bold; }
+.ok { color: #070; }
+svg { background: #fff; border: 1px solid #ccc; }
+.warn { background: #fff3cd; border: 1px solid #dca; padding: 0.3rem 0.6rem; }
+"""
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _svg_timeline(frames: List[Dict[str, Any]]) -> str:
+    """Per-window span bars, breach markers, and the error-rate line."""
+    windows = [f for f in frames if not f.get("final")]
+    if not windows:
+        return "<p>no closed windows recorded</p>"
+    width, height, pad = 680, 160, 24
+    n = len(windows)
+    slot = (width - 2 * pad) / n
+    peak_spans = max(max(f.get("spans", 0) for f in windows), 1)
+    errors = [
+        (f.get("state") or {}).get("mean_error_rate") for f in windows
+    ]
+    peak_err = max([e for e in errors if e is not None] + [0.0]) or 1.0
+    parts = [
+        f'<svg width="{width}" height="{height}" role="img" '
+        f'aria-label="window timeline">'
+    ]
+    for i, frame in enumerate(windows):
+        x = pad + i * slot
+        spans = frame.get("spans", 0)
+        bar_h = (height - 2 * pad) * spans / peak_spans
+        y = height - pad - bar_h
+        breached = bool(frame.get("breaches"))
+        fill = "#c62828" if breached else "#90a4ae"
+        parts.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{max(slot - 2, 1):.1f}" '
+            f'height="{bar_h:.1f}" fill="{fill}">'
+            f"<title>window {_esc(frame.get('window'))}: {spans} spans"
+            f"{' · BREACH' if breached else ''}</title></rect>"
+        )
+    points = []
+    for i, err in enumerate(errors):
+        if err is None:
+            continue
+        x = pad + (i + 0.5) * slot
+        y = height - pad - (height - 2 * pad) * float(err) / peak_err
+        points.append(f"{x:.1f},{y:.1f}")
+    if points:
+        parts.append(
+            f'<polyline points="{" ".join(points)}" fill="none" '
+            f'stroke="#1565c0" stroke-width="1.5">'
+            f"<title>mean peer-list error rate (peak {peak_err:.4g})"
+            f"</title></polyline>"
+        )
+    parts.append(
+        f'<text x="{pad}" y="{height - 6}" font-size="10">'
+        f"{n} windows · bar=spans/window (peak {peak_spans}) · "
+        f"line=error rate (peak {peak_err:.4g}) · red=breached window</text>"
+    )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _svg_levels(state: Dict[str, Any]) -> str:
+    levels = state.get("levels") or {}
+    if not levels:
+        return "<p>no level histogram in final frame</p>"
+    counts = {int(k): int(v) for k, v in levels.items()}
+    peak = max(counts.values())
+    width, row_h, pad = 480, 18, 4
+    height = (row_h + pad) * len(counts) + pad
+    parts = [f'<svg width="{width}" height="{height}" role="img" '
+             f'aria-label="level histogram">']
+    for i, level in enumerate(sorted(counts)):
+        count = counts[level]
+        y = pad + i * (row_h + pad)
+        bar = (width - 140) * count / peak
+        parts.append(
+            f'<text x="4" y="{y + row_h - 5}" font-size="11">'
+            f"level {level}</text>"
+            f'<rect x="70" y="{y}" width="{bar:.1f}" height="{row_h}" '
+            f'fill="#66bb6a"><title>level {level}: {count} nodes</title></rect>'
+            f'<text x="{74 + bar:.1f}" y="{y + row_h - 5}" font-size="11">'
+            f"{count}</text>"
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _signals_table(frame: Dict[str, Any]) -> str:
+    signals = frame.get("signals") or {}
+    if not signals:
+        return "<p>no signals in final frame</p>"
+    rows = "".join(
+        f'<tr><td class="name">{_esc(name)}</td>'
+        f"<td>{_fmt(signals[name])}</td></tr>"
+        for name in sorted(signals)
+    )
+    return (
+        '<table><tr><th class="name">signal</th><th>value</th></tr>'
+        f"{rows}</table>"
+    )
+
+
+def _verdicts_table(frame: Dict[str, Any]) -> str:
+    verdicts = frame.get("verdicts") or []
+    if not verdicts:
+        return "<p>no verdicts (no health spec attached)</p>"
+    rows = []
+    for v in verdicts:
+        cls = "ok" if v.get("ok") else "breach"
+        word = "ok" if v.get("ok") else "BREACH"
+        rows.append(
+            f'<tr><td class="name">{_esc(v.get("slo"))}</td>'
+            f"<td>{_fmt(v.get('value'))}</td>"
+            f"<td>{_fmt(v.get('lo'))}</td><td>{_fmt(v.get('hi'))}</td>"
+            f'<td class="{cls}">{word}</td></tr>'
+        )
+    return (
+        '<table><tr><th class="name">slo</th><th>value</th>'
+        "<th>lo</th><th>hi</th><th>verdict</th></tr>"
+        + "".join(rows) + "</table>"
+    )
+
+
+def build_html(
+    frames: List[Dict[str, Any]],
+    spans: Optional[List[Any]] = None,
+    title: str = "repro telemetry",
+    lines_skipped: int = 0,
+    tree_limit: int = 3,
+) -> str:
+    """Render recorded frames (and optionally spans) to one page."""
+    final = next(
+        (f for f in reversed(frames) if f.get("final")),
+        frames[-1] if frames else {},
+    )
+    sections: List[str] = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{_esc(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{_esc(title)}</h1>",
+    ]
+    if lines_skipped:
+        sections.append(
+            f'<p class="warn">WARNING: {lines_skipped} unreadable line(s) '
+            "were skipped while loading — this page may be partial.</p>"
+        )
+    windows = sum(1 for f in frames if not f.get("final"))
+    t1 = final.get("t1", 0.0)
+    healthy = final.get("healthy")
+    verdict = (
+        '<span class="ok">HEALTHY</span>'
+        if healthy
+        else '<span class="breach">UNHEALTHY</span>'
+        if healthy is not None
+        else "unjudged"
+    )
+    sections.append(
+        f"<p>{windows} windows · sim time {_fmt(float(t1))} s · "
+        f"final verdict: {verdict}</p>"
+    )
+    sections.append("<h2>Window timeline</h2>")
+    sections.append(_svg_timeline(frames))
+    sections.append("<h2>Final level histogram</h2>")
+    sections.append(_svg_levels(final.get("state") or {}))
+    sections.append("<h2>Final signals</h2>")
+    sections.append(_signals_table(final))
+    sections.append("<h2>SLO verdicts</h2>")
+    sections.append(_verdicts_table(final))
+    if spans:
+        sections.append("<h2>Multicast tree shapes</h2>")
+        sections.append(
+            "<pre>"
+            + _esc(render_mcast_trees(spans, limit=tree_limit))
+            + "</pre>"
+        )
+    sections.append("</body></html>")
+    return "\n".join(sections) + "\n"

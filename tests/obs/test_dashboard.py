@@ -2,7 +2,14 @@
 
 import io
 
-from repro.obs.dashboard import TerminalDashboard, render_frame, watch_file
+from repro.obs.dashboard import (
+    ComparisonDashboard,
+    TerminalDashboard,
+    render_comparison,
+    render_frame,
+    render_mcast_trees,
+    watch_file,
+)
 from repro.obs.stream import frame_line, telemetry_header_line
 
 
@@ -127,3 +134,128 @@ def test_watch_file_follow_leaves_partial_tail_pending(tmp_path):
     assert watch_file(str(path), follow=True, interval=0.01,
                       max_idle=0.03, stream=out) == 0
     assert out.getvalue().count("== PeerWindow telemetry") == 1
+
+
+# -- tree views ---------------------------------------------------------------
+
+
+def _mcast_spans():
+    """A small hand-built multicast tree: root at n0, two first-level
+    hops, one duplicate second-level hop."""
+    from repro.obs.trace import Observability
+
+    obs = Observability(enabled=True)
+    v0, v1, v2, v3 = (obs.view(i) for i in range(4))
+    root = v0.start("mcast.root", 10.0, kind="LEAVE", subject=5, fanout=2)
+    v0.end(root, 10.0)
+    h1 = v1.start("mcast.hop", 10.5, parent=root.ref(1), depth=1)
+    h2 = v2.start("mcast.hop", 10.6, parent=root.ref(1), depth=1)
+    v2.end(h2, 10.7)
+    h3 = v3.start("mcast.hop", 11.0, parent=h1.ref(2), depth=2)
+    v3.end(h3, 11.1, status="duplicate")
+    v1.end(h1, 11.2)
+    return obs.spans()
+
+
+GOLDEN_TREE = """\
+tree LEAVE · members=4 delivered=3 undelivered=0 depth=2
+mcast.root LEAVE subject=5 root=n0 t=10.00s
+├─ n1 d1 ok
+│  └─ n3 d2 duplicate
+└─ n2 d1 ok"""
+
+
+def test_render_mcast_trees_golden():
+    """The tree view is a pure function of the span list — the rendered
+    text must match this golden byte-for-byte."""
+    assert render_mcast_trees(_mcast_spans()) == GOLDEN_TREE
+    assert render_mcast_trees(_mcast_spans()) == GOLDEN_TREE  # stable
+
+
+def test_render_mcast_trees_no_trees():
+    assert render_mcast_trees([]) == "no multicast trees in span stream"
+
+
+def test_render_span_tree_truncates_at_budget():
+    spans = _mcast_spans()
+    text = render_mcast_trees(spans, max_nodes=1)
+    assert "…" in text
+    assert "n3" not in text  # the budget cut the deep hop
+    assert "mcast.root" in text  # the root always renders
+
+
+# -- comparison view ----------------------------------------------------------
+
+
+def _contestant_frames():
+    ok = _frame(t1=60.0, spans=12, healthy=True,
+                state={"live_nodes": 20, "mean_error_rate": 0.0125})
+    bad = _frame(t1=60.0, spans=40, healthy=False,
+                 breaches=[{"slo": "peerlist.error_rate", "value": 0.31}],
+                 state={"live_nodes": 20, "mean_error_rate": 0.0125})
+    return {"peerwindow": ok, "gossip": bad}
+
+
+GOLDEN_COMPARISON = """\
+== protocol tournament · t 60.0 s · seed 0 ==
+contestant  nodes  error   spans  mcast  join  probe_to  breach  verdict
+gossip      20     0.0125  40     5      2     1         1       BREACH 
+peerwindow  20     0.0125  12     5      2     1         0       ok     
+BREACH [gossip] peerlist.error_rate=0.31
+------------------------------------------------------------------------"""
+
+
+def test_render_comparison_golden():
+    text = render_comparison(_contestant_frames(), t=60.0, seed=0)
+    assert text == GOLDEN_COMPARISON
+
+
+def test_comparison_dashboard_repaints():
+    out = io.StringIO()
+    dash = ComparisonDashboard(stream=out, ansi=True)
+    dash(0, 30.0, _contestant_frames())
+    dash(0, 60.0, _contestant_frames())
+    assert out.getvalue().count("\x1b[H\x1b[J") == 2
+    assert dash.windows_rendered == 2
+    dash(0, 90.0, {})  # no frames -> no paint
+    assert dash.windows_rendered == 2
+
+
+# -- verdict exit & skipped-line surfacing ------------------------------------
+
+
+def test_watch_file_no_verdict_exit_suppresses_failure(tmp_path):
+    path = tmp_path / "unhealthy.jsonl"
+    _write_frames(path, [_frame(final=True, healthy=False)])
+    assert watch_file(str(path), stream=io.StringIO()) == 1
+    assert watch_file(str(path), stream=io.StringIO(),
+                      verdict_exit=False) == 0
+    # an empty file is still exit 2 even without verdict gating
+    empty = tmp_path / "empty.jsonl"
+    _write_frames(empty, [])
+    assert watch_file(str(empty), stream=io.StringIO(),
+                      verdict_exit=False) == 2
+
+
+def test_watch_file_breached_window_fails_even_if_frame_healthy(tmp_path):
+    """A final frame carrying breaches must gate the exit status even if
+    its own healthy bit is optimistically True."""
+    path = tmp_path / "frames.jsonl"
+    _write_frames(path, [_frame(
+        final=True, healthy=True,
+        breaches=[{"slo": "probe.timeout_rate", "value": 0.9}],
+    )])
+    assert watch_file(str(path), stream=io.StringIO()) == 1
+
+
+def test_watch_file_surfaces_skipped_lines(tmp_path):
+    path = tmp_path / "frames.jsonl"
+    _write_frames(path, [_frame(window=0)])
+    with open(path, "a") as fh:
+        fh.write("{not json}\n")
+        fh.write(frame_line(_frame(window=1, final=True)) + "\n")
+    out = io.StringIO()
+    assert watch_file(str(path), stream=out) == 0
+    text = out.getvalue()
+    assert "WARNING: skipped 1 unreadable line(s)" in text
+    assert text.count("== PeerWindow telemetry") == 2

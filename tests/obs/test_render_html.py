@@ -1,0 +1,76 @@
+"""Static HTML renderer: self-contained, escaped, deterministic."""
+
+from repro.obs.render_html import build_html
+from tests.obs.test_dashboard import _frame, _mcast_spans
+
+
+def _frames():
+    return [
+        _frame(window=0, t0=0.0, t1=30.0),
+        _frame(window=1, t0=30.0, t1=60.0,
+               breaches=[{"slo": "probe.timeout_rate", "value": 0.9}],
+               healthy=False),
+        _frame(window=2, t0=60.0, t1=62.5, final=True, healthy=True,
+               verdicts=[
+                   {"slo": "peerlist.error_rate", "value": 0.01,
+                    "lo": None, "hi": 0.05, "ok": True},
+                   {"slo": "probe.timeout_rate", "value": 0.4,
+                    "lo": None, "hi": 0.2, "ok": False},
+               ]),
+    ]
+
+
+def test_page_is_self_contained():
+    page = build_html(_frames(), spans=_mcast_spans())
+    assert page.startswith("<!DOCTYPE html>")
+    assert page.rstrip().endswith("</html>")
+    # no external assets, no scripts
+    for needle in ("<script", "http://", "https://", "src=", "@import"):
+        assert needle not in page
+    assert "<style>" in page
+
+
+def test_page_has_timeline_levels_and_verdicts():
+    page = build_html(_frames())
+    assert "<svg" in page  # timeline + level histogram
+    assert "level 1" in page
+    assert "peerlist.error_rate" in page
+    assert ">BREACH<" in page and ">ok<" in page
+    assert "HEALTHY" in page
+
+
+def test_page_embeds_multicast_tree():
+    page = build_html(_frames(), spans=_mcast_spans())
+    assert "Multicast tree shapes" in page
+    assert "mcast.root LEAVE subject=5 root=n0" in page
+    assert "├─ n1 d1 ok" in page
+    # without spans the section is absent
+    assert "Multicast tree shapes" not in build_html(_frames())
+
+
+def test_rendering_is_deterministic():
+    a = build_html(_frames(), spans=_mcast_spans(), title="run 7")
+    b = build_html(_frames(), spans=_mcast_spans(), title="run 7")
+    assert a == b
+
+
+def test_skipped_lines_warning():
+    page = build_html(_frames(), lines_skipped=3)
+    assert "WARNING: 3 unreadable line(s)" in page
+    assert 'class="warn"' in page
+    assert "WARNING" not in build_html(_frames())
+
+
+def test_user_content_is_escaped():
+    frames = _frames()
+    frames[-1]["verdicts"][0]["slo"] = "<img src=x onerror=alert(1)>"
+    page = build_html(frames, title="<script>alert(1)</script>")
+    assert "<script>" not in page
+    assert "&lt;script&gt;" in page
+    assert "<img" not in page
+
+
+def test_empty_frames_still_render_a_page():
+    page = build_html([])
+    assert page.startswith("<!DOCTYPE html>")
+    assert "no closed windows recorded" in page
